@@ -1,0 +1,73 @@
+"""Experiment F1 — Figure 1: structure of the hierarchical clustering.
+
+The paper's Figure 1 illustrates the clustering's defining properties:
+constantly many layers, clusters of at most n^delta nodes, outdegree exactly
+one and indegree at most one.  This benchmark measures those quantities over
+tree families, sizes and delta values and checks the invariants.
+"""
+
+import pytest
+
+from repro.clustering.builder import build_hierarchical_clustering
+from repro.clustering.degree_reduction import reduce_degrees
+from repro.clustering.invariants import check_clustering
+from repro.mpc import MPCConfig, MPCSimulator
+from repro.trees import generators as gen
+from repro.trees.properties import diameter
+
+from benchmarks.conftest import print_table, run_once
+
+FAMILIES = ["path", "caterpillar", "binary", "spider", "random", "broom"]
+SIZES = [500, 2000]
+DELTAS = [0.3, 0.5, 0.7]
+
+
+def _build(family, n, delta):
+    tree = gen.FAMILIES[family](n)
+    sim = MPCSimulator(MPCConfig(n=n, delta=delta))
+    red = reduce_degrees(tree, threshold=sim.config.light_threshold())
+    hc = build_hierarchical_clustering(sim, red.tree)
+    check_clustering(hc)
+    return tree, hc
+
+
+def _sweep():
+    rows = []
+    for family in FAMILIES:
+        for n in SIZES:
+            for delta in DELTAS:
+                tree, hc = _build(family, n, delta)
+                rows.append(
+                    (
+                        family,
+                        n,
+                        delta,
+                        diameter(tree),
+                        hc.num_layers,
+                        len(hc.clusters),
+                        hc.max_cluster_size(),
+                        hc.stats["cluster_capacity"],
+                        hc.stats["total_rounds"],
+                    )
+                )
+    return rows
+
+
+def test_fig1_clustering_structure(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print_table(
+        "Figure 1 — hierarchical clustering: layers, cluster sizes, rounds",
+        ["family", "n", "delta", "D", "layers", "clusters", "max|C|", "capacity", "rounds"],
+        rows,
+    )
+    # Cluster sizes never exceed the capacity and layer counts stay small.
+    assert all(r[6] <= r[7] for r in rows)
+    assert all(r[4] <= 14 for r in rows)
+    # Layer count does not grow with n at fixed family and delta (O(1) layers).
+    by_key = {}
+    for r in rows:
+        by_key.setdefault((r[0], r[2]), []).append((r[1], r[4]))
+    for (family, delta), pts in by_key.items():
+        small = dict(pts)[SIZES[0]]
+        large = dict(pts)[SIZES[1]]
+        assert large <= small + 2, (family, delta, pts)

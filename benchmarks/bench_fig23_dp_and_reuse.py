@@ -1,0 +1,77 @@
+"""Experiments F2F3 and C-REUSE — the DP passes and clustering reuse.
+
+Figures 2 and 3 of the paper depict the bottom-up and top-down per-cluster
+operations; Section 5 claims that, given the hierarchical clustering, any DP
+problem is solved in O(1) rounds per layer.  Section 1.4 / the conclusions
+emphasise that the clustering is computed once and reused for any problem and
+any input values.  This module measures both claims.
+"""
+
+import pytest
+
+from repro.core.pipeline import prepare, solve_on
+from repro.dp.engine import ROUNDS_PER_LAYER
+from repro.problems.max_weight_independent_set import MaxWeightIndependentSet
+from repro.problems.min_weight_dominating_set import MinWeightDominatingSet
+from repro.problems.min_weight_vertex_cover import MinWeightVertexCover
+from repro.problems.max_weight_matching import MaxWeightMatching
+from repro.problems.subtree_aggregation import SubtreeAggregate
+from repro.problems.sum_coloring import SumColoring
+from repro.trees import generators as gen
+
+from benchmarks.conftest import print_table, run_once
+
+
+def _dp_rounds_vs_n():
+    rows = []
+    for n in (200, 800, 3200):
+        tree = gen.with_random_weights(gen.random_attachment_tree(n, seed=2), seed=2)
+        prepared = prepare(tree)
+        res = solve_on(prepared, MaxWeightIndependentSet())
+        rows.append(
+            (n, prepared.clustering.num_layers, res.rounds["dp"],
+             2 * prepared.clustering.num_layers * ROUNDS_PER_LAYER)
+        )
+    return rows
+
+
+def test_fig23_dp_pass_rounds(benchmark):
+    rows = run_once(benchmark, _dp_rounds_vs_n)
+    print_table(
+        "Figures 2-3 — DP rounds are O(1) per layer (MaxIS, random trees)",
+        ["n", "layers", "measured dp rounds", "2 * layers * rounds/layer"],
+        rows,
+    )
+    assert all(r[2] == r[3] for r in rows)
+    # 16x more nodes: the DP round count moves only with the O(1) layer count.
+    assert rows[-1][2] <= rows[0][2] + 4 * ROUNDS_PER_LAYER
+
+
+def _reuse():
+    tree = gen.with_random_weights(gen.random_attachment_tree(1500, seed=5), seed=5)
+    prepared = prepare(tree)
+    problems = [
+        MaxWeightIndependentSet(),
+        MinWeightVertexCover(),
+        MinWeightDominatingSet(),
+        MaxWeightMatching(),
+        SumColoring(k=3),
+        SubtreeAggregate(op="sum"),
+    ]
+    rows = [("(build clustering)", prepared.clustering_stats.total_rounds, "-")]
+    for p in problems:
+        res = solve_on(prepared, p)
+        rows.append((p.name, res.rounds["dp"], f"{res.value:.3f}"))
+    return rows
+
+
+def test_clustering_reuse(benchmark):
+    rows = run_once(benchmark, _reuse)
+    print_table(
+        "Clustering reuse — one O(log D) preprocessing, many O(1)-round solves",
+        ["step", "rounds", "value"],
+        rows,
+    )
+    build = rows[0][1]
+    per_problem = [r[1] for r in rows[1:]]
+    assert all(r <= build for r in per_problem)

@@ -1,0 +1,49 @@
+"""Experiment F5 — Figure 5 / Lemmas 5-7: per-iteration shrinkage.
+
+Each pair of construction steps (indegree-zero + indegree-one) must shrink
+the uncolored part of the contracted tree by a large factor, which is what
+bounds the number of layers by a constant.  The benchmark reports the
+shrink factors the builder recorded for several tree families.
+"""
+
+import pytest
+
+from repro.clustering.builder import build_hierarchical_clustering
+from repro.clustering.degree_reduction import reduce_degrees
+from repro.mpc import MPCConfig, MPCSimulator
+from repro.trees import generators as gen
+
+from benchmarks.conftest import print_table, run_once
+
+FAMILIES = ["path", "caterpillar", "binary", "random", "spider"]
+N = 3000
+
+
+def _sweep():
+    rows = []
+    for family in FAMILIES:
+        tree = gen.FAMILIES[family](N)
+        sim = MPCSimulator(MPCConfig(n=N))
+        red = reduce_degrees(tree, threshold=sim.config.light_threshold())
+        hc = build_hierarchical_clustering(sim, red.tree)
+        for entry in hc.stats["iteration_log"]:
+            before, after = entry["uncolored_before"], entry["uncolored_after"]
+            factor = before / max(1, after)
+            rows.append((family, entry["iteration"], before, after, f"{factor:.1f}x"))
+    return rows
+
+
+def test_fig5_shrinkage(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print_table(
+        f"Figure 5 / Lemmas 5-7 — shrinkage of the uncolored tree per iteration (n={N})",
+        ["family", "iteration", "uncolored before", "uncolored after", "shrink"],
+        rows,
+    )
+    # Every family converges within a handful of iterations.
+    iterations = {}
+    for family, it, *_ in rows:
+        iterations[family] = max(iterations.get(family, 0), it)
+    assert all(v <= 8 for v in iterations.values())
+    # And every iteration makes progress.
+    assert all(r[3] < r[2] for r in rows)

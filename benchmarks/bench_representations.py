@@ -1,0 +1,88 @@
+"""Experiment S3 — Section 3 / Figure 4: representation conversions.
+
+Every supported input representation is normalised into the standard rooted
+edge list; already-rooted forms cost O(1) rounds, the distributed parenthesis
+matcher costs O(1) rounds, and undirected edge lists pay the O(log D) rooting
+charge.  Section 6.3's reverse conversions are exercised as well.
+"""
+
+import pytest
+
+from repro.core.pipeline import prepare
+from repro.mpc import MPCConfig, MPCSimulator
+from repro.representations import ListOfEdges, StringOfParentheses, export
+from repro.representations.normalize import normalize_to_rooted_tree
+from repro.representations.parentheses import parentheses_to_tree, tree_to_parentheses
+from repro.representations.traversals import (
+    tree_to_bfs_traversal,
+    tree_to_dfs_traversal,
+    tree_to_pointers,
+)
+from repro.trees import generators as gen
+from repro.trees.properties import diameter
+
+from benchmarks.conftest import print_table, run_once
+
+N = 1200
+
+
+def _forward():
+    tree = gen.random_attachment_tree(N, seed=7)
+    reps = {
+        "list-of-edges (directed)": (ListOfEdges(tree.edges(), directed=True), tree.root),
+        "list-of-edges (undirected)": (ListOfEdges(tree.edges(), directed=False), tree.root),
+        "string-of-parentheses": (StringOfParentheses(tree_to_parentheses(tree)), None),
+        "BFS-traversal": (tree_to_bfs_traversal(tree), None),
+        "DFS-traversal": (tree_to_dfs_traversal(tree), None),
+        "pointers-to-parents": (tree_to_pointers(tree), None),
+    }
+    rows = []
+    for name, (rep, root) in reps.items():
+        sim = MPCSimulator(MPCConfig(n=N))
+        out = normalize_to_rooted_tree(sim, rep, root=root)
+        ok = out.num_nodes == tree.num_nodes and diameter(out) == diameter(tree)
+        rows.append((name, sim.stats.rounds, sim.stats.charged_rounds, "ok" if ok else "MISMATCH"))
+    return rows
+
+
+def _reverse():
+    tree = gen.random_attachment_tree(N, seed=8)
+    sim = MPCSimulator(MPCConfig(n=N))
+    rows = []
+    ptr = export.to_pointers_to_parents(tree, sim)
+    rows.append(("-> pointers-to-parents", len(ptr.parents)))
+    bfs = export.to_bfs_traversal(tree, sim)
+    rows.append(("-> BFS-traversal", len(bfs.parents)))
+    dfs = export.to_dfs_traversal(tree, sim)
+    rows.append(("-> DFS-traversal", len(dfs.parents)))
+    text = export.to_string_of_parentheses(tree, sim).text
+    back = parentheses_to_tree(text)
+    assert back.num_nodes == tree.num_nodes
+    rows.append(("-> string-of-parentheses", len(text)))
+    rows.append(("total charged rounds", sim.stats.charged_rounds))
+    return rows
+
+
+def test_representation_normalization(benchmark):
+    rows = run_once(benchmark, _forward)
+    print_table(
+        f"Section 3 — normalising every representation (n={N})",
+        ["representation", "measured rounds", "charged rounds", "correct"],
+        rows,
+    )
+    assert all(r[3] == "ok" for r in rows)
+    by_name = {r[0]: r for r in rows}
+    # Already-rooted forms and the parenthesis matcher stay at O(1) rounds;
+    # only the undirected edge list pays the O(log D) rooting charge.
+    assert by_name["string-of-parentheses"][1] <= 10
+    assert by_name["BFS-traversal"][1] + by_name["BFS-traversal"][2] <= 4
+    assert by_name["list-of-edges (undirected)"][2] > by_name["list-of-edges (directed)"][2]
+
+
+def test_representation_export(benchmark):
+    rows = run_once(benchmark, _reverse)
+    print_table(
+        f"Section 6.3 — constructing non-standard representations (n={N})",
+        ["conversion", "size / rounds"],
+        rows,
+    )

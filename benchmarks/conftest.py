@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's artifacts (a table, a
+figure, or a stated round/memory bound) — see DESIGN.md §4 for the experiment
+index and EXPERIMENTS.md for paper-vs-measured notes.  The benchmarks print
+their rows so the harness output doubles as the reproduction report; the
+``benchmark`` fixture (pytest-benchmark) times a single representative run of
+each experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Time ``fn`` exactly once (the experiments are deterministic and heavy)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render a small fixed-width table into the captured benchmark output."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h)) for i, h in enumerate(header)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

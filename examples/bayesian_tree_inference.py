@@ -1,0 +1,41 @@
+"""Gaussian belief propagation on a tree-structured state-space model (Section 6.2).
+
+A sensor hierarchy is modelled as a linear-Gaussian tree: every node has a
+hidden state, children feed their parent through linear dynamics, and every
+node is observed with noise.  The framework computes the posterior of the
+root given all observations; the dense-joint reference verifies it.
+
+Run with:  python examples/bayesian_tree_inference.py
+"""
+
+import numpy as np
+
+from repro import solve
+from repro.inference import (
+    GaussianTreeInference,
+    random_gaussian_tree_model,
+    root_posterior_reference,
+)
+from repro.trees.generators import balanced_kary_tree
+from repro.trees.properties import tree_summary
+
+
+def main() -> None:
+    tree = balanced_kary_tree(127, k=2)
+    print("sensor hierarchy:", tree_summary(tree))
+
+    model = random_gaussian_tree_model(tree, dim=2, obs_dim=1, seed=11)
+    result = solve(tree, GaussianTreeInference(model), degree_reduction=False)
+
+    mean, cov = result.value["mean"], result.value["cov"]
+    print(f"posterior mean of the root state: {np.round(mean, 4)}")
+    print(f"posterior covariance:\n{np.round(cov, 4)}")
+    print(f"MPC rounds: {result.rounds}")
+
+    ref_mean, ref_cov = root_posterior_reference(model)
+    print(f"max |error| vs dense reference: "
+          f"mean {np.max(np.abs(mean - ref_mean)):.2e}, cov {np.max(np.abs(cov - ref_cov)):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Solve the classical graph optimisation problems of Table 1 on one tree.
+
+Demonstrates the paper's main conceptual point: the hierarchical clustering
+is computed once and reused for every problem (and it would equally be reused
+for new input values on the same topology).
+
+Run with:  python examples/graph_optimization_suite.py
+"""
+
+from repro import prepare, solve_on
+from repro.problems import (
+    CountMatchingsModK,
+    LongestPath,
+    MaxWeightIndependentSet,
+    MaxWeightMatching,
+    MinWeightDominatingSet,
+    MinWeightVertexCover,
+    SumColoring,
+)
+from repro.trees.generators import caterpillar_tree, with_random_weights
+from repro.trees.properties import tree_summary
+
+
+def main() -> None:
+    tree = with_random_weights(caterpillar_tree(1200), seed=5)
+    print("input tree:", tree_summary(tree))
+
+    prepared = prepare(tree)
+    print(
+        f"clustering built once: {prepared.clustering_stats.total_rounds} rounds, "
+        f"{prepared.clustering.num_layers} layers\n"
+    )
+
+    problems = [
+        MaxWeightIndependentSet(),
+        MinWeightVertexCover(),
+        MinWeightDominatingSet(),
+        MaxWeightMatching(),
+        SumColoring(k=3),
+        LongestPath(),
+        CountMatchingsModK(k=1_000_000_007),
+    ]
+    for problem in problems:
+        res = solve_on(prepared, problem)
+        print(f"{problem.name:40s} value = {res.value:>14.3f}   dp rounds = {res.rounds['dp']}")
+
+
+if __name__ == "__main__":
+    main()

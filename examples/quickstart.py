@@ -1,0 +1,41 @@
+"""Quickstart: solve maximum-weight independent set on a random tree.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import prepare, solve_on
+from repro.problems import MaxWeightIndependentSet, MinWeightVertexCover
+from repro.trees.generators import random_attachment_tree, with_random_weights
+from repro.trees.properties import tree_summary
+
+
+def main() -> None:
+    # 1. Build a random weighted tree (any of the Section-3 representations
+    #    would work as well; see representation_conversions.py).
+    tree = with_random_weights(random_attachment_tree(2000, seed=1), seed=2)
+    print("input tree:", tree_summary(tree))
+
+    # 2. Prepare: normalise + hierarchical clustering (O(log D) rounds).
+    prepared = prepare(tree)
+    print(
+        f"clustering: {prepared.clustering.num_layers} layers, "
+        f"{len(prepared.clustering.clusters)} clusters, "
+        f"{prepared.clustering_stats.total_rounds} rounds"
+    )
+
+    # 3. Solve problems on the prepared clustering (O(1) rounds per layer each).
+    mis = solve_on(prepared, MaxWeightIndependentSet())
+    print(f"max-weight independent set: weight={mis.value:.3f}, "
+          f"|S|={len(mis.output['independent_set'])}, dp rounds={mis.rounds['dp']}")
+
+    vc = solve_on(prepared, MinWeightVertexCover())
+    print(f"min-weight vertex cover:    weight={vc.value:.3f}, "
+          f"|C|={len(vc.output['vertex_cover'])}, dp rounds={vc.rounds['dp']}")
+
+    # 4. Per-node outputs are the edge labels of the paper.
+    in_set = [v for v, s in mis.node_labels.items() if s == "in"]
+    print(f"first few selected nodes: {sorted(in_set)[:10]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Normalising every input representation and exporting back (Sections 3 and 6.3).
+
+Run with:  python examples/representation_conversions.py
+"""
+
+from repro import MPCConfig, MPCSimulator
+from repro.representations import ListOfEdges, StringOfParentheses, export
+from repro.representations.normalize import normalize_to_rooted_tree
+from repro.representations.parentheses import tree_to_parentheses
+from repro.representations.traversals import (
+    tree_to_bfs_traversal,
+    tree_to_dfs_traversal,
+    tree_to_pointers,
+)
+from repro.trees.generators import random_attachment_tree
+from repro.trees.properties import diameter
+
+
+def main() -> None:
+    tree = random_attachment_tree(1500, seed=4)
+    print(f"tree: n={tree.num_nodes}, D={diameter(tree)}\n")
+
+    representations = {
+        "list-of-edges (directed)": (ListOfEdges(tree.edges(), directed=True), tree.root),
+        "list-of-edges (undirected)": (ListOfEdges(tree.edges(), directed=False), tree.root),
+        "string-of-parentheses": (StringOfParentheses(tree_to_parentheses(tree)), None),
+        "BFS-traversal": (tree_to_bfs_traversal(tree), None),
+        "DFS-traversal": (tree_to_dfs_traversal(tree), None),
+        "pointers-to-parents": (tree_to_pointers(tree), None),
+    }
+
+    print("Section 3 — normalising into the standard representation:")
+    for name, (rep, root) in representations.items():
+        sim = MPCSimulator(MPCConfig(n=tree.num_nodes))
+        normalized = normalize_to_rooted_tree(sim, rep, root=root)
+        print(f"  {name:30s} -> n={normalized.num_nodes:5d}  "
+              f"rounds={sim.stats.rounds:3d} (+{sim.stats.charged_rounds} charged)")
+
+    print("\nSection 6.3 — exporting the standard representation:")
+    sim = MPCSimulator(MPCConfig(n=tree.num_nodes))
+    print(f"  pointers-to-parents: {len(export.to_pointers_to_parents(tree, sim).parents)} entries")
+    print(f"  BFS-traversal:       {len(export.to_bfs_traversal(tree, sim).parents)} entries")
+    print(f"  DFS-traversal:       {len(export.to_dfs_traversal(tree, sim).parents)} entries")
+    print(f"  parentheses string:  {len(export.to_string_of_parentheses(tree, sim).text)} characters")
+    print(f"  charged rounds:      {sim.stats.charged_rounds}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Analysing a large XML-like document held as a string of nested tags.
+
+The document arrives as a parenthesis string (Section 3's representation for
+tag soup), is normalised into the standard rooted edge list by the
+distributed chunk-cancellation algorithm, and then analysed with several DP
+problems: structural validation against a schema, per-subtree element counts,
+and nesting depth.
+
+Run with:  python examples/xml_document_analytics.py
+"""
+
+import random
+
+from repro import prepare, solve_on
+from repro.problems import NodeDepth, SubtreeSize
+from repro.problems.xml_validation import XMLSchema, XMLStructureValidation, validate_xml_tree
+from repro.representations import StringOfParentheses
+from repro.representations.parentheses import tree_to_parentheses
+from repro.trees.generators import random_recursive_tree
+
+
+TAGS = ["catalog", "product", "offer", "price"]
+
+
+def build_document(n: int = 4000, seed: int = 3) -> str:
+    """A synthetic product catalogue serialised as nested parentheses."""
+    tree = random_recursive_tree(n, seed=seed, bias=0.3)
+    return tree_to_parentheses(tree)
+
+
+def main() -> None:
+    text = build_document()
+    print(f"document: {len(text)} characters, {text.count('(')} elements")
+
+    # Normalise + cluster straight from the string representation.
+    prepared = prepare(StringOfParentheses(text))
+    tree = prepared.original_tree
+    print(
+        f"parsed {tree.num_nodes} elements; clustering: "
+        f"{prepared.clustering.num_layers} layers, "
+        f"{prepared.clustering_stats.total_rounds} rounds"
+    )
+
+    # Tag every element by its nesting depth and validate the structure.
+    depths = solve_on(prepared, NodeDepth()).output["depths"]
+    tagged = tree.with_node_data(
+        {v: {"tag": TAGS[min(int(d), len(TAGS) - 1)]} for v, d in depths.items()}
+    )
+    schema = XMLSchema(
+        allowed_children={
+            "catalog": {"product"},
+            "product": {"offer", "price"},
+            "offer": {"price", "offer"},
+            "price": {"price", "offer"},
+        },
+        allowed_root={"catalog"},
+    )
+    valid_prepared = prepare(tagged, degree_reduction=False)
+    validation = solve_on(valid_prepared, XMLStructureValidation(schema).bind(valid_prepared.tree))
+    assert bool(validation.value) == validate_xml_tree(tagged, schema)
+    print(f"schema validation: {'valid' if validation.value else 'INVALID'} "
+          f"(dp rounds = {validation.rounds['dp']})")
+
+    # Per-subtree statistics: how many elements below each element?
+    sizes = solve_on(prepared, SubtreeSize()).output["subtree_values"]
+    biggest = sorted(sizes.items(), key=lambda kv: -kv[1])[:5]
+    print("largest sub-documents (element id, descendants incl. itself):")
+    for node, size in biggest:
+        print(f"  element @char {node::>6}: {int(size)} elements")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments that cannot build PEP 660 editable wheels.
+
+``pip install -e .`` needs the ``wheel`` package to build an editable wheel
+with this (offline) setuptools version; ``python setup.py develop`` and the
+``src`` .pth fallback work without it.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Reproduction of "Fast Dynamic Programming in Trees in the MPC Model" (SPAA 2023).
+
+The package provides, as separate layers that mirror the paper's three-step
+approach (Section 1.4):
+
+* :mod:`repro.mpc` — a round-accounted MPC simulator (machines, supersteps,
+  distributed arrays, doubling-based tree subroutines);
+* :mod:`repro.representations` — the five input representations of Section 3
+  and their O(1)/O(log D)-round normalisation and export;
+* :mod:`repro.clustering` — the hierarchical clustering of Section 4
+  (degree reduction, indegree-zero/one construction, invariants);
+* :mod:`repro.dp` — the dynamic programming engine of Section 5 (finite-state
+  problems, accumulations, raw cluster DPs);
+* :mod:`repro.problems` — the problem library of Table 1;
+* :mod:`repro.inference` — Gaussian belief propagation (Section 6.2);
+* :mod:`repro.baselines` — the O(log n) rake-and-compress comparator and
+  sequential references;
+* :mod:`repro.core` — the end-to-end ``solve()`` / ``prepare()`` API.
+
+Quickstart::
+
+    from repro import solve
+    from repro.problems import MaxWeightIndependentSet
+    from repro.trees.generators import random_attachment_tree, with_random_weights
+
+    tree = with_random_weights(random_attachment_tree(1000, seed=1), seed=2)
+    result = solve(tree, MaxWeightIndependentSet())
+    print(result.value, result.rounds)
+"""
+
+from repro.core.pipeline import PipelineResult, PreparedTree, prepare, solve, solve_many, solve_on
+from repro.mpc import MPCConfig, MPCSimulator
+from repro.trees.tree import RootedTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "solve",
+    "solve_on",
+    "solve_many",
+    "prepare",
+    "PipelineResult",
+    "PreparedTree",
+    "MPCConfig",
+    "MPCSimulator",
+    "RootedTree",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Baselines the paper compares against.
+
+* :mod:`~repro.baselines.rake_compress` — an O(log n)-round randomized
+  tree-contraction DP in the spirit of Bateni, Behnezhad, Derakhshan,
+  Hajiaghayi and Mirrokni [ICALP'18]: the prior-work comparator whose round
+  count grows with log n regardless of the diameter.
+* :mod:`~repro.baselines.sequential_dp` re-exports the single-machine
+  reference solvers (ground truth and a serial-time baseline).
+"""
+
+from repro.baselines.rake_compress import RakeCompressDP, EdgeMatrixProblem, max_is_edge_problem
+from repro.baselines import sequential_dp
+
+__all__ = ["RakeCompressDP", "EdgeMatrixProblem", "max_is_edge_problem", "sequential_dp"]

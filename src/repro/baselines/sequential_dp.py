@@ -1,0 +1,25 @@
+"""Single-machine baselines (re-exported reference solvers).
+
+These are the same reference implementations the tests use as ground truth;
+they double as the "one big machine" baseline in benchmark reports.
+"""
+
+from repro.dp.sequential import SequentialResult, brute_force_best, solve_sequential
+from repro.problems.max_weight_independent_set import sequential_max_weight_independent_set
+from repro.problems.min_weight_vertex_cover import sequential_min_weight_vertex_cover
+from repro.problems.min_weight_dominating_set import sequential_min_weight_dominating_set
+from repro.problems.max_weight_matching import sequential_max_weight_matching
+from repro.problems.longest_path import sequential_longest_path
+from repro.problems.tree_median import sequential_tree_median
+
+__all__ = [
+    "SequentialResult",
+    "solve_sequential",
+    "brute_force_best",
+    "sequential_max_weight_independent_set",
+    "sequential_min_weight_vertex_cover",
+    "sequential_min_weight_dominating_set",
+    "sequential_max_weight_matching",
+    "sequential_longest_path",
+    "sequential_tree_median",
+]

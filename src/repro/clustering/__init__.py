@@ -1,0 +1,41 @@
+"""Hierarchical clustering of rooted trees (paper Section 4).
+
+The clustering is the problem-independent heart of the framework: it is
+computed once per input topology in O(log D) rounds and can then be reused to
+solve *any* dynamic programming problem (and any input values) in O(1) rounds
+per layer.
+
+* :mod:`~repro.clustering.model` — the :class:`Cluster` /
+  :class:`HierarchicalClustering` data model (Definitions 2 and 3).
+* :mod:`~repro.clustering.degree_reduction` — Section 4.4: splitting
+  high-degree nodes into O(1)-depth trees of auxiliary nodes.
+* :mod:`~repro.clustering.builder` — Section 4.2: the alternating
+  indegree-zero / indegree-one construction driven by the distributed
+  subroutines of :mod:`repro.mpc.treeops`.
+* :mod:`~repro.clustering.invariants` — checkers for the clustering
+  invariants, used by tests and the Figure-1 benchmark.
+"""
+
+from repro.clustering.model import (
+    Cluster,
+    ClusterKind,
+    Element,
+    HierarchicalClustering,
+    cluster_element,
+    node_element,
+)
+from repro.clustering.builder import ClusteringBuilder, build_hierarchical_clustering
+from repro.clustering.degree_reduction import DegreeReductionResult, reduce_degrees
+
+__all__ = [
+    "Cluster",
+    "ClusterKind",
+    "Element",
+    "HierarchicalClustering",
+    "cluster_element",
+    "node_element",
+    "ClusteringBuilder",
+    "build_hierarchical_clustering",
+    "DegreeReductionResult",
+    "reduce_degrees",
+]

@@ -1,0 +1,163 @@
+"""Checkers for the hierarchical-clustering invariants (Definitions 2 and 3).
+
+Used by the unit/property tests and by the Figure-1 benchmark:
+
+* every cluster has at most ``cluster_capacity`` elements (and participating
+  original nodes),
+* every cluster's vertex set has exactly one outgoing edge and at most one
+  incoming edge in the original tree,
+* the clusters of each layer partition the elements they absorb; every
+  element (original node or lower cluster) is absorbed exactly once,
+* every original edge is internal to exactly one cluster,
+* the topmost layer consists of a single cluster whose outgoing edge is the
+  virtual root edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.clustering.model import (
+    Cluster,
+    ClusterKind,
+    HierarchicalClustering,
+    VIRTUAL_PARENT,
+    is_cluster_element,
+    is_node_element,
+    node_element,
+)
+
+__all__ = ["check_clustering", "cluster_vertex_sets", "ClusteringInvariantError"]
+
+
+class ClusteringInvariantError(AssertionError):
+    """Raised when a clustering violates one of the paper's invariants."""
+
+
+def cluster_vertex_sets(hc: HierarchicalClustering) -> Dict[int, Set[Hashable]]:
+    """The participating original-node set V(C) for every cluster."""
+    sets: Dict[int, Set[Hashable]] = {}
+    for cid in sorted(hc.clusters.keys()):
+        c = hc.clusters[cid]
+        vs: Set[Hashable] = set()
+        for e in c.elements:
+            if is_node_element(e):
+                vs.add(e[1])
+            else:
+                vs |= sets[e[1]]
+        sets[cid] = vs
+    return sets
+
+
+def check_clustering(
+    hc: HierarchicalClustering,
+    cluster_capacity: int | None = None,
+) -> None:
+    """Validate all invariants; raise :class:`ClusteringInvariantError` on failure."""
+    tree = hc.tree
+    capacity = cluster_capacity or hc.stats.get("cluster_capacity")
+
+    # --- every element absorbed exactly once ------------------------------ #
+    absorbed: Dict[Tuple[str, Hashable], int] = {}
+    for cid, c in hc.clusters.items():
+        for e in c.elements:
+            if e in absorbed:
+                raise ClusteringInvariantError(
+                    f"element {e!r} absorbed by clusters {absorbed[e]} and {cid}"
+                )
+            absorbed[e] = cid
+    for v in tree.nodes():
+        if node_element(v) not in absorbed:
+            raise ClusteringInvariantError(f"node {v!r} never absorbed by any cluster")
+    for cid in hc.clusters:
+        if cid == hc.final_cluster_id:
+            continue
+        if ("cluster", cid) not in absorbed:
+            raise ClusteringInvariantError(f"cluster {cid} never absorbed by a higher cluster")
+
+    # --- layer structure --------------------------------------------------- #
+    if len(hc.layers[hc.num_layers]) != 1:
+        raise ClusteringInvariantError("the topmost layer must contain exactly one cluster")
+    if hc.layers[hc.num_layers][0] != hc.final_cluster_id:
+        raise ClusteringInvariantError("the topmost layer must contain the final cluster")
+    for layer_idx, cids in enumerate(hc.layers):
+        for cid in cids:
+            if hc.clusters[cid].layer != layer_idx:
+                raise ClusteringInvariantError(
+                    f"cluster {cid} recorded at layer {layer_idx} but labeled {hc.clusters[cid].layer}"
+                )
+    # A cluster may only absorb clusters from strictly lower layers.
+    for cid, c in hc.clusters.items():
+        for e in c.elements:
+            if is_cluster_element(e):
+                inner = hc.clusters[e[1]]
+                if inner.layer >= c.layer:
+                    raise ClusteringInvariantError(
+                        f"cluster {cid} (layer {c.layer}) absorbs cluster {inner.cid} "
+                        f"(layer {inner.layer})"
+                    )
+
+    # --- per-cluster size and cut-edge structure --------------------------- #
+    vertex_sets = cluster_vertex_sets(hc)
+    for cid, c in hc.clusters.items():
+        if capacity is not None and c.num_elements > capacity:
+            raise ClusteringInvariantError(
+                f"cluster {cid} has {c.num_elements} elements, exceeding capacity {capacity}"
+            )
+        vs = vertex_sets[cid]
+        outgoing = []
+        incoming = []
+        for child, parent in tree.edges():
+            cin = child in vs
+            pin = parent in vs
+            if cin and not pin:
+                outgoing.append((child, parent))
+            elif pin and not cin:
+                incoming.append((child, parent))
+        is_top = cid == hc.final_cluster_id
+        if is_top:
+            if outgoing:
+                raise ClusteringInvariantError(
+                    f"final cluster {cid} has outgoing tree edges {outgoing}"
+                )
+            if c.out_edge[1] is not VIRTUAL_PARENT and c.out_edge[1] != VIRTUAL_PARENT:
+                raise ClusteringInvariantError("final cluster's outgoing edge must be virtual")
+        else:
+            if len(outgoing) != 1:
+                raise ClusteringInvariantError(
+                    f"cluster {cid} has {len(outgoing)} outgoing edges (must be exactly 1)"
+                )
+            if outgoing[0] != c.out_edge:
+                raise ClusteringInvariantError(
+                    f"cluster {cid} records out edge {c.out_edge} but the cut edge is {outgoing[0]}"
+                )
+        if len(incoming) > 1:
+            raise ClusteringInvariantError(
+                f"cluster {cid} has {len(incoming)} incoming edges (must be at most 1)"
+            )
+        if c.kind == ClusterKind.INDEGREE_ONE:
+            if len(incoming) != 1:
+                raise ClusteringInvariantError(
+                    f"indegree-one cluster {cid} has {len(incoming)} incoming edges"
+                )
+            if incoming[0] != c.in_edge:
+                raise ClusteringInvariantError(
+                    f"cluster {cid} records in edge {c.in_edge} but the cut edge is {incoming[0]}"
+                )
+        if c.kind in (ClusterKind.INDEGREE_ZERO, ClusterKind.FINAL) and incoming:
+            raise ClusteringInvariantError(
+                f"indegree-zero cluster {cid} has incoming edges {incoming}"
+            )
+
+    # --- every original edge internal to exactly one cluster --------------- #
+    seen_edges: Dict[Tuple[Hashable, Hashable], int] = {}
+    for cid, c in hc.clusters.items():
+        for _child_e, _parent_e, edge in c.internal_edges:
+            if edge in seen_edges:
+                raise ClusteringInvariantError(
+                    f"edge {edge} internal to clusters {seen_edges[edge]} and {cid}"
+                )
+            seen_edges[edge] = cid
+    for edge in tree.edges():
+        if edge not in seen_edges:
+            raise ClusteringInvariantError(f"edge {edge} is internal to no cluster")

@@ -1,0 +1,13 @@
+"""The public end-to-end API of the reproduction.
+
+:func:`~repro.core.pipeline.solve` wires together the three steps of the
+paper (normalise the representation, build the hierarchical clustering, run
+the DP engine);
+:func:`~repro.core.pipeline.prepare` exposes the clustering separately so it
+can be *reused* across many problems and input valuations — the paper's main
+conceptual point.
+"""
+
+from repro.core.pipeline import PipelineResult, PreparedTree, prepare, solve, solve_many
+
+__all__ = ["PipelineResult", "PreparedTree", "prepare", "solve", "solve_many"]

@@ -1,0 +1,231 @@
+"""End-to-end pipeline: representation → clustering → DP (paper Section 1.4).
+
+The three steps are deliberately decoupled:
+
+1. :func:`normalize` — turn any supported representation into the standard
+   rooted edge list (O(log D) rounds; O(1) for already-rooted forms).
+2. :func:`prepare` — degree-reduce if necessary and build the hierarchical
+   clustering (O(log D) rounds).  The result is a :class:`PreparedTree` that
+   can be reused for any number of problems.
+3. :func:`solve` / :func:`solve_many` — run one or several DP problems over
+   the prepared clustering (O(1) rounds per layer, i.e. O(1) overall).
+
+Every result carries the simulator's round statistics broken down by phase so
+the benchmarks can regenerate the paper's round-complexity claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Sequence, Tuple, Union
+
+from repro.clustering.builder import build_hierarchical_clustering
+from repro.clustering.degree_reduction import DegreeReductionResult, reduce_degrees
+from repro.clustering.model import HierarchicalClustering
+from repro.dp.accumulation import (
+    DownwardAccumulationDP,
+    DownwardAccumulationSolver,
+    UpwardAccumulationDP,
+    UpwardAccumulationSolver,
+)
+from repro.dp.engine import DPEngine, SolveResult
+from repro.dp.local_solver import FiniteStateClusterSolver
+from repro.dp.problem import ClusterDP, FiniteStateDP
+from repro.mpc.config import MPCConfig
+from repro.mpc.simulator import MPCSimulator, RoundStats
+from repro.representations.normalize import normalize_to_rooted_tree
+from repro.trees.properties import max_degree
+from repro.trees.tree import RootedTree
+
+__all__ = ["PipelineResult", "PreparedTree", "prepare", "solve", "solve_many", "as_cluster_dp"]
+
+AnyProblem = Union[ClusterDP, FiniteStateDP, UpwardAccumulationDP, DownwardAccumulationDP]
+
+
+def as_cluster_dp(problem: AnyProblem) -> ClusterDP:
+    """Wrap any supported problem description into a :class:`ClusterDP`."""
+    if isinstance(problem, ClusterDP):
+        return problem
+    if isinstance(problem, FiniteStateDP):
+        return FiniteStateClusterSolver(problem)
+    if isinstance(problem, UpwardAccumulationDP):
+        return UpwardAccumulationSolver(problem)
+    if isinstance(problem, DownwardAccumulationDP):
+        return DownwardAccumulationSolver(problem)
+    raise TypeError(f"unsupported problem type: {type(problem).__name__}")
+
+
+@dataclass
+class PreparedTree:
+    """A tree together with its (reusable) hierarchical clustering."""
+
+    sim: MPCSimulator
+    original_tree: RootedTree
+    reduction: DegreeReductionResult
+    clustering: HierarchicalClustering
+    normalization_stats: RoundStats
+    clustering_stats: RoundStats
+
+    @property
+    def tree(self) -> RootedTree:
+        """The degree-reduced tree the clustering was built for."""
+        return self.clustering.tree
+
+    def engine(self) -> DPEngine:
+        return DPEngine(
+            self.clustering,
+            sim=self.sim,
+            edge_kinds=self.reduction.edge_kinds,
+            aux_nodes=self.reduction.aux_nodes,
+            original_parent=self.reduction.original_parent,
+        )
+
+
+@dataclass
+class PipelineResult:
+    """Everything :func:`solve` returns for one problem."""
+
+    value: Any
+    output: Any
+    root_label: Any
+    edge_labels: Dict[Tuple[Hashable, Hashable], Any]
+    node_labels: Dict[Hashable, Any]
+    solve_result: SolveResult
+    prepared: PreparedTree
+    rounds: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(self.rounds.values())
+
+
+# --------------------------------------------------------------------------- #
+# Steps
+# --------------------------------------------------------------------------- #
+
+
+def prepare(
+    tree_or_representation: Any,
+    delta: float = 0.5,
+    root: Optional[Hashable] = None,
+    capacity_factor: float = 4.0,
+    degree_reduction: bool = True,
+    sim: Optional[MPCSimulator] = None,
+    light_threshold: Optional[int] = None,
+) -> PreparedTree:
+    """Normalise the input and build the reusable hierarchical clustering."""
+    if sim is None:
+        # Size the deployment by a first estimate of n; representations that
+        # are not RootedTree know their own length.
+        n_hint = _size_hint(tree_or_representation)
+        config = MPCConfig(n=max(4, n_hint), delta=delta, capacity_factor=capacity_factor)
+        sim = MPCSimulator(config)
+
+    snap0 = sim.snapshot()
+    tree = normalize_to_rooted_tree(sim, tree_or_representation, root=root)
+    norm_stats = sim.stats.diff(snap0)
+
+    threshold = light_threshold or sim.config.light_threshold()
+    if degree_reduction and max_degree(tree) > threshold:
+        reduction = reduce_degrees(tree, threshold=threshold)
+    else:
+        reduction = reduce_degrees(tree, threshold=max(threshold, max_degree(tree) + 1))
+
+    snap1 = sim.snapshot()
+    clustering = build_hierarchical_clustering(
+        sim, reduction.tree, light_threshold=threshold if degree_reduction else None
+    )
+    cluster_stats = sim.stats.diff(snap1)
+
+    return PreparedTree(
+        sim=sim,
+        original_tree=tree,
+        reduction=reduction,
+        clustering=clustering,
+        normalization_stats=norm_stats,
+        clustering_stats=cluster_stats,
+    )
+
+
+def solve_on(prepared: PreparedTree, problem: AnyProblem) -> PipelineResult:
+    """Solve one DP problem on an already prepared tree (O(1) rounds/layer)."""
+    solver = as_cluster_dp(problem)
+    snap = prepared.sim.snapshot()
+    engine = prepared.engine()
+    res = engine.solve(solver)
+    dp_stats = prepared.sim.stats.diff(snap)
+
+    # Project edge labels of the degree-reduced tree back to original edges.
+    edge_labels = res.edge_labels
+    node_labels = res.node_labels
+    if not prepared.reduction.is_identity and res.edge_labels:
+        edge_labels = prepared.reduction.project_labels(res.edge_labels)
+        node_labels = {c: lab for (c, _p), lab in edge_labels.items()}
+        node_labels[prepared.original_tree.root] = res.root_label
+
+    rounds = {
+        "normalization": prepared.normalization_stats.total_rounds,
+        "clustering": prepared.clustering_stats.total_rounds,
+        "dp": dp_stats.total_rounds,
+    }
+    return PipelineResult(
+        value=res.value,
+        output=res.output,
+        root_label=res.root_label,
+        edge_labels=edge_labels,
+        node_labels=node_labels,
+        solve_result=res,
+        prepared=prepared,
+        rounds=rounds,
+    )
+
+
+def solve(
+    tree_or_representation: Any,
+    problem: AnyProblem,
+    delta: float = 0.5,
+    root: Optional[Hashable] = None,
+    capacity_factor: float = 4.0,
+    degree_reduction: bool = True,
+    light_threshold: Optional[int] = None,
+) -> PipelineResult:
+    """One-shot convenience API: prepare the tree and solve one problem."""
+    prepared = prepare(
+        tree_or_representation,
+        delta=delta,
+        root=root,
+        capacity_factor=capacity_factor,
+        degree_reduction=degree_reduction,
+        light_threshold=light_threshold,
+    )
+    return solve_on(prepared, problem)
+
+
+def solve_many(
+    tree_or_representation: Any,
+    problems: Sequence[AnyProblem],
+    delta: float = 0.5,
+    root: Optional[Hashable] = None,
+    degree_reduction: bool = True,
+) -> Dict[str, PipelineResult]:
+    """Solve several problems while reusing one clustering (paper §1.4)."""
+    prepared = prepare(
+        tree_or_representation, delta=delta, root=root, degree_reduction=degree_reduction
+    )
+    out: Dict[str, PipelineResult] = {}
+    for problem in problems:
+        name = getattr(problem, "name", type(problem).__name__)
+        out[name] = solve_on(prepared, problem)
+    return out
+
+
+def _size_hint(rep: Any) -> int:
+    if isinstance(rep, RootedTree):
+        return rep.num_nodes
+    if hasattr(rep, "edges"):
+        return len(rep.edges) + 1
+    if hasattr(rep, "text"):
+        return max(1, len(rep.text) // 2)
+    if hasattr(rep, "parents"):
+        return len(rep.parents)
+    return 1024

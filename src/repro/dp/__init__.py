@@ -1,0 +1,56 @@
+"""The dynamic programming framework (paper Sections 1.6 and 5).
+
+A *DP problem* in the sense of the paper's Definition 1 is described to the
+engine through the :class:`~repro.dp.problem.ClusterDP` interface: it must be
+able to summarise a cluster with an O(1)-word table given the summaries of
+the cluster's elements (Figure 2), produce the label of the topmost cluster's
+outgoing edge, and fill in the labels of a cluster's internal edges once its
+boundary labels are known (Figure 3).
+
+Most concrete problems are expressed through one of two specialisations:
+
+* :class:`~repro.dp.problem.FiniteStateDP` — per-node finite state spaces
+  with accumulator transitions over the children, evaluated in a semiring
+  (max-plus for optimisation, sum-product / counting for counting problems,
+  Boolean for constraint satisfaction).  The generic
+  :class:`~repro.dp.local_solver.FiniteStateClusterSolver` turns any such
+  problem into a :class:`ClusterDP`.
+* :class:`~repro.dp.accumulation.UpwardAccumulationDP` /
+  :class:`~repro.dp.accumulation.DownwardAccumulationDP` — aggregate values
+  flowing up or down the tree, with an O(1)-word function algebra used to
+  summarise indegree-one clusters (path compression).
+
+The :class:`~repro.dp.engine.DPEngine` executes the bottom-up and top-down
+passes over a :class:`~repro.clustering.model.HierarchicalClustering` in O(1)
+rounds per layer.
+"""
+
+from repro.dp.semiring import Semiring, MAX_PLUS, MIN_PLUS, SUM_PRODUCT, counting_mod
+from repro.dp.problem import ClusterDP, FiniteStateDP, NodeInput, EdgeInfo
+from repro.dp.local_solver import FiniteStateClusterSolver
+from repro.dp.accumulation import (
+    UpwardAccumulationDP,
+    UpwardAccumulationSolver,
+    DownwardAccumulationDP,
+    DownwardAccumulationSolver,
+)
+from repro.dp.engine import DPEngine, SolveResult
+
+__all__ = [
+    "Semiring",
+    "MAX_PLUS",
+    "MIN_PLUS",
+    "SUM_PRODUCT",
+    "counting_mod",
+    "ClusterDP",
+    "FiniteStateDP",
+    "NodeInput",
+    "EdgeInfo",
+    "FiniteStateClusterSolver",
+    "UpwardAccumulationDP",
+    "UpwardAccumulationSolver",
+    "DownwardAccumulationDP",
+    "DownwardAccumulationSolver",
+    "DPEngine",
+    "SolveResult",
+]

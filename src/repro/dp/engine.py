@@ -1,0 +1,173 @@
+"""The DP engine: bottom-up and top-down passes over the clustering (Section 5).
+
+Given a hierarchical clustering and a :class:`~repro.dp.problem.ClusterDP`,
+the engine
+
+1. fills in the dynamic programming tables layer by layer from the bottom
+   (maintaining the bottom-up invariant of Definition 8, Fig. 2), and then
+2. fills in the edge labels layer by layer from the top (maintaining the
+   top-down invariant of Definition 9, Fig. 3).
+
+Per layer, the data movement in the MPC model is: sort the (cluster id,
+element summary) records so every cluster's elements are co-located, run the
+per-cluster sequential computation locally, and route the new summaries back
+— a constant number of rounds.  The reproduction performs the per-cluster
+computations on the driver (they are local by construction) and charges
+``ROUNDS_PER_LAYER`` rounds per layer and pass under the label ``"dp-pass"``,
+so benchmarks can verify that the number of DP rounds depends only on the
+number of layers (which is O(1)), not on ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.clustering.model import (
+    Cluster,
+    ClusterKind,
+    HierarchicalClustering,
+    VIRTUAL_PARENT,
+)
+from repro.dp.problem import ClusterContext, ClusterDP
+from repro.mpc.simulator import MPCSimulator
+from repro.trees.tree import RootedTree
+
+__all__ = ["DPEngine", "SolveResult", "ROUNDS_PER_LAYER"]
+
+#: Rounds charged per layer and per pass: one sort to group every cluster's
+#: elements onto one machine, one routing step to send the summaries/labels
+#: back (Section 5.1/5.2).
+ROUNDS_PER_LAYER = 2
+
+
+@dataclass
+class SolveResult:
+    """Result of running one DP problem over a clustering.
+
+    Attributes
+    ----------
+    value:
+        The problem's objective value (optimal weight, count, root aggregate).
+    root_label:
+        Label of the virtual edge leaving the root (the root's state/value).
+    edge_labels:
+        Label of every tree edge ``(child, parent)``; the label of an edge is
+        the output associated with its child endpoint (paper Definition 1).
+        Empty when the problem cannot produce labels (non-selective semiring).
+    node_labels:
+        Convenience view: label of every node = label of its outgoing edge
+        (the root maps to ``root_label``).
+    output:
+        Problem-specific extraction (e.g. the chosen independent set).
+    summaries:
+        Per-cluster DP tables f(C), keyed by cluster id (exposed for tests
+        and for the word-size checks).
+    rounds:
+        Charged DP rounds (bottom-up plus top-down).
+    layers:
+        Number of layers processed.
+    """
+
+    value: Any
+    root_label: Any
+    edge_labels: Dict[Tuple[Hashable, Hashable], Any]
+    node_labels: Dict[Hashable, Any]
+    output: Any
+    summaries: Dict[int, Any]
+    rounds: int
+    layers: int
+
+
+class DPEngine:
+    """Runs :class:`ClusterDP` problems over a hierarchical clustering."""
+
+    def __init__(
+        self,
+        clustering: HierarchicalClustering,
+        sim: Optional[MPCSimulator] = None,
+        edge_kinds: Optional[Dict[Tuple[Hashable, Hashable], str]] = None,
+        aux_nodes: Optional[set] = None,
+        original_parent: Optional[Dict[Hashable, Hashable]] = None,
+    ):
+        self.hc = clustering
+        self.sim = sim
+        self.edge_kinds = edge_kinds or {}
+        self.aux_nodes = aux_nodes or set()
+        self.original_parent = original_parent or {}
+
+    # ------------------------------------------------------------------ #
+
+    def _context(self, cluster: Cluster, summaries: Dict[int, Any]) -> ClusterContext:
+        return ClusterContext(
+            cluster=cluster,
+            tree=self.hc.tree,
+            summaries=summaries,
+            clusters=self.hc.clusters,
+            edge_kinds=self.edge_kinds,
+            aux_nodes=self.aux_nodes,
+            original_parent=self.original_parent,
+        )
+
+    def _charge(self, rounds: int) -> None:
+        if self.sim is not None:
+            self.sim.charge_rounds(rounds, label="dp-pass")
+
+    # ------------------------------------------------------------------ #
+
+    def solve(self, problem: ClusterDP) -> SolveResult:
+        """Run the bottom-up and top-down passes for ``problem``."""
+        hc = self.hc
+        summaries: Dict[int, Any] = {}
+        charged = 0
+
+        # ---- bottom-up (Definition 8 / Figure 2) -------------------------- #
+        for layer in range(1, hc.num_layers + 1):
+            for cluster in hc.clusters_at_layer(layer):
+                ctx = self._context(cluster, summaries)
+                summaries[cluster.cid] = problem.summarize(ctx)
+            self._charge(ROUNDS_PER_LAYER)
+            charged += ROUNDS_PER_LAYER
+
+        final = hc.final_cluster
+        ctx_final = self._context(final, summaries)
+        root_label, value = problem.label_virtual_root(ctx_final, summaries[final.cid])
+
+        edge_labels: Dict[Tuple[Hashable, Hashable], Any] = {}
+        node_labels: Dict[Hashable, Any] = {}
+
+        # ---- top-down (Definition 9 / Figure 3) --------------------------- #
+        if problem.produces_labels:
+            # The virtual root edge is labeled first.
+            for layer in range(hc.num_layers, 0, -1):
+                for cluster in hc.clusters_at_layer(layer):
+                    if cluster.cid == hc.final_cluster_id:
+                        out_label = root_label
+                    else:
+                        out_label = edge_labels[cluster.out_edge]
+                    in_label = (
+                        edge_labels[cluster.in_edge] if cluster.in_edge is not None else None
+                    )
+                    ctx = self._context(cluster, summaries)
+                    labels = problem.assign_internal_labels(ctx, out_label, in_label)
+                    for child_e, parent_e, edge in cluster.internal_edges:
+                        edge_labels[edge] = labels[child_e]
+                self._charge(ROUNDS_PER_LAYER)
+                charged += ROUNDS_PER_LAYER
+
+            for (child, _parent), lab in edge_labels.items():
+                node_labels[child] = lab
+            node_labels[hc.tree.root] = root_label
+
+        output = problem.extract(hc.tree, edge_labels, root_label, value)
+
+        return SolveResult(
+            value=value,
+            root_label=root_label,
+            edge_labels=edge_labels,
+            node_labels=node_labels,
+            output=output,
+            summaries=summaries,
+            rounds=charged,
+            layers=hc.num_layers,
+        )

@@ -1,0 +1,328 @@
+"""Generic per-cluster solver for finite-state DP problems.
+
+This module turns any :class:`~repro.dp.problem.FiniteStateDP` description
+into a :class:`~repro.dp.problem.ClusterDP` the engine can run:
+
+* The summary of an **indegree-zero** cluster is a vector over the states of
+  its top node: ``table[a]`` is the best (or total, for counting semirings)
+  value of an assignment of the cluster's nodes in which the top node has
+  state ``a``.
+* The summary of an **indegree-one** cluster is a matrix ``table[(a, b)]``
+  over (top-node state, below-node state): the contribution of the cluster's
+  nodes when its top node has state ``a`` and the node below its incoming
+  edge has state ``b``; the incoming edge's constraint is included in the
+  matrix, the outgoing edge's is not (it is applied by the enclosing cluster
+  when this cluster is absorbed as an element).
+
+Because every original edge is internal to exactly one cluster, every edge
+constraint and every node weight is counted exactly once; the tests verify
+this against sequential and brute-force solvers.
+
+The per-cluster local computation is a straightforward sequential tree DP
+over the cluster's **element tree** (at most ``n^delta`` elements, so it fits
+in one machine as required by Definition 1), treating sub-cluster elements as
+pre-summarised leaves / unary operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.clustering.model import Element
+from repro.dp.problem import ClusterContext, ClusterDP, FiniteStateDP
+from repro.dp.semiring import Semiring
+
+__all__ = ["FiniteStateClusterSolver"]
+
+#: Sentinel element representing the hole (the part of the tree below an
+#: indegree-one cluster's incoming edge).
+HOLE: Element = ("hole", None)
+
+
+@dataclass
+class _NodeTrace:
+    """Traceback information for a node element."""
+
+    children: List[Tuple[Element, Any]]  # (child element or HOLE, EdgeInfo)
+    # step_choices[j][acc_state] = (previous acc_state, child_state)
+    step_choices: List[Dict[Hashable, Tuple[Hashable, Hashable]]] = field(default_factory=list)
+    # finalize_choice[node_state] = acc_state
+    finalize_choice: Dict[Hashable, Hashable] = field(default_factory=dict)
+
+
+@dataclass
+class _MatTrace:
+    """Traceback information for an indegree-one sub-cluster element."""
+
+    child: Element  # child element or HOLE
+    choice: Dict[Hashable, Hashable] = field(default_factory=dict)  # top state -> below state
+
+
+class FiniteStateClusterSolver(ClusterDP):
+    """Adapter: :class:`FiniteStateDP` → :class:`ClusterDP`."""
+
+    def __init__(self, problem: FiniteStateDP):
+        self.problem = problem
+        self.produces_labels = problem.semiring.selective
+
+    # ------------------------------------------------------------------ #
+    # ClusterDP interface
+    # ------------------------------------------------------------------ #
+
+    def summarize(self, ctx: ClusterContext) -> Any:
+        sr = self.problem.semiring
+        if ctx.is_indegree_one:
+            table: Dict[Tuple[Hashable, Hashable], Any] = {}
+            for b in self.problem.states:
+                vec, _ = self._local_vector(ctx, hole_state=b)
+                for a, val in vec.items():
+                    if not sr.is_zero(val):
+                        table[(a, b)] = val
+            return {"kind": "mat", "table": table}
+        vec, _ = self._local_vector(ctx, hole_state=None)
+        return {"kind": "vec", "table": {a: v for a, v in vec.items() if not sr.is_zero(v)}}
+
+    def label_virtual_root(self, ctx: ClusterContext, summary: Any) -> Tuple[Any, Any]:
+        sr = self.problem.semiring
+        table = summary["table"]
+        if sr.selective:
+            best_state, best_val = None, sr.zero
+            for state, val in table.items():
+                total = sr.times(val, self.problem.virtual_root_value(state))
+                if sr.is_zero(total):
+                    continue
+                if best_state is None or sr.prefer(total, best_val):
+                    best_state, best_val = state, total
+            if best_state is None:
+                raise ValueError(f"{self.problem.name}: no feasible solution exists")
+            return best_state, best_val
+        total = sr.zero
+        for state, val in table.items():
+            total = sr.plus(total, sr.times(val, self.problem.virtual_root_value(state)))
+        return None, total
+
+    def assign_internal_labels(
+        self, ctx: ClusterContext, out_label: Any, in_label: Any
+    ) -> Dict[Element, Any]:
+        if not self.produces_labels:
+            raise NotImplementedError(
+                f"{self.problem.name} uses a non-selective semiring; "
+                "only the root value is defined"
+            )
+        _, traces = self._local_vector(ctx, hole_state=in_label, record_trace=True)
+
+        state_of: Dict[Element, Hashable] = {ctx.top_element: out_label}
+        # Preorder: parents before children.
+        stack = [ctx.top_element]
+        while stack:
+            e = stack.pop()
+            s = state_of[e]
+            trace = traces[e]
+            if trace is None:
+                continue  # leaf sub-cluster: no internal children here
+            if isinstance(trace, _NodeTrace):
+                acc_state = trace.finalize_choice.get(s)
+                if acc_state is None:
+                    raise RuntimeError(
+                        f"inconsistent traceback: state {s!r} unreachable at element {e!r}"
+                    )
+                # Walk the children in reverse absorption order.
+                for j in range(len(trace.children) - 1, -1, -1):
+                    child_elem, _edge = trace.children[j]
+                    prev_acc, child_state = trace.step_choices[j][acc_state]
+                    if child_elem != HOLE:
+                        state_of[child_elem] = child_state
+                        stack.append(child_elem)
+                    acc_state = prev_acc
+            elif isinstance(trace, _MatTrace):
+                if trace.child != HOLE:
+                    below_state = trace.choice.get(s)
+                    if below_state is None:
+                        raise RuntimeError(
+                            f"inconsistent traceback: state {s!r} unreachable at element {e!r}"
+                        )
+                    state_of[trace.child] = below_state
+                    stack.append(trace.child)
+            # indegree-zero sub-cluster elements are leaves: nothing to do.
+
+        return {e: s for e, s in state_of.items() if e != ctx.top_element}
+
+    def extract(self, tree, edge_labels, root_label, value):
+        node_states: Dict[Hashable, Hashable] = {}
+        for (child, _parent), state in edge_labels.items():
+            node_states[child] = state
+        node_states[tree.root] = root_label
+        return self.problem.extract_solution(tree, node_states, value)
+
+    # ------------------------------------------------------------------ #
+    # Local (per-cluster) sequential DP
+    # ------------------------------------------------------------------ #
+
+    def _local_vector(
+        self,
+        ctx: ClusterContext,
+        hole_state: Optional[Hashable],
+        record_trace: bool = False,
+    ) -> Tuple[Dict[Hashable, Any], Dict[Element, Any]]:
+        """Vector over the top node's states, plus traceback data per element."""
+        sr = self.problem.semiring
+        problem = self.problem
+
+        # Iterative postorder over the element tree.
+        order: List[Element] = []
+        stack = [ctx.top_element]
+        while stack:
+            e = stack.pop()
+            order.append(e)
+            stack.extend(ctx.children_of(e))
+        order.reverse()
+
+        vectors: Dict[Element, Dict[Hashable, Any]] = {}
+        traces: Dict[Element, Any] = {}
+
+        hole_vector: Optional[Dict[Hashable, Any]] = None
+        if hole_state is not None:
+            hole_vector = {hole_state: sr.one}
+
+        for e in order:
+            kids = ctx.children_of(e)
+            if e[0] == "node":
+                vectors[e], traces[e] = self._solve_node_element(
+                    ctx, e, kids, vectors, hole_vector
+                )
+            else:
+                kind = ctx.element_kind(e)
+                if kind == "indegree-1":
+                    vectors[e], traces[e] = self._solve_indeg1_element(
+                        ctx, e, kids, vectors, hole_vector
+                    )
+                else:  # indegree-0 (or, impossibly, final)
+                    table = dict(ctx.summary_of(e)["table"])
+                    vectors[e] = table
+                    traces[e] = None  # leaf of the element tree: nothing to trace
+                    if kids:
+                        raise RuntimeError(
+                            f"indegree-zero sub-cluster {e!r} unexpectedly has children"
+                        )
+
+        return vectors[ctx.top_element], traces
+
+    def _solve_node_element(
+        self,
+        ctx: ClusterContext,
+        e: Element,
+        kids: List[Element],
+        vectors: Dict[Element, Dict[Hashable, Any]],
+        hole_vector: Optional[Dict[Hashable, Any]],
+    ) -> Tuple[Dict[Hashable, Any], _NodeTrace]:
+        sr = self.problem.semiring
+        problem = self.problem
+        v = e[1]
+        inp = ctx.node_input(v)
+
+        children: List[Tuple[Element, Any]] = []
+        for c in sorted(kids, key=repr):
+            children.append((c, ctx.edge_to_parent(c)))
+        if ctx.hole_element == e and hole_vector is not None:
+            children.append((HOLE, ctx.in_edge))
+
+        trace = _NodeTrace(children=children)
+
+        # Initial accumulator.
+        acc: Dict[Hashable, Any] = {}
+        for a_state, val in problem.node_init(inp):
+            if sr.is_zero(val):
+                continue
+            self._merge(acc, a_state, val, None, sr)
+
+        # Absorb children one at a time.
+        for child_elem, edge in children:
+            child_vec = hole_vector if child_elem == HOLE else vectors[child_elem]
+            new_acc: Dict[Hashable, Any] = {}
+            choices: Dict[Hashable, Tuple[Hashable, Hashable]] = {}
+            for a_state, a_val in acc.items():
+                for c_state, c_val in child_vec.items():
+                    if sr.is_zero(c_val):
+                        continue
+                    for n_state, t_val in problem.transition(inp, a_state, c_state, edge):
+                        val = sr.times(a_val, sr.times(c_val, t_val))
+                        if sr.is_zero(val):
+                            continue
+                        self._merge(new_acc, n_state, val, (choices, (a_state, c_state)), sr)
+            acc = new_acc
+            trace.step_choices.append(choices)
+            if not acc:
+                break
+
+        # Finalize: accumulator -> node state vector.
+        vec: Dict[Hashable, Any] = {}
+        fin_choice: Dict[Hashable, Hashable] = {}
+        for a_state, a_val in acc.items():
+            for n_state, f_val in problem.finalize(inp, a_state):
+                val = sr.times(a_val, f_val)
+                if sr.is_zero(val):
+                    continue
+                self._merge(vec, n_state, val, (fin_choice, a_state), sr)
+        trace.finalize_choice = fin_choice
+        return vec, trace
+
+    def _solve_indeg1_element(
+        self,
+        ctx: ClusterContext,
+        e: Element,
+        kids: List[Element],
+        vectors: Dict[Element, Dict[Hashable, Any]],
+        hole_vector: Optional[Dict[Hashable, Any]],
+    ) -> Tuple[Dict[Hashable, Any], _MatTrace]:
+        sr = self.problem.semiring
+        table = ctx.summary_of(e)["table"]
+
+        if kids:
+            if len(kids) != 1:
+                raise RuntimeError(
+                    f"indegree-one sub-cluster {e!r} must have exactly one child, got {kids}"
+                )
+            child = kids[0]
+            below_vec = vectors[child]
+        else:
+            if ctx.hole_element != e or hole_vector is None:
+                raise RuntimeError(
+                    f"indegree-one sub-cluster {e!r} has no child and is not the hole element"
+                )
+            child = HOLE
+            below_vec = hole_vector
+
+        vec: Dict[Hashable, Any] = {}
+        trace = _MatTrace(child=child)
+        for (a, b), m_val in table.items():
+            b_val = below_vec.get(b)
+            if b_val is None or sr.is_zero(b_val):
+                continue
+            val = sr.times(m_val, b_val)
+            if sr.is_zero(val):
+                continue
+            self._merge(vec, a, val, (trace.choice, b), sr)
+        return vec, trace
+
+    @staticmethod
+    def _merge(
+        table: Dict[Hashable, Any],
+        key: Hashable,
+        val: Any,
+        choice: Optional[Tuple[Dict, Any]],
+        sr: Semiring,
+    ) -> None:
+        """Insert ``val`` for ``key``: keep the best (selective) or accumulate."""
+        if key not in table:
+            table[key] = val
+            if choice is not None:
+                choice[0][key] = choice[1]
+            return
+        if sr.selective:
+            if sr.prefer(val, table[key]):
+                table[key] = val
+                if choice is not None:
+                    choice[0][key] = choice[1]
+        else:
+            table[key] = sr.plus(table[key], val)

@@ -1,0 +1,310 @@
+"""Problem interfaces of the DP framework.
+
+Two layers of abstraction:
+
+* :class:`ClusterDP` is what the engine (Section 5) consumes: summarise a
+  cluster given its elements' summaries (Figure 2), label the virtual root
+  edge of the topmost cluster, and fill in a cluster's internal edge labels
+  given its boundary labels (Figure 3).  Raw problems (tree median, Gaussian
+  belief propagation, longest path) implement it directly.
+
+* :class:`FiniteStateDP` describes the large family of per-node finite-state
+  problems (independent set, vertex cover, dominating set, matching,
+  colorings, counting, max-SAT, ...).  The node chooses a state; children are
+  folded into an *accumulator* one at a time through ``transition`` (which
+  sees the connecting edge, so original and auxiliary edges of the
+  degree-reduction can behave differently, Section 5.3); ``finalize`` maps
+  the accumulator to the node's state.  The generic
+  :class:`~repro.dp.local_solver.FiniteStateClusterSolver` turns any such
+  description into a :class:`ClusterDP`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.clustering.model import Cluster, Element
+from repro.dp.semiring import Semiring
+from repro.trees.tree import RootedTree
+
+__all__ = ["NodeInput", "EdgeInfo", "ClusterContext", "ClusterDP", "FiniteStateDP"]
+
+
+@dataclass(frozen=True)
+class NodeInput:
+    """What a DP problem may know about one tree node.
+
+    Attributes
+    ----------
+    node:
+        The node identifier.
+    data:
+        The node's input payload (weight, leaf value, colour list, ...).
+    is_auxiliary:
+        True when the node was introduced by the degree reduction
+        (Section 4.4); problems typically give such nodes zero weight and
+        mirror constraints across them (Section 5.3).
+    """
+
+    node: Hashable
+    data: Any = None
+    is_auxiliary: bool = False
+
+    def weight(self, default: float = 0.0) -> float:
+        if isinstance(self.data, (int, float)) and not isinstance(self.data, bool):
+            return float(self.data)
+        if isinstance(self.data, Mapping) and "weight" in self.data:
+            return float(self.data["weight"])
+        return default
+
+
+@dataclass(frozen=True)
+class EdgeInfo:
+    """What a DP problem may know about one tree edge.
+
+    Attributes
+    ----------
+    edge:
+        ``(child, parent)`` node pair.
+    kind:
+        ``"original"`` or ``"auxiliary"`` (Section 5.3).
+    data:
+        Optional per-edge payload (weight, clause list, ...).
+    """
+
+    edge: Tuple[Hashable, Hashable]
+    kind: str = "original"
+    data: Any = None
+
+    @property
+    def is_auxiliary(self) -> bool:
+        return self.kind == "auxiliary"
+
+    def weight(self, default: float = 0.0) -> float:
+        if isinstance(self.data, (int, float)) and not isinstance(self.data, bool):
+            return float(self.data)
+        if isinstance(self.data, Mapping) and "weight" in self.data:
+            return float(self.data["weight"])
+        return default
+
+
+class ClusterContext:
+    """Everything a :class:`ClusterDP` may inspect about one cluster.
+
+    Provides the element tree inside the cluster, the node inputs and edge
+    info of the (degree-reduced) tree, and the summaries of the sub-clusters
+    absorbed by this cluster.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        tree: RootedTree,
+        summaries: Mapping[int, Any],
+        clusters: Mapping[int, Cluster],
+        edge_kinds: Optional[Mapping[Tuple[Hashable, Hashable], str]] = None,
+        aux_nodes: Optional[set] = None,
+        original_parent: Optional[Mapping[Hashable, Hashable]] = None,
+    ):
+        self.cluster = cluster
+        self.tree = tree
+        self._summaries = summaries
+        self._clusters = clusters
+        self._edge_kinds = edge_kinds or {}
+        self._aux_nodes = aux_nodes or set()
+        self._original_parent = original_parent or {}
+        self._children = cluster.element_children()
+        self._edge_of = cluster.edge_of_element()
+
+    # -- structure ------------------------------------------------------- #
+
+    @property
+    def elements(self) -> List[Element]:
+        return self.cluster.elements
+
+    @property
+    def top_element(self) -> Element:
+        return self.cluster.top_element
+
+    def children_of(self, e: Element) -> List[Element]:
+        return self._children.get(e, [])
+
+    def edge_to_parent(self, e: Element) -> Optional[EdgeInfo]:
+        """The original edge from element ``e`` to its parent element (if internal)."""
+        edge = self._edge_of.get(e)
+        if edge is None:
+            return None
+        return self.edge_info(edge)
+
+    # -- payloads ---------------------------------------------------------- #
+
+    def node_input(self, v: Hashable) -> NodeInput:
+        return NodeInput(
+            node=v,
+            data=self.tree.node_data.get(v),
+            is_auxiliary=v in self._aux_nodes,
+        )
+
+    def original_parent_of(self, v: Hashable) -> Hashable:
+        """The original node that is the logical parent of ``v`` (Section 6.1.1)."""
+        return self._original_parent.get(v, self.tree.parent.get(v, v))
+
+    def edge_info(self, edge: Tuple[Hashable, Hashable]) -> EdgeInfo:
+        return EdgeInfo(
+            edge=edge,
+            kind=self._edge_kinds.get(edge, "original"),
+            data=self.tree.edge_data.get(edge),
+        )
+
+    def element_kind(self, e: Element) -> str:
+        """``"node"``, ``"indegree-0"``, ``"indegree-1"`` or ``"final"``."""
+        if e[0] == "node":
+            return "node"
+        return self._clusters[e[1]].kind.value
+
+    def summary_of(self, e: Element) -> Any:
+        """Summary of a sub-cluster element (bottom-up invariant, Def. 8)."""
+        if e[0] != "cluster":
+            raise KeyError(f"element {e!r} is not a cluster element")
+        return self._summaries[e[1]]
+
+    def sub_cluster(self, e: Element) -> Cluster:
+        """The :class:`Cluster` object of a cluster element."""
+        if e[0] != "cluster":
+            raise KeyError(f"element {e!r} is not a cluster element")
+        return self._clusters[e[1]]
+
+    def element_top_node(self, e: Element) -> Hashable:
+        """The original node that carries element ``e``'s outgoing edge."""
+        if e[0] == "node":
+            return e[1]
+        return self._clusters[e[1]].top_node
+
+    # -- hole -------------------------------------------------------------- #
+
+    @property
+    def in_edge(self) -> Optional[EdgeInfo]:
+        if self.cluster.in_edge is None:
+            return None
+        return self.edge_info(self.cluster.in_edge)
+
+    @property
+    def hole_element(self) -> Optional[Element]:
+        return self.cluster.hole_element
+
+    @property
+    def is_indegree_one(self) -> bool:
+        return self.cluster.in_edge is not None
+
+    @property
+    def out_edge(self) -> Tuple[Hashable, Hashable]:
+        return self.cluster.out_edge
+
+    @property
+    def top_node(self) -> Hashable:
+        return self.cluster.top_node
+
+
+class ClusterDP(abc.ABC):
+    """Engine-facing interface: the paper's Definition 1, per cluster.
+
+    Summaries must be representable with O(1) machine words (checked in the
+    test-suite with :func:`repro.mpc.words.word_size` for every shipped
+    problem).
+    """
+
+    #: Problems whose semiring is not selective cannot produce per-edge labels;
+    #: the engine then skips the top-down pass and only reports the root value.
+    produces_labels: bool = True
+
+    @abc.abstractmethod
+    def summarize(self, ctx: ClusterContext) -> Any:
+        """Compute f(C) from the summaries of the cluster's elements (Fig. 2)."""
+
+    @abc.abstractmethod
+    def label_virtual_root(self, ctx: ClusterContext, summary: Any) -> Tuple[Any, Any]:
+        """Label of the topmost cluster's (virtual) outgoing edge.
+
+        Returns ``(label, value)`` where ``value`` is the problem's objective
+        (optimal weight, count, aggregate at the root, ...).
+        """
+
+    def assign_internal_labels(
+        self, ctx: ClusterContext, out_label: Any, in_label: Any
+    ) -> Dict[Element, Any]:
+        """Labels of the cluster's internal edges given its boundary labels (Fig. 3).
+
+        Returns a mapping from every non-top element to the label of the edge
+        connecting it to its parent element.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the top-down pass"
+        )
+
+    def extract(
+        self,
+        tree: RootedTree,
+        edge_labels: Dict[Tuple[Hashable, Hashable], Any],
+        root_label: Any,
+        value: Any,
+    ) -> Any:
+        """Optional problem-specific post-processing of the labelling."""
+        return {"edge_labels": edge_labels, "root_label": root_label, "value": value}
+
+
+class FiniteStateDP(abc.ABC):
+    """Per-node finite-state DP description (see module docstring).
+
+    Concrete problems define:
+
+    * :attr:`states` — the finite per-node state set; the label of an edge
+      ``(u, v)`` is the state chosen for ``u``.
+    * :attr:`semiring` — how values are combined.
+    * :meth:`node_init` — initial accumulator(s) for a node.
+    * :meth:`transition` — absorb one child given its state and the
+      connecting edge; yields ``(new_accumulator_state, value)`` pairs.
+    * :meth:`finalize` — map an accumulator state to the node's own states;
+      yields ``(node_state, value)`` pairs (typically adding the node weight).
+    * :meth:`virtual_root_value` — extra value/feasibility of a state at the
+      tree root (the virtual outgoing edge).
+    """
+
+    #: Finite, ordered state set.
+    states: Sequence[Hashable] = ()
+    #: Evaluation semiring.
+    semiring: Semiring = None  # type: ignore[assignment]
+    #: Human-readable problem name (used by the Table-1 benchmark).
+    name: str = "finite-state-dp"
+
+    @abc.abstractmethod
+    def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, Any]]:
+        """Initial ``(accumulator_state, value)`` pairs for node ``v``."""
+
+    @abc.abstractmethod
+    def transition(
+        self, v: NodeInput, acc: Hashable, child_state: Hashable, edge: EdgeInfo
+    ) -> Iterable[Tuple[Hashable, Any]]:
+        """Absorb one child with ``child_state`` through ``edge``."""
+
+    @abc.abstractmethod
+    def finalize(self, v: NodeInput, acc: Hashable) -> Iterable[Tuple[Hashable, Any]]:
+        """Map a final accumulator state to ``(node_state, value)`` pairs."""
+
+    def virtual_root_value(self, state: Hashable) -> Any:
+        """Value multiplied in for the root's state (default: neutral)."""
+        return self.semiring.one
+
+    def label_of_state(self, state: Hashable) -> Any:
+        """Convert an internal state into the user-visible edge label."""
+        return state
+
+    def extract_solution(
+        self,
+        tree: RootedTree,
+        node_states: Dict[Hashable, Hashable],
+        value: Any,
+    ) -> Any:
+        """Problem-specific interpretation of the per-node states."""
+        return {"node_states": node_states, "value": value}

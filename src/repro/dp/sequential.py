@@ -1,0 +1,213 @@
+"""Single-machine reference solvers used as ground truth in the test-suite.
+
+* :func:`solve_sequential` runs a :class:`~repro.dp.problem.FiniteStateDP`
+  with the classical bottom-up tree DP over the whole tree at once (as in a
+  textbook sequential algorithm, cf. the paper's remark that the indegree-0
+  cluster handling "is, in essence, identical to the classical centralized,
+  sequential algorithm").
+* :func:`brute_force_best` enumerates *all* state assignments of a (small)
+  tree, providing an implementation-independent oracle for the optimisation
+  problems; property-based tests compare framework, sequential and brute
+  force against each other.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
+from repro.trees.tree import RootedTree
+
+__all__ = ["SequentialResult", "solve_sequential", "brute_force_best", "assignment_value"]
+
+
+class SequentialResult:
+    """Value plus (for selective semirings) one optimal state assignment."""
+
+    def __init__(self, value: Any, node_states: Dict[Hashable, Hashable], output: Any):
+        self.value = value
+        self.node_states = node_states
+        self.output = output
+
+
+def _node_input(problem: FiniteStateDP, tree: RootedTree, v: Hashable, aux_nodes) -> NodeInput:
+    return NodeInput(node=v, data=tree.node_data.get(v), is_auxiliary=v in aux_nodes)
+
+
+def _edge_info(tree: RootedTree, edge, edge_kinds) -> EdgeInfo:
+    return EdgeInfo(edge=edge, kind=edge_kinds.get(edge, "original"), data=tree.edge_data.get(edge))
+
+
+def solve_sequential(
+    problem: FiniteStateDP,
+    tree: RootedTree,
+    edge_kinds: Optional[Dict[Tuple[Hashable, Hashable], str]] = None,
+    aux_nodes: Optional[set] = None,
+) -> SequentialResult:
+    """Classical bottom-up tree DP (with traceback for selective semirings)."""
+    sr = problem.semiring
+    edge_kinds = edge_kinds or {}
+    aux_nodes = aux_nodes or set()
+    cm = tree.children_map()
+
+    vectors: Dict[Hashable, Dict[Hashable, Any]] = {}
+    traces: Dict[Hashable, Tuple[List, List, Dict]] = {}
+
+    for v in tree.postorder():
+        inp = _node_input(problem, tree, v, aux_nodes)
+        kids = cm[v]
+        acc: Dict[Hashable, Any] = {}
+        for a, val in problem.node_init(inp):
+            if sr.is_zero(val):
+                continue
+            _merge(sr, acc, a, val, None, None)
+        step_choices: List[Dict] = []
+        for c in kids:
+            edge = _edge_info(tree, (c, v), edge_kinds)
+            child_vec = vectors[c]
+            new_acc: Dict[Hashable, Any] = {}
+            choices: Dict[Hashable, Tuple[Hashable, Hashable]] = {}
+            for a_state, a_val in acc.items():
+                for c_state, c_val in child_vec.items():
+                    if sr.is_zero(c_val):
+                        continue
+                    for n_state, t_val in problem.transition(inp, a_state, c_state, edge):
+                        val = sr.times(a_val, sr.times(c_val, t_val))
+                        if sr.is_zero(val):
+                            continue
+                        _merge(sr, new_acc, n_state, val, choices, (a_state, c_state))
+            acc = new_acc
+            step_choices.append(choices)
+        vec: Dict[Hashable, Any] = {}
+        fin_choice: Dict[Hashable, Hashable] = {}
+        for a_state, a_val in acc.items():
+            for n_state, f_val in problem.finalize(inp, a_state):
+                val = sr.times(a_val, f_val)
+                if sr.is_zero(val):
+                    continue
+                _merge(sr, vec, n_state, val, fin_choice, a_state)
+        vectors[v] = vec
+        traces[v] = (kids, step_choices, fin_choice)
+
+    # Root: apply the virtual edge value.
+    root_vec = vectors[tree.root]
+    if sr.selective:
+        best_state, best_val = None, sr.zero
+        for state, val in root_vec.items():
+            total = sr.times(val, problem.virtual_root_value(state))
+            if sr.is_zero(total):
+                continue
+            if best_state is None or sr.prefer(total, best_val):
+                best_state, best_val = state, total
+        if best_state is None:
+            raise ValueError(f"{problem.name}: no feasible solution exists")
+        node_states = _traceback(tree, traces, best_state)
+        output = problem.extract_solution(tree, node_states, best_val)
+        return SequentialResult(best_val, node_states, output)
+
+    total = sr.zero
+    for state, val in root_vec.items():
+        total = sr.plus(total, sr.times(val, problem.virtual_root_value(state)))
+    return SequentialResult(total, {}, problem.extract_solution(tree, {}, total))
+
+
+def _traceback(tree: RootedTree, traces, root_state) -> Dict[Hashable, Hashable]:
+    node_states: Dict[Hashable, Hashable] = {tree.root: root_state}
+    stack = [tree.root]
+    while stack:
+        v = stack.pop()
+        s = node_states[v]
+        kids, step_choices, fin_choice = traces[v]
+        acc_state = fin_choice[s]
+        for j in range(len(kids) - 1, -1, -1):
+            prev_acc, child_state = step_choices[j][acc_state]
+            node_states[kids[j]] = child_state
+            stack.append(kids[j])
+            acc_state = prev_acc
+    return node_states
+
+
+def _merge(sr, table, key, val, choice_table, choice):
+    if key not in table:
+        table[key] = val
+        if choice_table is not None:
+            choice_table[key] = choice
+        return
+    if sr.selective:
+        if sr.prefer(val, table[key]):
+            table[key] = val
+            if choice_table is not None:
+                choice_table[key] = choice
+    else:
+        table[key] = sr.plus(table[key], val)
+
+
+# --------------------------------------------------------------------------- #
+# Brute force oracle
+# --------------------------------------------------------------------------- #
+
+
+def assignment_value(
+    problem: FiniteStateDP,
+    tree: RootedTree,
+    assignment: Dict[Hashable, Hashable],
+    edge_kinds: Optional[Dict[Tuple[Hashable, Hashable], str]] = None,
+    aux_nodes: Optional[set] = None,
+) -> Any:
+    """Value of one full state assignment (zero if infeasible).
+
+    Evaluates exactly the same transition/finalize/virtual-root functions the
+    DP uses, but on a fixed assignment, so it is an independent check of the
+    DP's combination logic rather than of the problem definition itself.
+    """
+    sr = problem.semiring
+    edge_kinds = edge_kinds or {}
+    aux_nodes = aux_nodes or set()
+    cm = tree.children_map()
+    total = sr.one
+    for v in tree.postorder():
+        inp = _node_input(problem, tree, v, aux_nodes)
+        acc_states = {a: val for a, val in problem.node_init(inp) if not sr.is_zero(val)}
+        for c in cm[v]:
+            edge = _edge_info(tree, (c, v), edge_kinds)
+            new_states: Dict[Hashable, Any] = {}
+            for a_state, a_val in acc_states.items():
+                for n_state, t_val in problem.transition(inp, a_state, assignment[c], edge):
+                    val = sr.times(a_val, t_val)
+                    if sr.is_zero(val):
+                        continue
+                    _merge(sr, new_states, n_state, val, None, None)
+            acc_states = new_states
+        node_val = sr.zero
+        for a_state, a_val in acc_states.items():
+            for n_state, f_val in problem.finalize(inp, a_state):
+                if n_state != assignment[v]:
+                    continue
+                node_val = sr.plus(node_val, sr.times(a_val, f_val))
+        total = sr.times(total, node_val)
+        if sr.is_zero(total):
+            return sr.zero
+    total = sr.times(total, problem.virtual_root_value(assignment[tree.root]))
+    return total
+
+
+def brute_force_best(
+    problem: FiniteStateDP,
+    tree: RootedTree,
+    edge_kinds: Optional[Dict[Tuple[Hashable, Hashable], str]] = None,
+    aux_nodes: Optional[set] = None,
+    max_nodes: int = 12,
+) -> Any:
+    """Best value over all assignments of a small tree (selective semirings)
+    or the accumulated total (non-selective)."""
+    sr = problem.semiring
+    nodes = tree.nodes()
+    if len(nodes) > max_nodes:
+        raise ValueError(f"brute force limited to {max_nodes} nodes, got {len(nodes)}")
+    best = sr.zero
+    for combo in itertools.product(problem.states, repeat=len(nodes)):
+        assignment = dict(zip(nodes, combo))
+        val = assignment_value(problem, tree, assignment, edge_kinds, aux_nodes)
+        best = sr.plus(best, val)
+    return best

@@ -1,0 +1,29 @@
+"""Bayesian tree inference / Gaussian belief propagation (paper Section 6.2).
+
+A linear-Gaussian tree model assigns every node ``i`` a hidden state
+``x_i`` with conditional ``p(x_i | x_children) = N(x_i; sum_j F_j x_j + c_i,
+Q_i)`` and an observation ``p(y_i | x_i) = N(y_i; H_i x_i + d_i, R_i)``.  The
+inference task is the posterior of the root given all observations.
+
+* :mod:`~repro.inference.gaussian` — Gaussian factors in information form
+  (multiplication, marginalisation); the O(1)-word cluster summaries are
+  factors over one or two boundary variables, equivalent to the paper's
+  ``(A, b, C, eta, J)`` parameterisation.
+* :mod:`~repro.inference.model` — model container and random generators.
+* :mod:`~repro.inference.sequential_bp` — dense-joint reference posterior.
+* :mod:`~repro.inference.mpc_inference` — the framework problem
+  (:class:`GaussianTreeInference`, a raw ClusterDP).
+"""
+
+from repro.inference.gaussian import GaussianFactor
+from repro.inference.model import LinearGaussianTreeModel, random_gaussian_tree_model
+from repro.inference.sequential_bp import root_posterior_reference
+from repro.inference.mpc_inference import GaussianTreeInference
+
+__all__ = [
+    "GaussianFactor",
+    "LinearGaussianTreeModel",
+    "random_gaussian_tree_model",
+    "root_posterior_reference",
+    "GaussianTreeInference",
+]

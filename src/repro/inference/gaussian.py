@@ -1,0 +1,104 @@
+"""Gaussian factors in information (canonical) form.
+
+A factor over variables ``v_1 .. v_k`` (each of dimension ``d``) is
+
+    phi(x) ∝ exp(-1/2 x^T J x + h^T x)
+
+with a block precision matrix ``J`` and potential vector ``h``.  Products of
+factors add their ``(J, h)`` blocks; marginalising a variable out is a Schur
+complement.  Factors over one or two boundary variables are the O(1)-word
+cluster summaries used by :class:`repro.inference.mpc_inference.GaussianTreeInference`;
+they are algebraically equivalent to the ``(A, b, C, eta, J)`` form the paper
+derives from the parallel-Kalman literature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["GaussianFactor"]
+
+
+class GaussianFactor:
+    """An information-form Gaussian factor over named vector variables."""
+
+    def __init__(self, variables: Sequence[Hashable], dim: int):
+        self.vars: List[Hashable] = list(variables)
+        self.dim = dim
+        k = len(self.vars) * dim
+        self.J = np.zeros((k, k))
+        self.h = np.zeros(k)
+
+    # ------------------------------------------------------------------ #
+
+    def _slice(self, var: Hashable) -> slice:
+        i = self.vars.index(var)
+        return slice(i * self.dim, (i + 1) * self.dim)
+
+    def add_quadratic(self, var_a: Hashable, var_b: Hashable, block: np.ndarray) -> None:
+        """Add ``block`` to the (var_a, var_b) block of J (and its transpose)."""
+        sa, sb = self._slice(var_a), self._slice(var_b)
+        self.J[sa, sb] += block
+        if var_a != var_b:
+            self.J[sb, sa] += block.T
+
+    def add_linear(self, var: Hashable, vec: np.ndarray) -> None:
+        self.h[self._slice(var)] += vec
+
+    # ------------------------------------------------------------------ #
+
+    def multiply(self, other: "GaussianFactor") -> "GaussianFactor":
+        """Product of two factors (union of variables, blocks added)."""
+        variables = list(self.vars)
+        for v in other.vars:
+            if v not in variables:
+                variables.append(v)
+        out = GaussianFactor(variables, self.dim)
+        for f in (self, other):
+            idx = [variables.index(v) for v in f.vars]
+            for a_local, a_global in enumerate(idx):
+                sa_l = slice(a_local * f.dim, (a_local + 1) * f.dim)
+                sa_g = slice(a_global * f.dim, (a_global + 1) * f.dim)
+                out.h[sa_g] += f.h[sa_l]
+                for b_local, b_global in enumerate(idx):
+                    sb_l = slice(b_local * f.dim, (b_local + 1) * f.dim)
+                    sb_g = slice(b_global * f.dim, (b_global + 1) * f.dim)
+                    out.J[sa_g, sb_g] += f.J[sa_l, sb_l]
+        return out
+
+    def marginalize_out(self, variables: Iterable[Hashable]) -> "GaussianFactor":
+        """Integrate the given variables out (Schur complement)."""
+        drop = [v for v in variables if v in self.vars]
+        if not drop:
+            return self
+        keep = [v for v in self.vars if v not in drop]
+        d = self.dim
+        keep_idx = np.concatenate([np.arange(self.vars.index(v) * d, (self.vars.index(v) + 1) * d) for v in keep]) if keep else np.array([], dtype=int)
+        drop_idx = np.concatenate([np.arange(self.vars.index(v) * d, (self.vars.index(v) + 1) * d) for v in drop])
+
+        Jaa = self.J[np.ix_(keep_idx, keep_idx)] if keep else np.zeros((0, 0))
+        Jab = self.J[np.ix_(keep_idx, drop_idx)] if keep else np.zeros((0, len(drop_idx)))
+        Jbb = self.J[np.ix_(drop_idx, drop_idx)]
+        ha = self.h[keep_idx] if keep else np.zeros(0)
+        hb = self.h[drop_idx]
+
+        Jbb_inv = np.linalg.inv(Jbb)
+        out = GaussianFactor(keep, self.dim)
+        if keep:
+            out.J = Jaa - Jab @ Jbb_inv @ Jab.T
+            out.h = ha - Jab @ Jbb_inv @ hb
+        return out
+
+    def mean_and_cov(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Normalise the factor into a Gaussian (mean, covariance)."""
+        cov = np.linalg.inv(self.J)
+        return cov @ self.h, cov
+
+    def word_size(self) -> int:
+        """Number of machine words (floats) this factor stores."""
+        return self.J.size + self.h.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GaussianFactor(vars={self.vars}, dim={self.dim})"

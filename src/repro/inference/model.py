@@ -1,0 +1,83 @@
+"""Linear-Gaussian tree models (paper Section 6.2)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.trees.tree import RootedTree
+
+__all__ = ["LinearGaussianTreeModel", "random_gaussian_tree_model"]
+
+
+@dataclass
+class LinearGaussianTreeModel:
+    """Per-node parameters of a linear-Gaussian tree model.
+
+    ``p(x_i | x_children) = N(x_i; sum_j F[(j, i)] x_j + c[i], Q[i])`` and
+    ``p(y_i | x_i) = N(y_i; H[i] x_i + d[i], R[i])``.
+    """
+
+    tree: RootedTree
+    dim: int
+    obs_dim: int
+    F: Dict[Tuple[Hashable, Hashable], np.ndarray]  # keyed by (child, parent)
+    c: Dict[Hashable, np.ndarray]
+    Q: Dict[Hashable, np.ndarray]
+    H: Dict[Hashable, np.ndarray]
+    d: Dict[Hashable, np.ndarray]
+    R: Dict[Hashable, np.ndarray]
+    y: Dict[Hashable, np.ndarray]
+
+    def node_words(self, v: Hashable) -> int:
+        """Words of model data stored with node ``v`` (for memory accounting)."""
+        total = self.c[v].size + self.Q[v].size + self.H[v].size
+        total += self.d[v].size + self.R[v].size + self.y[v].size
+        for ch in self.tree.children(v):
+            total += self.F[(ch, v)].size
+        return total
+
+
+def random_gaussian_tree_model(
+    tree: RootedTree,
+    dim: int = 1,
+    obs_dim: int = 1,
+    seed: int = 0,
+) -> LinearGaussianTreeModel:
+    """Generate a well-conditioned random model and sample observations."""
+    rng = np.random.default_rng(seed)
+    F: Dict[Tuple[Hashable, Hashable], np.ndarray] = {}
+    c: Dict[Hashable, np.ndarray] = {}
+    Q: Dict[Hashable, np.ndarray] = {}
+    H: Dict[Hashable, np.ndarray] = {}
+    d: Dict[Hashable, np.ndarray] = {}
+    R: Dict[Hashable, np.ndarray] = {}
+    y: Dict[Hashable, np.ndarray] = {}
+
+    for v in tree.nodes():
+        c[v] = rng.normal(size=dim)
+        a = rng.normal(size=(dim, dim)) * 0.2
+        Q[v] = a @ a.T + np.eye(dim)
+        H[v] = rng.normal(size=(obs_dim, dim)) * 0.7
+        d[v] = rng.normal(size=obs_dim) * 0.3
+        b = rng.normal(size=(obs_dim, obs_dim)) * 0.2
+        R[v] = b @ b.T + np.eye(obs_dim) * 0.5
+        for ch in tree.children(v):
+            # Mild contraction keeps the joint covariance well conditioned.
+            F[(ch, v)] = rng.normal(size=(dim, dim)) * (0.4 / max(1, len(tree.children(v))))
+
+    # Sample hidden states bottom-up and observations per node.
+    x: Dict[Hashable, np.ndarray] = {}
+    for v in tree.postorder():
+        mean = c[v].copy()
+        for ch in tree.children(v):
+            mean = mean + F[(ch, v)] @ x[ch]
+        x[v] = rng.multivariate_normal(mean, Q[v])
+        y[v] = rng.multivariate_normal(H[v] @ x[v] + d[v], R[v])
+
+    return LinearGaussianTreeModel(
+        tree=tree, dim=dim, obs_dim=obs_dim, F=F, c=c, Q=Q, H=H, d=d, R=R, y=y
+    )

@@ -1,0 +1,91 @@
+"""Gaussian tree inference on the DP framework (paper Section 6.2).
+
+The problem is a raw :class:`~repro.dp.problem.ClusterDP`:
+
+* an **indegree-zero** cluster is summarised by the Gaussian factor over its
+  top node's hidden state obtained by multiplying all clique potentials and
+  likelihoods of the cluster's nodes and integrating out every other hidden
+  state — this is exactly the repeated *leaf elimination* the paper
+  describes, performed locally inside one machine;
+* an **indegree-one** cluster is summarised by the factor over (top state,
+  below-boundary state) — an O(dim²)-word object equivalent to the paper's
+  ``N(x_1; A x_j + b, C) · NI(x_j; eta, J)`` factorisation obtained from the
+  associative Kalman-filter rule.
+
+The per-cluster computation uses O(|C|) additional space (the joint
+information form over the cluster's variables), as permitted by
+Definition 1.  The objective value is the posterior mean and covariance of
+the root; per-node posteriors are available from the sequential reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.clustering.model import Element
+from repro.dp.problem import ClusterContext, ClusterDP
+from repro.inference.gaussian import GaussianFactor
+from repro.inference.model import LinearGaussianTreeModel
+from repro.inference.sequential_bp import node_measurement_factor, node_prior_factor
+
+__all__ = ["GaussianTreeInference"]
+
+
+class GaussianTreeInference(ClusterDP):
+    """Root-posterior inference in a linear-Gaussian tree model."""
+
+    produces_labels = False
+    name = "Bayesian tree inference (Gaussian belief propagation)"
+
+    def __init__(self, model: LinearGaussianTreeModel):
+        self.model = model
+
+    # ------------------------------------------------------------------ #
+
+    def summarize(self, ctx: ClusterContext) -> Any:
+        factor = self._cluster_factor(ctx)
+        keep = [("x", ctx.top_node)]
+        if ctx.is_indegree_one:
+            keep.append(("x", ctx.cluster.in_edge[0]))
+        drop = [v for v in factor.vars if v not in keep]
+        reduced = factor.marginalize_out(drop)
+        return {"kind": "factor", "factor": reduced}
+
+    def label_virtual_root(self, ctx: ClusterContext, summary: Any) -> Tuple[Any, Any]:
+        factor: GaussianFactor = summary["factor"]
+        mean, cov = factor.mean_and_cov()
+        return None, {"mean": mean, "cov": cov}
+
+    def extract(self, tree, edge_labels, root_label, value):
+        return {"root_posterior": value}
+
+    # ------------------------------------------------------------------ #
+
+    def _cluster_factor(self, ctx: ClusterContext) -> GaussianFactor:
+        """Multiply every potential owned by this cluster's elements."""
+        model = self.model
+        factor: Optional[GaussianFactor] = None
+
+        def mul(f: GaussianFactor) -> None:
+            nonlocal factor
+            factor = f if factor is None else factor.multiply(f)
+
+        for e in ctx.elements:
+            if e[0] == "node":
+                v = e[1]
+                mul(_rename(node_prior_factor(model, v)))
+                mul(_rename(node_measurement_factor(model, v)))
+            else:
+                mul(ctx.summary_of(e)["factor"])
+        assert factor is not None
+        return factor
+
+
+def _rename(f: GaussianFactor) -> GaussianFactor:
+    """Prefix variable names with "x" so they cannot collide with node ids."""
+    g = GaussianFactor([("x", v) for v in f.vars], f.dim)
+    g.J = f.J.copy()
+    g.h = f.h.copy()
+    return g

@@ -1,0 +1,58 @@
+"""Reference root posterior via the dense joint information form.
+
+Builds the joint canonical-form Gaussian over all hidden states (prior
+potentials plus measurement likelihoods) and marginalises everything except
+the root.  Cubic in ``n * dim`` and therefore only suitable as ground truth
+for moderate test sizes; the framework computation in
+:mod:`repro.inference.mpc_inference` never materialises anything larger than
+one cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+from repro.inference.gaussian import GaussianFactor
+from repro.inference.model import LinearGaussianTreeModel
+
+__all__ = ["root_posterior_reference", "node_prior_factor", "node_measurement_factor"]
+
+
+def node_prior_factor(model: LinearGaussianTreeModel, v: Hashable) -> GaussianFactor:
+    """The clique potential p(x_v | x_children) in information form."""
+    tree = model.tree
+    children = tree.children(v)
+    variables = [v] + list(children)
+    f = GaussianFactor(variables, model.dim)
+    Qinv = np.linalg.inv(model.Q[v])
+    f.add_quadratic(v, v, Qinv)
+    f.add_linear(v, Qinv @ model.c[v])
+    for ch in children:
+        F = model.F[(ch, v)]
+        f.add_quadratic(v, ch, -Qinv @ F)
+        f.add_quadratic(ch, ch, F.T @ Qinv @ F)
+        f.add_linear(ch, -F.T @ Qinv @ model.c[v])
+    return f
+
+
+def node_measurement_factor(model: LinearGaussianTreeModel, v: Hashable) -> GaussianFactor:
+    """The likelihood p(y_v | x_v) in information form."""
+    f = GaussianFactor([v], model.dim)
+    Rinv = np.linalg.inv(model.R[v])
+    H = model.H[v]
+    f.add_quadratic(v, v, H.T @ Rinv @ H)
+    f.add_linear(v, H.T @ Rinv @ (model.y[v] - model.d[v]))
+    return f
+
+
+def root_posterior_reference(model: LinearGaussianTreeModel) -> Tuple[np.ndarray, np.ndarray]:
+    """Posterior mean and covariance of the root given all observations."""
+    tree = model.tree
+    joint = GaussianFactor(list(tree.nodes()), model.dim)
+    for v in tree.nodes():
+        joint = joint.multiply(node_prior_factor(model, v))
+        joint = joint.multiply(node_measurement_factor(model, v))
+    marginal = joint.marginalize_out([v for v in tree.nodes() if v != tree.root])
+    return marginal.mean_and_cov()

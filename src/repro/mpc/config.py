@@ -1,0 +1,105 @@
+"""Configuration of the simulated MPC deployment.
+
+The paper's parameters are ``n`` (input size in words) and ``delta`` with
+``0 < delta < 1``: each machine has ``Theta(n^delta)`` words of local memory
+and there are ``Theta(n^(1-delta))`` machines.  For small test inputs the
+asymptotic constants matter, so the configuration exposes explicit capacity
+and machine-count floors; strictness of capacity enforcement is configurable
+(record violations vs. raise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["MPCConfig"]
+
+
+@dataclass
+class MPCConfig:
+    """Parameters of a simulated MPC deployment.
+
+    Parameters
+    ----------
+    n:
+        Nominal input size (number of words / records the deployment is sized
+        for).  Machine memory and machine count are derived from it.
+    delta:
+        The memory exponent: machines hold ``capacity_factor * n**delta``
+        words.  Must satisfy ``0 < delta < 1``.
+    capacity_factor:
+        Constant in front of ``n**delta``; the paper's Theta() hides it.
+    min_capacity:
+        Lower bound on machine capacity so that tiny test inputs still have a
+        few dozen words of room per machine.
+    min_machines:
+        Lower bound on the number of machines (keeps the simulation genuinely
+        distributed even for small ``n``).
+    strict_memory:
+        If ``True``, exceeding a machine's capacity raises
+        :class:`MemoryError`; otherwise violations are only recorded in the
+        simulator statistics.
+    strict_bandwidth:
+        If ``True``, a machine sending or receiving more than its capacity in
+        one round raises; otherwise violations are recorded.
+    """
+
+    n: int
+    delta: float = 0.5
+    capacity_factor: float = 4.0
+    min_capacity: int = 64
+    min_machines: int = 4
+    strict_memory: bool = False
+    strict_bandwidth: bool = False
+
+    machine_capacity: int = field(init=False)
+    num_machines: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if not (0.0 < self.delta < 1.0):
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        cap = int(math.ceil(self.capacity_factor * self.n ** self.delta))
+        self.machine_capacity = max(self.min_capacity, cap)
+        machines = int(math.ceil(self.n / max(1, self.machine_capacity))) + 1
+        self.num_machines = max(self.min_machines, machines)
+
+    @property
+    def local_memory_words(self) -> int:
+        """Alias for :attr:`machine_capacity` (words per machine)."""
+        return self.machine_capacity
+
+    @property
+    def total_memory_words(self) -> int:
+        """Total memory across all machines (words)."""
+        return self.machine_capacity * self.num_machines
+
+    def cluster_capacity(self) -> int:
+        """The cluster size cap ``n^delta`` used by the hierarchical clustering.
+
+        The clustering construction (Section 4.2) works with the threshold
+        ``n^(delta/2)`` for *uncolored* nodes so that clusters of at most
+        ``n^delta`` total nodes result.  We return the full ``n^delta`` cap
+        here (subject to the same constant and floor as machine capacity,
+        since a cluster must fit in one machine).
+        """
+        return self.machine_capacity
+
+    def light_threshold(self) -> int:
+        """The ``n^(delta/2)`` threshold separating light from heavy nodes."""
+        thr = int(math.ceil(self.capacity_factor * self.n ** (self.delta / 2.0)))
+        return max(4, min(thr, self.machine_capacity))
+
+    def scaled(self, n: int) -> "MPCConfig":
+        """Return a copy of this configuration re-sized for input size ``n``."""
+        return MPCConfig(
+            n=n,
+            delta=self.delta,
+            capacity_factor=self.capacity_factor,
+            min_capacity=self.min_capacity,
+            min_machines=self.min_machines,
+            strict_memory=self.strict_memory,
+            strict_bandwidth=self.strict_bandwidth,
+        )

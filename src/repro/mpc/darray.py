@@ -1,0 +1,392 @@
+"""Distributed arrays of records with the standard MPC primitives.
+
+A :class:`DistributedArray` is a collection of records partitioned over the
+machines of an :class:`~repro.mpc.simulator.MPCSimulator`.  Purely local
+transformations (``map``, ``filter``, ``flat_map``) cost no communication
+rounds; the data-movement primitives are implemented as a constant number of
+genuine supersteps and therefore show up in the simulator's round count:
+
+===================  ==========================================  ========
+primitive            implementation                               rounds
+===================  ==========================================  ========
+``sort_by``          deterministic sample sort                    4
+``rebalance``        prefix-sums of part sizes + routing          3
+``group_by``         sort + boundary hand-off                     5
+``join``             tagged union sort + co-grouping              5
+``prefix_sum``       local sums -> exclusive scan -> broadcast    3
+``reduce``           convergecast to machine 0                    1
+``broadcast``        one-to-all                                    1
+===================  ==========================================  ========
+
+These match the classical results cited by the paper (Goodrich et al.):
+sorting and prefix sums are O(1)-round deterministic MPC primitives.
+
+The record payloads are arbitrary (hashable keys recommended for group/join);
+word-size accounting uses :mod:`repro.mpc.words`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.mpc.simulator import MPCSimulator
+from repro.mpc.words import record_words
+
+__all__ = ["DistributedArray", "SORT_ROUNDS", "GROUP_ROUNDS", "JOIN_ROUNDS"]
+
+SORT_ROUNDS = 4
+GROUP_ROUNDS = 5
+JOIN_ROUNDS = 5
+
+
+class DistributedArray:
+    """A partitioned collection of records living on a simulated MPC cluster."""
+
+    def __init__(self, sim: MPCSimulator, parts: Optional[List[List[Any]]] = None):
+        self.sim = sim
+        m = sim.num_machines
+        if parts is None:
+            parts = [[] for _ in range(m)]
+        if len(parts) != m:
+            raise ValueError(f"expected {m} parts, got {len(parts)}")
+        self.parts: List[List[Any]] = [list(p) for p in parts]
+        self._observe()
+
+    # ------------------------------------------------------------------ #
+    # Construction and inspection
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_records(cls, sim: MPCSimulator, records: Sequence[Any]) -> "DistributedArray":
+        """Create a distributed array from driver-side records (even split)."""
+        m = sim.num_machines
+        parts: List[List[Any]] = [[] for _ in range(m)]
+        n = len(records)
+        if n:
+            per = max(1, (n + m - 1) // m)
+            for i, rec in enumerate(records):
+                parts[min(i // per, m - 1)].append(rec)
+        return cls(sim, parts)
+
+    def collect(self) -> List[Any]:
+        """Gather all records to the driver (no rounds; output collection)."""
+        out: List[Any] = []
+        for p in self.parts:
+            out.extend(p)
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.parts)
+
+    def num_parts(self) -> int:
+        return len(self.parts)
+
+    def _observe(self) -> None:
+        self.sim.observe_loads([record_words(p) for p in self.parts])
+
+    def _like(self, parts: List[List[Any]]) -> "DistributedArray":
+        return DistributedArray(self.sim, parts)
+
+    # ------------------------------------------------------------------ #
+    # Local (zero-round) transformations
+    # ------------------------------------------------------------------ #
+
+    def map(self, fn: Callable[[Any], Any]) -> "DistributedArray":
+        return self._like([[fn(r) for r in p] for p in self.parts])
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "DistributedArray":
+        return self._like([[x for r in p for x in fn(r)] for p in self.parts])
+
+    def filter(self, fn: Callable[[Any], bool]) -> "DistributedArray":
+        return self._like([[r for r in p if fn(r)] for p in self.parts])
+
+    def map_partitions(self, fn: Callable[[List[Any]], List[Any]]) -> "DistributedArray":
+        return self._like([list(fn(list(p))) for p in self.parts])
+
+    # ------------------------------------------------------------------ #
+    # Internal routing helper
+    # ------------------------------------------------------------------ #
+
+    def _route(self, destinations: List[List[Tuple[int, Any]]], label: str) -> List[List[Any]]:
+        """Send (dest, record) pairs through the simulator in one superstep."""
+        m = self.sim.num_machines
+        out_parts: List[List[Any]] = [[] for _ in range(m)]
+
+        plan = destinations  # captured by the compute closure
+
+        def compute(machine):
+            return plan[machine.mid]
+
+        self.sim.superstep(compute, label=label)
+        for machine in self.sim.machines:
+            out_parts[machine.mid] = list(machine.inbox)
+            machine.clear_inbox()
+        return out_parts
+
+    # ------------------------------------------------------------------ #
+    # Data movement primitives
+    # ------------------------------------------------------------------ #
+
+    def rebalance(self) -> "DistributedArray":
+        """Evenly redistribute records over machines (3 rounds)."""
+        m = self.sim.num_machines
+        sizes = [len(p) for p in self.parts]
+        total = sum(sizes)
+
+        # Round 1: every machine reports its size to machine 0.
+        def report(machine):
+            return [(0, ("size", machine.mid, sizes[machine.mid]))]
+
+        self.sim.superstep(report, label="rebalance")
+
+        # Round 2: machine 0 broadcasts the exclusive prefix sums (offsets).
+        offsets = [0] * m
+        acc = 0
+        for i in range(m):
+            offsets[i] = acc
+            acc += sizes[i]
+
+        def bcast(machine):
+            if machine.mid == 0:
+                return [(d, ("offsets", tuple(offsets), total)) for d in range(m)]
+            return []
+
+        self.sim.superstep(bcast, label="rebalance")
+
+        # Round 3: every machine routes each of its records to its target slot.
+        per = max(1, (total + m - 1) // m) if total else 1
+        plan: List[List[Tuple[int, Any]]] = [[] for _ in range(m)]
+        for mid, part in enumerate(self.parts):
+            for j, rec in enumerate(part):
+                global_idx = offsets[mid] + j
+                dest = min(global_idx // per, m - 1)
+                plan[mid].append((dest, rec))
+        parts = self._route(plan, label="rebalance")
+        return self._like(parts)
+
+    def sort_by(self, key: Callable[[Any], Any]) -> "DistributedArray":
+        """Deterministic sample sort (4 rounds).
+
+        Every machine sorts locally and sends evenly spaced pivot candidates
+        to machine 0; machine 0 selects global splitters and broadcasts them;
+        every machine partitions its records by splitter and routes them; the
+        receivers sort locally.  The result is globally sorted by ``key``
+        across machines in machine-id order.
+        """
+        m = self.sim.num_machines
+        local_sorted = [sorted(p, key=key) for p in self.parts]
+
+        # Round 1: send samples to machine 0.
+        samples_plan: List[List[Tuple[int, Any]]] = [[] for _ in range(m)]
+        for mid, part in enumerate(local_sorted):
+            if part:
+                step = max(1, len(part) // m)
+                samples = [key(part[i]) for i in range(0, len(part), step)]
+                samples_plan[mid].append((0, ("samples", samples)))
+        self._route(samples_plan, label="sort")
+
+        # Driver mirrors machine 0's local computation of splitters.
+        all_samples: List[Any] = []
+        for mid, part in enumerate(local_sorted):
+            if part:
+                step = max(1, len(part) // m)
+                all_samples.extend(key(part[i]) for i in range(0, len(part), step))
+        all_samples.sort()
+        splitters: List[Any] = []
+        if all_samples and m > 1:
+            for i in range(1, m):
+                idx = min(len(all_samples) - 1, (i * len(all_samples)) // m)
+                splitters.append(all_samples[idx])
+
+        # Round 2: broadcast splitters.
+        bcast_plan: List[List[Tuple[int, Any]]] = [[] for _ in range(m)]
+        bcast_plan[0] = [(d, ("splitters", splitters)) for d in range(m)]
+        self._route(bcast_plan, label="sort")
+
+        # Round 3: partition and route records to their destination machine.
+        import bisect
+
+        route_plan: List[List[Tuple[int, Any]]] = [[] for _ in range(m)]
+        for mid, part in enumerate(local_sorted):
+            for rec in part:
+                k = key(rec)
+                dest = bisect.bisect_right(splitters, k) if splitters else 0
+                route_plan[mid].append((min(dest, m - 1), rec))
+        routed = self._route(route_plan, label="sort")
+
+        # Round 4 (local sort + acknowledgement round for synchronisation).
+        sorted_parts = [sorted(p, key=key) for p in routed]
+
+        def ack(machine):
+            return []
+
+        self.sim.superstep(ack, label="sort")
+        return self._like(sorted_parts)
+
+    def group_by(self, key: Callable[[Any], Any]) -> "DistributedArray":
+        """Group records by key; each group ends up whole on one machine.
+
+        The result records are ``(key, [records...])`` tuples.  Records are
+        routed to the machine determined by a deterministic partitioning of
+        the key space (so that all records with the same key meet on one
+        machine) and grouped locally there.  Together with the synchronisation
+        round this is a constant number of rounds; group sizes must fit in one
+        machine, which the paper guarantees for all uses (clusters have at
+        most ``n^delta`` elements, node degrees are reduced to ``n^(delta/2)``).
+        """
+        m = self.sim.num_machines
+        plan: List[List[Tuple[int, Any]]] = [[] for _ in range(m)]
+        for mid, p in enumerate(self.parts):
+            for rec in p:
+                dest = _deterministic_partition(key(rec), m)
+                plan[mid].append((dest, rec))
+        routed = self._route(plan, label="group_by")
+
+        def ack(machine):
+            return []
+
+        self.sim.superstep(ack, label="group_by")
+
+        grouped_parts: List[List[Any]] = []
+        for p in routed:
+            buckets: Dict[Any, List[Any]] = {}
+            order: List[Any] = []
+            for rec in p:
+                k = key(rec)
+                if k not in buckets:
+                    buckets[k] = []
+                    order.append(k)
+                buckets[k].append(rec)
+            grouped_parts.append([(k, buckets[k]) for k in order])
+        return self._like(grouped_parts)
+
+    def join(
+        self,
+        other: "DistributedArray",
+        key_self: Callable[[Any], Any],
+        key_other: Callable[[Any], Any],
+    ) -> "DistributedArray":
+        """Inner join on key; result records are ``(key, left_rec, right_rec)``.
+
+        Implemented by tagging both sides, grouping the tagged union by key and
+        emitting the cross product within each group (5 rounds).
+        """
+        tagged_self = self.map(lambda r: ("L", r))
+        tagged_other = other.map(lambda r: ("R", r))
+        m = self.sim.num_machines
+        union_parts = [
+            list(tagged_self.parts[i]) + list(tagged_other.parts[i]) for i in range(m)
+        ]
+        union = self._like(union_parts)
+
+        def k(rec):
+            tag, r = rec
+            return key_self(r) if tag == "L" else key_other(r)
+
+        grouped = union.group_by(k)
+
+        def expand(group_rec):
+            gkey, members = group_rec
+            lefts = [r for tag, r in members if tag == "L"]
+            rights = [r for tag, r in members if tag == "R"]
+            return [(gkey, l, r) for l in lefts for r in rights]
+
+        return grouped.flat_map(expand)
+
+    def prefix_sum(self, value: Callable[[Any], float]) -> "DistributedArray":
+        """Exclusive prefix sums over the records in global order (3 rounds).
+
+        Returns records ``(original_record, prefix)`` where ``prefix`` is the
+        sum of ``value`` over all records strictly before it (in the current
+        global order: machine id, then position within the machine).
+        """
+        m = self.sim.num_machines
+        local_sums = [sum(value(r) for r in p) for p in self.parts]
+
+        def report(machine):
+            return [(0, ("psum", machine.mid, local_sums[machine.mid]))]
+
+        self.sim.superstep(report, label="prefix_sum")
+
+        offsets = [0.0] * m
+        acc = 0.0
+        for i in range(m):
+            offsets[i] = acc
+            acc += local_sums[i]
+
+        def bcast(machine):
+            if machine.mid == 0:
+                return [(d, ("offsets", offsets[d])) for d in range(m)]
+            return []
+
+        self.sim.superstep(bcast, label="prefix_sum")
+
+        def ack(machine):
+            return []
+
+        self.sim.superstep(ack, label="prefix_sum")
+
+        new_parts: List[List[Any]] = []
+        for mid, p in enumerate(self.parts):
+            run = offsets[mid]
+            out = []
+            for r in p:
+                out.append((r, run))
+                run += value(r)
+            new_parts.append(out)
+        return self._like(new_parts)
+
+    def reduce(self, value: Callable[[Any], Any], combine: Callable[[Any, Any], Any], init: Any) -> Any:
+        """Reduce all records to a single value on machine 0 (1 round)."""
+        m = self.sim.num_machines
+        local = []
+        for p in self.parts:
+            acc = init
+            for r in p:
+                acc = combine(acc, value(r))
+            local.append(acc)
+
+        def report(machine):
+            return [(0, ("reduce", machine.mid, local[machine.mid]))]
+
+        self.sim.superstep(report, label="reduce")
+        total = init
+        for v in local:
+            total = combine(total, v)
+        return total
+
+    def count(self) -> int:
+        """Number of records (1 round convergecast)."""
+        return int(self.reduce(lambda r: 1, lambda a, b: a + b, 0))
+
+    def broadcast(self, small_value: Any) -> Any:
+        """Broadcast a small driver-known value to every machine (1 round)."""
+        self.sim.broadcast_to_all(small_value)
+        return small_value
+
+
+def _deterministic_partition(key: Any, m: int) -> int:
+    """Deterministically map a key to a machine id in ``range(m)``.
+
+    Uses a simple stable hash (not Python's salted ``hash``) so that runs are
+    reproducible across processes.
+    """
+    s = repr(key)
+    h = 2166136261
+    for ch in s:
+        h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return h % m
+
+
+def _orderable(k: Any) -> Any:
+    """Make heterogeneous keys comparable by prefixing a type rank."""
+    if isinstance(k, tuple):
+        return tuple(_orderable(x) for x in k)
+    if isinstance(k, bool):
+        return (0, int(k))
+    if isinstance(k, (int, float)):
+        return (0, k)
+    if isinstance(k, str):
+        return (1, k)
+    return (2, repr(k))

@@ -1,0 +1,60 @@
+"""A single simulated MPC machine.
+
+A machine owns a local store of *records* (arbitrary Python tuples) whose
+total size in words is bounded by the machine capacity.  During a superstep a
+machine's compute function reads its own store (and the messages delivered at
+the start of the round) and emits messages addressed to other machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List
+
+from repro.mpc.words import record_words
+
+__all__ = ["Machine"]
+
+
+@dataclass
+class Machine:
+    """One machine of the simulated deployment.
+
+    Attributes
+    ----------
+    mid:
+        Machine identifier in ``range(num_machines)``.
+    capacity:
+        Local memory capacity in words.
+    store:
+        The machine's local records.  The simulator treats records as opaque;
+        higher layers (e.g. :class:`~repro.mpc.darray.DistributedArray`)
+        impose structure.
+    inbox:
+        Messages delivered at the start of the current superstep.
+    """
+
+    mid: int
+    capacity: int
+    store: List[Any] = field(default_factory=list)
+    inbox: List[Any] = field(default_factory=list)
+
+    def load_words(self) -> int:
+        """Current store size in words."""
+        return record_words(self.store)
+
+    def load_records(self) -> int:
+        """Current store size in number of records."""
+        return len(self.store)
+
+    def clear_inbox(self) -> None:
+        self.inbox = []
+
+    def receive(self, messages: Iterable[Any]) -> None:
+        self.inbox.extend(messages)
+
+    def replace_store(self, records: Iterable[Any]) -> None:
+        self.store = list(records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Machine(mid={self.mid}, records={len(self.store)}, capacity={self.capacity})"

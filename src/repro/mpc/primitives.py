@@ -1,0 +1,56 @@
+"""Convenience wrappers around the distributed-array primitives.
+
+The paper (Section 2) relies on two classical O(1)-round deterministic MPC
+primitives: sorting an array of ``n`` elements and computing prefix sums.
+These wrappers expose them with a plain-function interface used by the
+representation-normalisation code and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.mpc.darray import DistributedArray
+from repro.mpc.simulator import MPCSimulator
+
+__all__ = [
+    "mpc_sort",
+    "mpc_prefix_sums",
+    "mpc_count",
+    "mpc_max",
+    "mpc_min",
+]
+
+
+def mpc_sort(
+    sim: MPCSimulator, records: Sequence[Any], key: Callable[[Any], Any]
+) -> List[Any]:
+    """Sort ``records`` with the distributed sample sort and return them."""
+    arr = DistributedArray.from_records(sim, list(records))
+    return arr.sort_by(key).collect()
+
+
+def mpc_prefix_sums(
+    sim: MPCSimulator, records: Sequence[Any], value: Callable[[Any], float]
+) -> List[Tuple[Any, float]]:
+    """Exclusive prefix sums over ``records`` in their given order."""
+    arr = DistributedArray.from_records(sim, list(records))
+    return arr.prefix_sum(value).collect()
+
+
+def mpc_count(sim: MPCSimulator, records: Sequence[Any]) -> int:
+    """Count records with a one-round convergecast."""
+    arr = DistributedArray.from_records(sim, list(records))
+    return arr.count()
+
+
+def mpc_max(sim: MPCSimulator, records: Sequence[Any], value: Callable[[Any], float]) -> float:
+    """Distributed maximum of ``value`` over the records."""
+    arr = DistributedArray.from_records(sim, list(records))
+    return arr.reduce(value, lambda a, b: a if a >= b else b, float("-inf"))
+
+
+def mpc_min(sim: MPCSimulator, records: Sequence[Any], value: Callable[[Any], float]) -> float:
+    """Distributed minimum of ``value`` over the records."""
+    arr = DistributedArray.from_records(sim, list(records))
+    return arr.reduce(value, lambda a, b: a if a <= b else b, float("inf"))

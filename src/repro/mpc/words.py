@@ -1,0 +1,61 @@
+"""Word-size accounting helpers.
+
+The MPC model measures memory in *words* (machine words of O(log n) bits).
+The paper requires dynamic programming tables to occupy ``O(1)`` words
+(Definition 1, property 2) and machines to hold ``Theta(n^delta)`` words.
+
+These helpers provide a conservative, deterministic estimate of how many
+words a Python record occupies when serialized into the model.  They are used
+by the simulator for memory accounting and by tests that check the
+constant-size-table requirement for every shipped problem.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["word_size", "record_words"]
+
+
+def word_size(obj: Any) -> int:
+    """Return the number of machine words needed to store ``obj``.
+
+    The estimate is intentionally simple and conservative:
+
+    * ``None`` and booleans cost 1 word.
+    * Integers cost 1 word per 64 bits (so ordinary ids and weights cost 1).
+    * Floats cost 1 word.
+    * Strings cost 1 word per 8 characters (rounded up), minimum 1.
+    * Tuples, lists, sets and dicts cost the sum of their elements plus one
+      word of structural overhead.
+    * NumPy arrays cost one word per 8 bytes of data.
+    """
+    if obj is None or isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, np.integer)):
+        bits = int(obj).bit_length()
+        return max(1, (bits + 63) // 64)
+    if isinstance(obj, (float, np.floating)):
+        return 1
+    if isinstance(obj, str):
+        return max(1, (len(obj) + 7) // 8)
+    if isinstance(obj, bytes):
+        return max(1, (len(obj) + 7) // 8)
+    if isinstance(obj, np.ndarray):
+        return max(1, (obj.nbytes + 7) // 8)
+    if isinstance(obj, dict):
+        return 1 + sum(word_size(k) + word_size(v) for k, v in obj.items())
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return 1 + sum(word_size(x) for x in obj)
+    # Fall back to the object's __dict__ if it has one, else one word.
+    d = getattr(obj, "__dict__", None)
+    if d:
+        return 1 + sum(word_size(v) for v in d.values())
+    return 1
+
+
+def record_words(records) -> int:
+    """Total word size of an iterable of records."""
+    return sum(word_size(r) for r in records)

@@ -1,0 +1,52 @@
+"""The problem library (paper Table 1 and Section 6).
+
+Every module implements one of the problems the paper lists as solvable with
+the framework, either as a :class:`~repro.dp.problem.FiniteStateDP`, an
+accumulation problem, or a raw :class:`~repro.dp.problem.ClusterDP`, together
+with an independent sequential reference used by the tests and benchmarks.
+
+See :mod:`repro.problems.registry` for the catalogue consumed by the Table-1
+benchmark.
+"""
+
+from repro.problems.max_weight_independent_set import MaxWeightIndependentSet
+from repro.problems.min_weight_vertex_cover import MinWeightVertexCover
+from repro.problems.min_weight_dominating_set import MinWeightDominatingSet
+from repro.problems.max_weight_matching import MaxWeightMatching
+from repro.problems.counting_matchings import CountMatchingsModK
+from repro.problems.weighted_max_sat import WeightedMaxSAT
+from repro.problems.sum_coloring import SumColoring
+from repro.problems.vertex_coloring import VertexColoring
+from repro.problems.maximal_independent_set import MaximalIndependentSet
+from repro.problems.edge_coloring import EdgeColoring
+from repro.problems.longest_path import LongestPath
+from repro.problems.subtree_aggregation import (
+    SubtreeAggregate,
+    SubtreeSize,
+    NodeDepth,
+    RootToNodeSum,
+)
+from repro.problems.expression_evaluation import ArithmeticExpressionEvaluation
+from repro.problems.xml_validation import XMLStructureValidation
+from repro.problems.tree_median import TreeMedian
+
+__all__ = [
+    "MaxWeightIndependentSet",
+    "MinWeightVertexCover",
+    "MinWeightDominatingSet",
+    "MaxWeightMatching",
+    "CountMatchingsModK",
+    "WeightedMaxSAT",
+    "SumColoring",
+    "VertexColoring",
+    "MaximalIndependentSet",
+    "EdgeColoring",
+    "LongestPath",
+    "SubtreeAggregate",
+    "SubtreeSize",
+    "NodeDepth",
+    "RootToNodeSum",
+    "ArithmeticExpressionEvaluation",
+    "XMLStructureValidation",
+    "TreeMedian",
+]

@@ -1,0 +1,82 @@
+"""Counting matchings modulo k (Table 1).
+
+Counts all matchings of the tree (including the empty matching) modulo ``k``.
+Same state machine as :mod:`repro.problems.max_weight_matching`, evaluated in
+the counting semiring; since the semiring is not selective, only the root
+value (the count) is produced and the top-down pass is skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Tuple
+
+from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
+from repro.dp.semiring import counting_mod
+from repro.trees.tree import RootedTree
+
+__all__ = ["CountMatchingsModK", "sequential_count_matchings"]
+
+MATCHED_UP = "matched-up"
+FREE = "free"
+
+_UNMATCHED = "unmatched"
+_MATCHED = "matched"
+
+
+class CountMatchingsModK(FiniteStateDP):
+    """Number of matchings of the tree, modulo ``k``."""
+
+    states = (MATCHED_UP, FREE)
+    name = "counting matchings modulo k"
+
+    def __init__(self, k: int = 1_000_000_007):
+        self.k = k
+        self.semiring = counting_mod(k)
+
+    def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, int]]:
+        yield (_UNMATCHED, 1)
+
+    def transition(
+        self, v: NodeInput, acc: Hashable, child_state: Hashable, edge: EdgeInfo
+    ) -> Iterable[Tuple[Hashable, int]]:
+        if child_state == FREE:
+            yield (acc, 1)
+            return
+        if acc == _MATCHED:
+            return
+        yield (_MATCHED, 1)
+
+    def finalize(self, v: NodeInput, acc: Hashable) -> Iterable[Tuple[Hashable, int]]:
+        if v.is_auxiliary:
+            yield ((MATCHED_UP if acc == _MATCHED else FREE), 1)
+            return
+        yield (FREE, 1)
+        if acc == _UNMATCHED:
+            yield (MATCHED_UP, 1)
+
+    def virtual_root_value(self, state: Hashable) -> int:
+        return 0 if state == MATCHED_UP else 1
+
+    def extract_solution(self, tree, node_states, value):
+        return {"count_mod_k": value, "k": self.k}
+
+
+def sequential_count_matchings(tree: RootedTree, k: int = 1_000_000_007) -> int:
+    """Reference count of matchings mod k (independent of the framework code)."""
+    free: Dict[Hashable, int] = {}
+    up: Dict[Hashable, int] = {}
+    for v in tree.postorder():
+        kids = tree.children(v)
+        base = 1
+        for c in kids:
+            base = (base * free[c]) % k
+        total = base
+        for c in kids:
+            others = 1
+            for d in kids:
+                if d is not c:
+                    others = (others * free[d]) % k
+            total = (total + up[c] * others) % k
+        free[v] = total            # v unmatched upward (any matching below)
+        up[v] = base               # v available for its parent
+    return free[tree.root]

@@ -1,0 +1,81 @@
+"""Proper edge coloring of bounded-degree trees (an LCL problem, Table 1).
+
+Colour the edges with ``k`` colours so that edges sharing an endpoint differ.
+Trees admit a proper edge coloring with Δ colours.  The state of a node is
+the colour of its edge to its parent (the root gets the dummy state ``0``);
+the accumulator carries the set of colours already used by the node's child
+edges, which keeps the table size bounded by ``2^k`` — this problem is
+therefore shipped for **bounded degree / small k only**, matching its status
+as an LCL problem (the paper solves LCLs for constant-size label sets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Tuple
+
+from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
+from repro.dp.semiring import MAX_PLUS
+from repro.trees.tree import RootedTree
+
+__all__ = ["EdgeColoring", "is_proper_edge_coloring"]
+
+NO_COLOR = 0
+
+
+class EdgeColoring(FiniteStateDP):
+    """Proper edge coloring with colours ``1..k`` (k small)."""
+
+    semiring = MAX_PLUS
+    name = "edge coloring"
+
+    def __init__(self, k: int = 4):
+        if k < 1:
+            raise ValueError("edge coloring needs at least one colour")
+        if k > 8:
+            raise ValueError("edge coloring is shipped for small k (LCL regime)")
+        self.k = k
+        self.states = tuple([NO_COLOR] + list(range(1, k + 1)))
+
+    def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
+        yield (frozenset(), 0.0)
+
+    def transition(
+        self, v: NodeInput, acc: Hashable, child_state: Hashable, edge: EdgeInfo
+    ) -> Iterable[Tuple[Hashable, float]]:
+        used: FrozenSet[int] = acc
+        if child_state == NO_COLOR:
+            return  # only the root may use the dummy colour
+        if child_state in used:
+            return
+        yield (used | {child_state}, 0.0)
+
+    def finalize(self, v: NodeInput, acc: Hashable) -> Iterable[Tuple[Hashable, float]]:
+        used: FrozenSet[int] = acc
+        # The node's own up-edge colour must avoid all child-edge colours.
+        for c in range(1, self.k + 1):
+            if c not in used:
+                yield (c, 0.0)
+        yield (NO_COLOR, 0.0)
+
+    def virtual_root_value(self, state: Hashable) -> float:
+        # The virtual root edge carries no colour.
+        return self.semiring.one if state == NO_COLOR else self.semiring.zero
+
+    def extract_solution(self, tree, node_states, value):
+        coloring = {
+            (v, tree.parent[v]): s
+            for v, s in node_states.items()
+            if v != tree.root and s != NO_COLOR
+        }
+        return {"edge_coloring": coloring, "feasible": value == 0.0}
+
+
+def is_proper_edge_coloring(tree: RootedTree, coloring: Dict[Tuple, int]) -> bool:
+    """Edges sharing an endpoint must receive distinct colours."""
+    by_node: Dict[Hashable, list] = {}
+    for (c, p), col in coloring.items():
+        by_node.setdefault(c, []).append(col)
+        by_node.setdefault(p, []).append(col)
+    if len(coloring) != len(tree.edges()):
+        return False
+    return all(len(cols) == len(set(cols)) for cols in by_node.values())

@@ -1,0 +1,119 @@
+"""Evaluating arithmetic expressions given as trees (Table 1).
+
+The input tree is an expression tree: leaves carry numeric constants
+(``node_data[v]`` is a number) and internal nodes carry an operator
+(``node_data[v] = {"op": "+"}`` or ``{"op": "*"}``).  The framework evaluates
+the expression bottom-up; the indegree-one cluster summary is an affine map
+``x -> a*x + b`` (closed under composition for +/* expression trees — the
+classical tree-contraction algebra).
+
+Two practical notes, documented in DESIGN.md:
+
+* values can grow with the input, which would violate the O(1)-word table
+  requirement for adversarial inputs; evaluation is therefore performed in
+  Python floats (optionally modulo a prime via ``modulus=``),
+* only commutative operators are supported (the accumulation interface does
+  not order children).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.dp.accumulation import UpwardAccumulationDP
+from repro.dp.problem import NodeInput
+from repro.trees.tree import RootedTree
+
+__all__ = ["ArithmeticExpressionEvaluation", "evaluate_expression_tree"]
+
+
+class ArithmeticExpressionEvaluation(UpwardAccumulationDP):
+    """Evaluate a ``+``/``*`` expression tree."""
+
+    name = "arithmetic expression evaluation"
+
+    def __init__(self, modulus: Optional[int] = None):
+        self.modulus = modulus
+
+    def _reduce(self, x: Any) -> Any:
+        if self.modulus is not None:
+            return x % self.modulus
+        return x
+
+    def _op_of(self, v: NodeInput) -> Optional[str]:
+        if isinstance(v.data, dict) and "op" in v.data:
+            return v.data["op"]
+        return None
+
+    def _const_of(self, v: NodeInput) -> Any:
+        if isinstance(v.data, (int, float)) and not isinstance(v.data, bool):
+            return v.data
+        return 0
+
+    def value_of(self, v: NodeInput, child_values: List[Any]) -> Any:
+        op = self._op_of(v)
+        if op is None and not child_values:
+            return self._reduce(self._const_of(v))
+        if v.is_auxiliary:
+            op = "+" if op is None else op
+        if op == "+" or (op is None and child_values):
+            return self._reduce(sum(child_values))
+        if op == "*":
+            acc = 1
+            for x in child_values:
+                acc = self._reduce(acc * x)
+            return acc
+        raise ValueError(f"unsupported operator {op!r} at node {v.node!r}")
+
+    # Affine function algebra: ("affine", a, b) represents x -> a*x + b.
+
+    def partial_function(self, v: NodeInput, known_child_values: List[Any]) -> Any:
+        op = self._op_of(v)
+        if v.is_auxiliary and op is None:
+            op = "+"
+        if op == "+" or op is None:
+            return ("affine", 1, self._reduce(sum(known_child_values)))
+        if op == "*":
+            acc = 1
+            for x in known_child_values:
+                acc = self._reduce(acc * x)
+            return ("affine", acc, 0)
+        raise ValueError(f"unsupported operator {op!r} at node {v.node!r}")
+
+    def apply(self, fn: Any, x: Any) -> Any:
+        _, a, b = fn
+        return self._reduce(a * x + b)
+
+    def compose(self, outer: Any, inner: Any) -> Any:
+        _, a1, b1 = outer
+        _, a2, b2 = inner
+        return ("affine", self._reduce(a1 * a2), self._reduce(a1 * b2 + b1))
+
+    def extract_solution(self, tree, node_values, root_value):
+        return {"value": root_value, "node_values": node_values}
+
+
+def evaluate_expression_tree(tree: RootedTree, modulus: Optional[int] = None) -> Any:
+    """Reference sequential evaluation of the expression tree."""
+    vals: Dict[Hashable, Any] = {}
+    for v in tree.postorder():
+        data = tree.node_data.get(v)
+        kids = tree.children(v)
+        if not kids:
+            vals[v] = data if isinstance(data, (int, float)) else 0
+        else:
+            op = data.get("op") if isinstance(data, dict) else "+"
+            if op == "+":
+                vals[v] = sum(vals[c] for c in kids)
+            elif op == "*":
+                acc = 1
+                for c in kids:
+                    acc = acc * vals[c]
+                    if modulus is not None:
+                        acc %= modulus
+                vals[v] = acc
+            else:
+                raise ValueError(f"unsupported operator {op!r}")
+        if modulus is not None:
+            vals[v] %= modulus
+    return vals[tree.root]

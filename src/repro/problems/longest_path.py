@@ -1,0 +1,183 @@
+"""Longest (maximum-weight) path in a tree (Table 1).
+
+Edge weights are read from ``edge_data[(child, parent)]`` (default 1.0, so
+the unweighted problem is the tree diameter in edges); auxiliary edges of the
+degree reduction weigh 0, which preserves the optimum.
+
+This problem does not fit the per-node finite-state interface (the natural
+summary is a small tuple of path lengths, not a per-node state), so it is
+implemented directly against the raw :class:`~repro.dp.problem.ClusterDP`
+interface:
+
+* an indegree-zero cluster is summarised by ``(inside, from_top)`` — the best
+  path fully inside the cluster and the best path starting at its top node;
+* an indegree-one cluster is summarised by ``(inside, from_top, from_bottom,
+  through)`` where ``from_bottom`` starts at the node its incoming edge
+  attaches to and ``through`` is the weight of the (unique) top-to-attachment
+  path — exactly the information needed to compose clusters along a path.
+
+The problem reports the optimal value only (the label of an edge is not
+naturally a single O(1)-word output for a global path), so the engine skips
+the top-down pass, as it does for counting problems.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.clustering.model import Element
+from repro.dp.problem import ClusterContext, ClusterDP, EdgeInfo
+from repro.trees.tree import RootedTree
+
+__all__ = ["LongestPath", "sequential_longest_path"]
+
+
+def _edge_weight(edge: EdgeInfo, default: float = 1.0) -> float:
+    if edge.is_auxiliary:
+        return 0.0
+    return edge.weight(default)
+
+
+class LongestPath(ClusterDP):
+    """Maximum-weight path in the tree (value only)."""
+
+    produces_labels = False
+    name = "longest path"
+
+    def __init__(self, default_edge_weight: float = 1.0):
+        self.default_edge_weight = default_edge_weight
+
+    # Closed results are ("closed", inside, from_top);
+    # open results (hole below) are ("open", inside, from_top, from_bottom, through).
+
+    def summarize(self, ctx: ClusterContext) -> Any:
+        result = self._evaluate(ctx)[ctx.top_element]
+        if ctx.is_indegree_one:
+            if result[0] != "open":
+                raise RuntimeError("indegree-one cluster must produce an open summary")
+            _, inside, from_top, from_bottom, through = result
+            return {"kind": "open", "table": (inside, from_top, from_bottom, through)}
+        if result[0] != "closed":
+            raise RuntimeError("indegree-zero cluster must produce a closed summary")
+        _, inside, from_top = result
+        return {"kind": "closed", "table": (inside, from_top)}
+
+    def label_virtual_root(self, ctx: ClusterContext, summary: Any) -> Tuple[Any, Any]:
+        inside, from_top = summary["table"]
+        return None, max(inside, from_top, 0.0)
+
+    def extract(self, tree, edge_labels, root_label, value):
+        return {"longest_path_weight": value}
+
+    # ------------------------------------------------------------------ #
+
+    def _evaluate(self, ctx: ClusterContext) -> Dict[Element, Tuple]:
+        order: List[Element] = []
+        stack = [ctx.top_element]
+        while stack:
+            e = stack.pop()
+            order.append(e)
+            stack.extend(ctx.children_of(e))
+        order.reverse()
+
+        results: Dict[Element, Tuple] = {}
+        for e in order:
+            kids = ctx.children_of(e)
+            if e[0] == "node":
+                results[e] = self._combine_node(ctx, e, kids, results)
+            else:
+                kind = ctx.element_kind(e)
+                summary = ctx.summary_of(e)
+                if kind == "indegree-1":
+                    results[e] = self._combine_indeg1(ctx, e, kids, results, summary)
+                else:
+                    inside, from_top = summary["table"]
+                    results[e] = ("closed", inside, from_top)
+        return results
+
+    def _combine_node(self, ctx, e, kids, results) -> Tuple:
+        is_hole_here = ctx.hole_element == e and ctx.is_indegree_one
+        arms: List[float] = []
+        insides: List[float] = [0.0]
+        open_child: Optional[Tuple[float, float, float]] = None  # (arm, from_bottom, through)
+        for c in kids:
+            edge = ctx.edge_to_parent(c)
+            w = _edge_weight(edge, self.default_edge_weight)
+            r = results[c]
+            if r[0] == "closed":
+                _, inside_c, from_top_c = r
+                arms.append(w + from_top_c)
+                insides.append(inside_c)
+            else:
+                _, inside_c, from_top_c, from_bottom_c, through_c = r
+                arms.append(w + from_top_c)
+                insides.append(inside_c)
+                open_child = (w + from_top_c, from_bottom_c, w + through_c)
+
+        arms_sorted = sorted(arms, reverse=True)
+        top1 = arms_sorted[0] if arms_sorted else 0.0
+        top2 = arms_sorted[1] if len(arms_sorted) > 1 else 0.0
+        inside = max(max(insides), max(0.0, top1) + max(0.0, top2))
+        from_top = max(0.0, top1)
+
+        if is_hole_here:
+            # The hole attaches directly to this node: through-path weight 0.
+            return ("open", inside, from_top, from_top, 0.0)
+        if open_child is not None:
+            open_arm, from_bottom_c, through = open_child
+            other_arms = [a for a in arms if a != open_arm] or [0.0]
+            # Re-handle duplicates: remove one occurrence of the open arm only.
+            other_arms = list(arms)
+            other_arms.remove(open_arm)
+            best_other = max(other_arms) if other_arms else 0.0
+            from_bottom = max(from_bottom_c, through + max(0.0, best_other))
+            return ("open", inside, from_top, from_bottom, through)
+        return ("closed", inside, from_top)
+
+    def _combine_indeg1(self, ctx, e, kids, results, summary) -> Tuple:
+        inside_d, from_top_d, from_bottom_d, through_d = summary["table"]
+        if not kids:
+            if ctx.hole_element != e:
+                raise RuntimeError(
+                    f"indegree-one sub-cluster {e!r} has no child and is not the hole"
+                )
+            return ("open", inside_d, from_top_d, from_bottom_d, through_d)
+        child = kids[0]
+        edge = ctx.edge_to_parent(child)
+        # The connecting edge is the sub-cluster's incoming edge; its weight is
+        # applied here (it is internal to the *current* cluster).
+        w = _edge_weight(ctx.edge_info(ctx.sub_cluster(e).in_edge), self.default_edge_weight)
+        r = results[child]
+        if r[0] == "closed":
+            _, inside_x, from_top_x = r
+            inside = max(inside_d, inside_x, from_bottom_d + w + from_top_x)
+            from_top = max(from_top_d, through_d + w + from_top_x)
+            return ("closed", inside, from_top)
+        _, inside_x, from_top_x, from_bottom_x, through_x = r
+        inside = max(inside_d, inside_x, from_bottom_d + w + from_top_x)
+        from_top = max(from_top_d, through_d + w + from_top_x)
+        from_bottom = max(from_bottom_x, through_x + w + from_bottom_d)
+        through = through_d + w + through_x
+        return ("open", inside, from_top, from_bottom, through)
+
+
+def sequential_longest_path(tree: RootedTree, default_edge_weight: float = 1.0) -> float:
+    """Reference two-value bottom-up DP for the maximum-weight path."""
+
+    def w(c, p):
+        data = tree.edge_data.get((c, p))
+        if isinstance(data, (int, float)):
+            return float(data)
+        if isinstance(data, dict) and "weight" in data:
+            return float(data["weight"])
+        return default_edge_weight
+
+    down: Dict[Hashable, float] = {}
+    best = 0.0
+    for v in tree.postorder():
+        arms = sorted((w(c, v) + down[c] for c in tree.children(v)), reverse=True)
+        top1 = arms[0] if arms else 0.0
+        top2 = arms[1] if len(arms) > 1 else 0.0
+        down[v] = max(0.0, top1)
+        best = max(best, max(0.0, top1) + max(0.0, top2))
+    return best

@@ -1,0 +1,115 @@
+"""Maximum-weight independent set in trees (the paper's running example, §1.6.1).
+
+Every node has a nonnegative weight; find the heaviest set of nodes no two of
+which are adjacent.
+
+DP formulation (exactly the paper's): the label of the edge ``(u, v)``
+indicates whether ``u`` is in the set; the summary of an indegree-zero
+cluster is the pair (best weight with the top node in the set, best weight
+with it out), and the summary of an indegree-one cluster is the 2×2 matrix
+over (top in/out, below in/out) — both produced automatically by the generic
+finite-state solver.
+
+High-degree handling (Section 5.3): auxiliary edges force equality (all
+copies of a split node make the same choice) and auxiliary nodes have zero
+weight, so the optimum is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Tuple
+
+from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
+from repro.dp.semiring import MAX_PLUS
+from repro.trees.tree import RootedTree
+
+__all__ = [
+    "MaxWeightIndependentSet",
+    "independent_set_weight",
+    "is_independent_set",
+    "sequential_max_weight_independent_set",
+]
+
+IN = "in"
+OUT = "out"
+
+# Accumulator states: what the absorbed children allow the node itself to be.
+_FREE = "free"
+_MUST_IN = "must-in"
+_MUST_OUT = "must-out"
+
+
+class MaxWeightIndependentSet(FiniteStateDP):
+    """Maximum-weight independent set as a finite-state DP."""
+
+    states = (IN, OUT)
+    semiring = MAX_PLUS
+    name = "maximum-weight independent set"
+
+    def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
+        yield (_FREE, 0.0)
+
+    def transition(
+        self, v: NodeInput, acc: Hashable, child_state: Hashable, edge: EdgeInfo
+    ) -> Iterable[Tuple[Hashable, float]]:
+        if edge.is_auxiliary:
+            # Auxiliary edges force equal choices (Section 5.3): all copies of
+            # a split high-degree node make the same decision.
+            need = _MUST_IN if child_state == IN else _MUST_OUT
+        else:
+            # Independent set constraint: an IN child forbids the node itself
+            # from being IN; an OUT child imposes nothing.
+            need = _MUST_OUT if child_state == IN else None
+        if need is None:
+            yield (acc, 0.0)
+        elif acc == _FREE or acc == need:
+            yield (need, 0.0)
+        # otherwise the combination is infeasible: yield nothing
+
+    def finalize(self, v: NodeInput, acc: Hashable) -> Iterable[Tuple[Hashable, float]]:
+        w = 0.0 if v.is_auxiliary else v.weight(0.0)
+        if acc in (_FREE, _MUST_IN):
+            yield (IN, w)
+        if acc in (_FREE, _MUST_OUT):
+            yield (OUT, 0.0)
+
+    def extract_solution(self, tree, node_states, value):
+        chosen = sorted(
+            (v for v, s in node_states.items() if s == IN and not _is_aux(v)),
+            key=lambda x: (str(type(x)), str(x)),
+        )
+        return {"independent_set": chosen, "weight": value}
+
+
+def _is_aux(v) -> bool:
+    return isinstance(v, tuple) and len(v) == 3 and v[0] == "aux"
+
+
+# --------------------------------------------------------------------------- #
+# Independent reference helpers (used by tests and benchmarks)
+# --------------------------------------------------------------------------- #
+
+
+def is_independent_set(tree: RootedTree, chosen) -> bool:
+    """True iff no tree edge has both endpoints chosen."""
+    chosen_set = set(chosen)
+    return all(not (c in chosen_set and p in chosen_set) for c, p in tree.edges())
+
+
+def independent_set_weight(tree: RootedTree, chosen) -> float:
+    """Total weight of the chosen nodes."""
+    return sum(tree.weight(v) for v in chosen)
+
+
+def sequential_max_weight_independent_set(tree: RootedTree) -> float:
+    """Textbook two-state bottom-up DP (independent of the framework code)."""
+    take: Dict[Hashable, float] = {}
+    skip: Dict[Hashable, float] = {}
+    for v in tree.postorder():
+        t = tree.weight(v)
+        s = 0.0
+        for c in tree.children(v):
+            t += skip[c]
+            s += max(take[c], skip[c])
+        take[v], skip[v] = t, s
+    return max(take[tree.root], skip[tree.root])

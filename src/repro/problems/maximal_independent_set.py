@@ -1,0 +1,114 @@
+"""Maximal independent set (an LCL problem, Table 1 — also solvable by prior work).
+
+Find an independent set that is *maximal*: every node outside the set has a
+neighbour inside it.  The three states mirror the dominating-set structure:
+
+* ``in``       — in the set (no neighbour may be in),
+* ``out-sat``  — outside, already covered by a child in the set,
+* ``out-need`` — outside, not covered from below (the parent must be in).
+
+Any locally consistent labelling is a valid maximal independent set; the
+semiring value is 0/-inf feasibility (plus, optionally, node weights so the
+solver prefers heavier maximal sets — set ``prefer_weight=True``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Tuple
+
+from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
+from repro.dp.semiring import MAX_PLUS
+from repro.trees.tree import RootedTree
+
+__all__ = ["MaximalIndependentSet", "is_maximal_independent_set"]
+
+IN = "in"
+OUT_SAT = "out-sat"
+OUT_NEED = "out-need"
+
+_FREE = "free"
+_MUST_IN = "must-in"
+_MUST_OUT = "must-out"
+
+
+class MaximalIndependentSet(FiniteStateDP):
+    """Maximal independent set as an LCL-style finite-state DP."""
+
+    states = (IN, OUT_SAT, OUT_NEED)
+    semiring = MAX_PLUS
+    name = "maximal independent set"
+
+    def __init__(self, prefer_weight: bool = False):
+        self.prefer_weight = prefer_weight
+
+    def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
+        yield ((_FREE, False), 0.0)
+
+    def transition(
+        self, v: NodeInput, acc: Hashable, child_state: Hashable, edge: EdgeInfo
+    ) -> Iterable[Tuple[Hashable, float]]:
+        req, covered = acc
+        if edge.is_auxiliary:
+            if child_state == IN:
+                need, cov = _MUST_IN, covered
+            elif child_state == OUT_SAT:
+                need, cov = _MUST_OUT, True
+            else:
+                need, cov = _MUST_OUT, covered
+        else:
+            if child_state == IN:
+                # An IN child both forbids the node and covers it.
+                need, cov = _MUST_OUT, True
+            elif child_state == OUT_NEED:
+                need, cov = _MUST_IN, covered
+            else:
+                need, cov = None, covered
+        if need is None:
+            yield ((req, cov), 0.0)
+        elif req == _FREE or req == need:
+            yield ((need, cov), 0.0)
+
+    def finalize(self, v: NodeInput, acc: Hashable) -> Iterable[Tuple[Hashable, float]]:
+        req, covered = acc
+        w = 0.0
+        if self.prefer_weight and not v.is_auxiliary:
+            w = v.weight(0.0)
+        if req in (_FREE, _MUST_IN):
+            yield (IN, w)
+        if req in (_FREE, _MUST_OUT):
+            if covered:
+                yield (OUT_SAT, 0.0)
+            else:
+                yield (OUT_NEED, 0.0)
+
+    def virtual_root_value(self, state: Hashable) -> float:
+        return self.semiring.zero if state == OUT_NEED else self.semiring.one
+
+    def extract_solution(self, tree, node_states, value):
+        chosen = sorted(
+            (v for v, s in node_states.items() if s == IN and not _is_aux(v)),
+            key=lambda x: (str(type(x)), str(x)),
+        )
+        return {"maximal_independent_set": chosen}
+
+
+def _is_aux(v) -> bool:
+    return isinstance(v, tuple) and len(v) == 3 and v[0] == "aux"
+
+
+def is_maximal_independent_set(tree: RootedTree, chosen) -> bool:
+    """Independence plus maximality (every outside node has a chosen neighbour)."""
+    chosen_set = set(chosen)
+    cm = tree.children_map()
+    for c, p in tree.edges():
+        if c in chosen_set and p in chosen_set:
+            return False
+    for v in tree.nodes():
+        if v in chosen_set:
+            continue
+        neighbours = list(cm[v])
+        if v != tree.root:
+            neighbours.append(tree.parent[v])
+        if not any(u in chosen_set for u in neighbours):
+            return False
+    return True

@@ -1,0 +1,151 @@
+"""Minimum-weight dominating set in trees (Table 1).
+
+Choose a minimum-weight set of nodes such that every node is either chosen or
+adjacent to a chosen node.  The classic three-state formulation is used:
+
+* ``in``        — the node is in the set,
+* ``dominated`` — not in the set but dominated by one of its children,
+* ``needs``     — not in the set and not yet dominated (its parent must be in).
+
+The accumulator tracks whether some child already dominates the node and
+whether the children force the node in or out; this is exactly the kind of
+sibling coupling ("at least one child in the set") that the accumulator-based
+transition interface exists for.
+
+Degree reduction (Section 5.3): auxiliary nodes mirror the membership of the
+node they were split from; a dominated auxiliary copy passes the domination
+credit upwards, and auxiliary nodes themselves never need to be dominated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Tuple
+
+from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
+from repro.dp.semiring import MIN_PLUS
+from repro.trees.tree import RootedTree
+
+__all__ = ["MinWeightDominatingSet", "is_dominating_set", "sequential_min_weight_dominating_set"]
+
+IN = "in"
+DOMINATED = "dominated"
+NEEDS = "needs"
+
+# accumulator: (requirement, has_dominating_child)
+_FREE = "free"
+_MUST_IN = "must-in"
+_MUST_OUT = "must-out"
+
+
+class MinWeightDominatingSet(FiniteStateDP):
+    """Minimum-weight dominating set as a finite-state DP."""
+
+    states = (IN, DOMINATED, NEEDS)
+    semiring = MIN_PLUS
+    name = "minimum-weight dominating set"
+
+    def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
+        yield ((_FREE, False), 0.0)
+
+    def transition(
+        self, v: NodeInput, acc: Hashable, child_state: Hashable, edge: EdgeInfo
+    ) -> Iterable[Tuple[Hashable, float]]:
+        req, has_dom = acc
+        if edge.is_auxiliary:
+            # The auxiliary child mirrors the node's own membership; a
+            # dominated auxiliary child means one of the node's real children
+            # dominates it.
+            if child_state == IN:
+                need, dom = _MUST_IN, has_dom
+            elif child_state == DOMINATED:
+                need, dom = _MUST_OUT, True
+            else:  # NEEDS
+                need, dom = _MUST_OUT, has_dom
+        else:
+            if child_state == IN:
+                need, dom = None, True
+            elif child_state == NEEDS:
+                # A child that is not dominated from below forces this node in.
+                need, dom = _MUST_IN, has_dom
+            else:
+                need, dom = None, has_dom
+        if need is None:
+            yield ((req, dom), 0.0)
+        elif req == _FREE or req == need:
+            yield ((need, dom), 0.0)
+
+    def finalize(self, v: NodeInput, acc: Hashable) -> Iterable[Tuple[Hashable, float]]:
+        req, has_dom = acc
+        w = 0.0 if v.is_auxiliary else v.weight(0.0)
+        if req in (_FREE, _MUST_IN):
+            yield (IN, w)
+        if req in (_FREE, _MUST_OUT):
+            if has_dom:
+                yield (DOMINATED, 0.0)
+            else:
+                yield (NEEDS, 0.0)
+
+    def virtual_root_value(self, state: Hashable) -> float:
+        # The root has no parent to dominate it.
+        return self.semiring.zero if state == NEEDS else self.semiring.one
+
+    def extract_solution(self, tree, node_states, value):
+        chosen = sorted(
+            (v for v, s in node_states.items() if s == IN and not _is_aux(v)),
+            key=lambda x: (str(type(x)), str(x)),
+        )
+        return {"dominating_set": chosen, "weight": value}
+
+
+def _is_aux(v) -> bool:
+    return isinstance(v, tuple) and len(v) == 3 and v[0] == "aux"
+
+
+def is_dominating_set(tree: RootedTree, chosen) -> bool:
+    """True iff every node is chosen or has a chosen neighbour."""
+    chosen_set = set(chosen)
+    cm = tree.children_map()
+    for v in tree.nodes():
+        if v in chosen_set:
+            continue
+        neighbours = list(cm[v])
+        if v != tree.root:
+            neighbours.append(tree.parent[v])
+        if not any(u in chosen_set for u in neighbours):
+            return False
+    return True
+
+
+def sequential_min_weight_dominating_set(tree: RootedTree) -> float:
+    """Classic three-state bottom-up DP (independent of the framework code)."""
+    INF = float("inf")
+    dp_in: Dict[Hashable, float] = {}
+    dp_dom: Dict[Hashable, float] = {}
+    dp_need: Dict[Hashable, float] = {}
+    for v in tree.postorder():
+        kids = tree.children(v)
+        w = tree.weight(v)
+        # v in the set: children may be anything except "needs" unresolved?  A
+        # child in "needs" is dominated by v, so the cheapest of all three works
+        # with needs being fine.
+        cost_in = w + sum(min(dp_in[c], dp_dom[c], dp_need[c]) for c in kids)
+        # v not in the set: every child must be in or dominated; v needs at
+        # least one child in the set to be dominated itself.
+        base = 0.0
+        best_switch = INF
+        feasible = True
+        for c in kids:
+            stay = min(dp_in[c], dp_dom[c])
+            if stay == INF:
+                feasible = False
+                break
+            base += stay
+            best_switch = min(best_switch, dp_in[c] - stay)
+        if feasible:
+            cost_need = base
+            cost_dom = base + best_switch if kids else INF
+        else:
+            cost_need = INF
+            cost_dom = INF
+        dp_in[v], dp_dom[v], dp_need[v] = cost_in, cost_dom, cost_need
+    return min(dp_in[tree.root], dp_dom[tree.root])

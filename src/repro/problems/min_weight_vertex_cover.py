@@ -1,0 +1,86 @@
+"""Minimum-weight vertex cover in trees (Table 1).
+
+Choose a minimum-weight set of nodes touching every edge.  States are
+``in``/``out``; an edge whose child endpoint is ``out`` forces the parent
+endpoint to be ``in``.  Auxiliary edges of the degree reduction force the two
+copies of a split node to make the same choice; auxiliary nodes are free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Tuple
+
+from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
+from repro.dp.semiring import MIN_PLUS
+from repro.trees.tree import RootedTree
+
+__all__ = ["MinWeightVertexCover", "is_vertex_cover", "sequential_min_weight_vertex_cover"]
+
+IN = "in"
+OUT = "out"
+
+_FREE = "free"
+_MUST_IN = "must-in"
+_MUST_OUT = "must-out"
+
+
+class MinWeightVertexCover(FiniteStateDP):
+    """Minimum-weight vertex cover as a finite-state DP."""
+
+    states = (IN, OUT)
+    semiring = MIN_PLUS
+    name = "minimum-weight vertex cover"
+
+    def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
+        yield (_FREE, 0.0)
+
+    def transition(
+        self, v: NodeInput, acc: Hashable, child_state: Hashable, edge: EdgeInfo
+    ) -> Iterable[Tuple[Hashable, float]]:
+        if edge.is_auxiliary:
+            need = _MUST_IN if child_state == IN else _MUST_OUT
+        else:
+            # Cover constraint: if the child is out, the parent must cover the edge.
+            need = _MUST_IN if child_state == OUT else None
+        if need is None:
+            yield (acc, 0.0)
+        elif acc == _FREE or acc == need:
+            yield (need, 0.0)
+
+    def finalize(self, v: NodeInput, acc: Hashable) -> Iterable[Tuple[Hashable, float]]:
+        w = 0.0 if v.is_auxiliary else v.weight(0.0)
+        if acc in (_FREE, _MUST_IN):
+            yield (IN, w)
+        if acc in (_FREE, _MUST_OUT):
+            yield (OUT, 0.0)
+
+    def extract_solution(self, tree, node_states, value):
+        chosen = sorted(
+            (v for v, s in node_states.items() if s == IN and not _is_aux(v)),
+            key=lambda x: (str(type(x)), str(x)),
+        )
+        return {"vertex_cover": chosen, "weight": value}
+
+
+def _is_aux(v) -> bool:
+    return isinstance(v, tuple) and len(v) == 3 and v[0] == "aux"
+
+
+def is_vertex_cover(tree: RootedTree, chosen) -> bool:
+    """True iff every tree edge has at least one chosen endpoint."""
+    chosen_set = set(chosen)
+    return all(c in chosen_set or p in chosen_set for c, p in tree.edges())
+
+
+def sequential_min_weight_vertex_cover(tree: RootedTree) -> float:
+    """Textbook two-state bottom-up DP (independent of the framework code)."""
+    take: Dict[Hashable, float] = {}
+    skip: Dict[Hashable, float] = {}
+    for v in tree.postorder():
+        t = tree.weight(v)
+        s = 0.0
+        for c in tree.children(v):
+            t += min(take[c], skip[c])
+            s += take[c]
+        take[v], skip[v] = t, s
+    return min(take[tree.root], skip[tree.root])

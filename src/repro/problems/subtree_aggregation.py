@@ -1,0 +1,152 @@
+"""Subtree aggregation and other accumulation problems (Table 1, Section 6.3).
+
+* :class:`SubtreeAggregate` — the sum, minimum or maximum of the input labels
+  in each subtree (the paper's generalisation of prefix sums to trees).
+* :class:`SubtreeSize` — subtree sizes (sum with every node counting 1);
+  needed by the DFS-traversal export of Section 6.3.
+* :class:`NodeDepth` — a downward accumulation computing every node's depth;
+  needed by the BFS-traversal export of Section 6.3.
+* :class:`RootToNodeSum` — root-to-node prefix sums (downward accumulation).
+
+The indegree-one cluster summaries are O(1)-word functions: affine maps
+``x -> x + c`` for sums, cap maps ``x -> op(x, c)`` for min/max.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.dp.accumulation import DownwardAccumulationDP, UpwardAccumulationDP
+from repro.dp.problem import EdgeInfo, NodeInput
+from repro.trees.tree import RootedTree
+
+__all__ = ["SubtreeAggregate", "SubtreeSize", "NodeDepth", "RootToNodeSum"]
+
+
+class SubtreeAggregate(UpwardAccumulationDP):
+    """Per-subtree sum / min / max of the numeric node inputs."""
+
+    def __init__(self, op: str = "sum", count_nodes_without_data: bool = True):
+        if op not in ("sum", "min", "max"):
+            raise ValueError(f"unsupported op {op!r}")
+        self.op = op
+        self.count_missing = count_nodes_without_data
+        self.name = f"subtree {op}"
+
+    # -- values -------------------------------------------------------------- #
+
+    def _own(self, v: NodeInput) -> Optional[float]:
+        if v.is_auxiliary:
+            return None
+        if isinstance(v.data, (int, float)) and not isinstance(v.data, bool):
+            return float(v.data)
+        if self.op == "sum" and self.count_missing:
+            return 0.0
+        return None
+
+    def value_of(self, v: NodeInput, child_values: List[Any]) -> Any:
+        vals = [x for x in child_values]
+        own = self._own(v)
+        if own is not None:
+            vals.append(own)
+        if self.op == "sum":
+            return float(sum(vals))
+        if not vals:
+            return float("inf") if self.op == "min" else float("-inf")
+        return float(min(vals) if self.op == "min" else max(vals))
+
+    # -- O(1)-word function algebra ------------------------------------------ #
+    # sum: f(x) = x + c          represented as ("add", c)
+    # min: f(x) = min(x, c)      represented as ("cap", c)
+    # max: f(x) = max(x, c)      represented as ("cap", c)
+
+    def partial_function(self, v: NodeInput, known_child_values: List[Any]) -> Any:
+        rest = self.value_of(v, list(known_child_values))
+        if self.op == "sum":
+            return ("add", rest)
+        return ("cap", rest)
+
+    def apply(self, fn: Any, x: Any) -> Any:
+        kind, c = fn
+        if kind == "add":
+            return x + c
+        if self.op == "min":
+            return min(x, c)
+        return max(x, c)
+
+    def compose(self, outer: Any, inner: Any) -> Any:
+        ko, co = outer
+        ki, ci = inner
+        if self.op == "sum":
+            return ("add", co + ci)
+        # outer(inner(x)) = op(op(x, ci), co) = op(x, op(ci, co))
+        return ("cap", min(ci, co) if self.op == "min" else max(ci, co))
+
+    def extract_solution(self, tree, node_values, root_value):
+        clean = {v: x for v, x in node_values.items() if not _is_aux(v)}
+        return {"subtree_values": clean, "root_value": root_value, "op": self.op}
+
+
+class SubtreeSize(SubtreeAggregate):
+    """Size of every subtree (every original node counts one)."""
+
+    def __init__(self) -> None:
+        super().__init__(op="sum")
+        self.name = "subtree size"
+
+    def _own(self, v: NodeInput) -> Optional[float]:
+        return None if v.is_auxiliary else 1.0
+
+
+class NodeDepth(DownwardAccumulationDP):
+    """Depth of every node (root = 0), counting original edges only."""
+
+    name = "node depth"
+
+    def root_seed(self) -> Any:
+        return -1.0
+
+    def down_function(self, v: NodeInput, edge: Optional[EdgeInfo]) -> Any:
+        # value(v) = value(parent) + 1, except that auxiliary edges do not add
+        # depth (an auxiliary node sits at its original node's depth).
+        step = 0.0 if (edge is not None and edge.is_auxiliary) else 1.0
+        return ("add", step)
+
+    def apply(self, fn: Any, x: Any) -> Any:
+        return x + fn[1]
+
+    def compose(self, outer: Any, inner: Any) -> Any:
+        return ("add", outer[1] + inner[1])
+
+    def extract_solution(self, tree, node_values, root_value):
+        clean = {v: x for v, x in node_values.items() if not _is_aux(v)}
+        return {"depths": clean, "root_value": root_value}
+
+
+class RootToNodeSum(DownwardAccumulationDP):
+    """Sum of the numeric inputs on the path from the root to every node."""
+
+    name = "root-to-node prefix sum"
+
+    def root_seed(self) -> Any:
+        return 0.0
+
+    def down_function(self, v: NodeInput, edge: Optional[EdgeInfo]) -> Any:
+        own = 0.0
+        if not v.is_auxiliary and isinstance(v.data, (int, float)) and not isinstance(v.data, bool):
+            own = float(v.data)
+        return ("add", own)
+
+    def apply(self, fn: Any, x: Any) -> Any:
+        return x + fn[1]
+
+    def compose(self, outer: Any, inner: Any) -> Any:
+        return ("add", outer[1] + inner[1])
+
+    def extract_solution(self, tree, node_values, root_value):
+        clean = {v: x for v, x in node_values.items() if not _is_aux(v)}
+        return {"prefix_sums": clean, "root_value": root_value}
+
+
+def _is_aux(v) -> bool:
+    return isinstance(v, tuple) and len(v) == 3 and v[0] == "aux"

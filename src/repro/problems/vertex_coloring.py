@@ -1,0 +1,66 @@
+"""Proper vertex coloring (an LCL problem, Table 1 — also solvable by prior work).
+
+Colour the nodes with ``k`` colours so adjacent nodes differ.  Optionally a
+per-node list of allowed colours can be supplied in ``node_data[v] =
+{"allowed": [...]}`` (list coloring).  The problem is a pure constraint
+satisfaction task: the semiring value only signals feasibility (0 feasible /
+-inf infeasible), and the produced labels are a valid coloring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Tuple
+
+from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
+from repro.dp.semiring import MAX_PLUS
+from repro.trees.tree import RootedTree
+
+__all__ = ["VertexColoring", "is_proper_vertex_coloring"]
+
+
+class VertexColoring(FiniteStateDP):
+    """Proper (list-)coloring with ``k`` colours as an LCL."""
+
+    semiring = MAX_PLUS
+    name = "vertex coloring"
+
+    def __init__(self, k: int = 3):
+        if k < 2:
+            raise ValueError("vertex coloring needs at least two colours")
+        self.k = k
+        self.states = tuple(range(1, k + 1))
+
+    def _allowed(self, v: NodeInput):
+        if isinstance(v.data, dict) and "allowed" in v.data:
+            return tuple(v.data["allowed"])
+        return self.states
+
+    def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
+        allowed = self.states if v.is_auxiliary else self._allowed(v)
+        for c in allowed:
+            yield (c, 0.0)
+
+    def transition(
+        self, v: NodeInput, acc: Hashable, child_state: Hashable, edge: EdgeInfo
+    ) -> Iterable[Tuple[Hashable, float]]:
+        if edge.is_auxiliary:
+            if child_state == acc:
+                yield (acc, 0.0)
+            return
+        if child_state != acc:
+            yield (acc, 0.0)
+
+    def finalize(self, v: NodeInput, acc: Hashable) -> Iterable[Tuple[Hashable, float]]:
+        yield (acc, 0.0)
+
+    def extract_solution(self, tree, node_states, value):
+        coloring = {v: s for v, s in node_states.items() if not _is_aux(v)}
+        return {"coloring": coloring, "feasible": value == 0.0}
+
+
+def _is_aux(v) -> bool:
+    return isinstance(v, tuple) and len(v) == 3 and v[0] == "aux"
+
+
+def is_proper_vertex_coloring(tree: RootedTree, coloring: Dict[Hashable, int]) -> bool:
+    return all(coloring[c] != coloring[p] for c, p in tree.edges())

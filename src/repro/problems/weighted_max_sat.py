@@ -1,0 +1,133 @@
+"""Weighted max-SAT on tree-structured formulas (Table 1).
+
+Variables are the tree nodes (Boolean states).  Clauses come in two forms:
+
+* **unit clauses** attached to a node: ``node_data[v] = {"clauses": [(literal,
+  weight), ...]}`` where the clause is satisfied when the node's value equals
+  ``literal``;
+* **binary clauses** attached to an edge: ``edge_data[(child, parent)] =
+  {"clauses": [(child_literal, parent_literal, weight), ...]}``, satisfied
+  when the child's value equals ``child_literal`` *or* the parent's value
+  equals ``parent_literal``.
+
+The task is to maximise the total weight of satisfied clauses.  Because the
+clause graph is the tree itself, this is exactly the tree-structured max-SAT
+instance the paper refers to.  The accumulator carries the node's own chosen
+value so binary clauses can be scored as children are absorbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
+from repro.dp.semiring import MAX_PLUS
+from repro.trees.tree import RootedTree
+
+__all__ = ["WeightedMaxSAT", "sequential_max_sat", "max_sat_value_of_assignment"]
+
+TRUE = True
+FALSE = False
+
+
+def _edge_clauses(edge: EdgeInfo) -> List[Tuple[bool, bool, float]]:
+    if isinstance(edge.data, dict):
+        return list(edge.data.get("clauses", []))
+    return []
+
+
+def _unit_clauses(v: NodeInput) -> List[Tuple[bool, float]]:
+    if isinstance(v.data, dict):
+        return list(v.data.get("clauses", []))
+    return []
+
+
+class WeightedMaxSAT(FiniteStateDP):
+    """Weighted max-SAT over a tree-structured clause set."""
+
+    states = (TRUE, FALSE)
+    semiring = MAX_PLUS
+    name = "weighted max-SAT"
+
+    def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
+        # The accumulator is the node's own truth value, chosen up front.
+        yield (TRUE, 0.0)
+        yield (FALSE, 0.0)
+
+    def transition(
+        self, v: NodeInput, acc: Hashable, child_state: Hashable, edge: EdgeInfo
+    ) -> Iterable[Tuple[Hashable, float]]:
+        if edge.is_auxiliary:
+            # Copies of a split variable must agree.
+            if child_state == acc:
+                yield (acc, 0.0)
+            return
+        gained = 0.0
+        for child_lit, parent_lit, weight in _edge_clauses(edge):
+            if child_state == child_lit or acc == parent_lit:
+                gained += weight
+        yield (acc, gained)
+
+    def finalize(self, v: NodeInput, acc: Hashable) -> Iterable[Tuple[Hashable, float]]:
+        gained = 0.0
+        if not v.is_auxiliary:
+            for lit, weight in _unit_clauses(v):
+                if acc == lit:
+                    gained += weight
+        yield (acc, gained)
+
+    def extract_solution(self, tree, node_states, value):
+        assignment = {
+            v: bool(s) for v, s in node_states.items() if not _is_aux(v)
+        }
+        return {"assignment": assignment, "satisfied_weight": value}
+
+
+def _is_aux(v) -> bool:
+    return isinstance(v, tuple) and len(v) == 3 and v[0] == "aux"
+
+
+def max_sat_value_of_assignment(tree: RootedTree, assignment: Dict[Hashable, bool]) -> float:
+    """Total weight satisfied by a full assignment (reference scorer)."""
+    total = 0.0
+    for v in tree.nodes():
+        data = tree.node_data.get(v)
+        if isinstance(data, dict):
+            for lit, weight in data.get("clauses", []):
+                if assignment[v] == lit:
+                    total += weight
+    for (c, p) in tree.edges():
+        data = tree.edge_data.get((c, p))
+        if isinstance(data, dict):
+            for cl, pl, weight in data.get("clauses", []):
+                if assignment[c] == cl or assignment[p] == pl:
+                    total += weight
+    return total
+
+
+def sequential_max_sat(tree: RootedTree) -> float:
+    """Reference bottom-up DP over {True, False} (independent of the framework)."""
+    best: Dict[Hashable, Dict[bool, float]] = {}
+    for v in tree.postorder():
+        vals = {}
+        for mine in (True, False):
+            acc = 0.0
+            data = tree.node_data.get(v)
+            if isinstance(data, dict):
+                for lit, weight in data.get("clauses", []):
+                    if mine == lit:
+                        acc += weight
+            for c in tree.children(v):
+                edge_data = tree.edge_data.get((c, v))
+                clauses = edge_data.get("clauses", []) if isinstance(edge_data, dict) else []
+                options = []
+                for child_val in (True, False):
+                    gained = best[c][child_val]
+                    for cl, pl, weight in clauses:
+                        if child_val == cl or mine == pl:
+                            gained += weight
+                    options.append(gained)
+                acc += max(options)
+            vals[mine] = acc
+        best[v] = vals
+    return max(best[tree.root].values())

@@ -1,0 +1,145 @@
+"""Verifying the structure of XML-like documents (Table 1).
+
+The tree is a parsed tag tree (e.g. obtained from a string of parentheses /
+tags via Section 3); every node carries a tag name in ``node_data[v] =
+{"tag": ...}``.  A *schema* restricts which child tags may appear under which
+parent tag and how many children a tag may have.  The task is to decide
+whether the document conforms — a Boolean upward accumulation whose
+indegree-one cluster summary is one of the two constant Boolean functions or
+the identity (an O(1)-word algebra).
+
+The per-edge parent/child compatibility is checked on the child's side (its
+value becomes False if its own subtree is invalid *or* it is not allowed
+under its parent), so the check composes along the tree bottom-up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.dp.accumulation import UpwardAccumulationDP
+from repro.dp.problem import NodeInput
+from repro.trees.tree import RootedTree
+
+__all__ = ["XMLStructureValidation", "XMLSchema", "validate_xml_tree"]
+
+
+class XMLSchema:
+    """A small structural schema: allowed parent→child tag pairs and arities."""
+
+    def __init__(
+        self,
+        allowed_children: Optional[Dict[str, Set[str]]] = None,
+        max_children: Optional[Dict[str, int]] = None,
+        allowed_root: Optional[Set[str]] = None,
+    ):
+        self.allowed_children = allowed_children or {}
+        self.max_children = max_children or {}
+        self.allowed_root = allowed_root
+
+    def child_ok(self, parent_tag: str, child_tag: str) -> bool:
+        if parent_tag not in self.allowed_children:
+            return True
+        return child_tag in self.allowed_children[parent_tag]
+
+    def arity_ok(self, tag: str, n_children: int) -> bool:
+        cap = self.max_children.get(tag)
+        return cap is None or n_children <= cap
+
+    def root_ok(self, tag: str) -> bool:
+        return self.allowed_root is None or tag in self.allowed_root
+
+
+def _tag(tree_or_input, v=None) -> str:
+    data = tree_or_input.data if isinstance(tree_or_input, NodeInput) else tree_or_input.node_data.get(v)
+    if isinstance(data, dict) and "tag" in data:
+        return str(data["tag"])
+    return "node"
+
+
+class XMLStructureValidation(UpwardAccumulationDP):
+    """Does the tag tree conform to the schema?  (Boolean upward accumulation.)
+
+    A node's value is True iff its whole subtree is valid *and* the node is
+    allowed under its parent's tag (the parent tag is looked up through the
+    tree structure, so the per-edge check stays local).
+    """
+
+    name = "XML structure verification"
+
+    def __init__(self, schema: Optional[XMLSchema] = None, tree: Optional[RootedTree] = None):
+        self.schema = schema or XMLSchema()
+        self._tree = tree  # used to look up the parent's tag for the edge check
+
+    def bind(self, tree: RootedTree) -> "XMLStructureValidation":
+        """Return a copy bound to the (degree-reduced) tree being solved."""
+        return XMLStructureValidation(self.schema, tree)
+
+    def _parent_tag(self, v: NodeInput) -> Optional[str]:
+        if self._tree is None or v.node not in self._tree.parent:
+            return None
+        p = self._tree.parent[v.node]
+        if p == v.node:
+            return None
+        # Auxiliary parents stand in for their original node.
+        while isinstance(p, tuple) and len(p) == 3 and p[0] == "aux":
+            p = self._tree.parent[p]
+        return _tag(self._tree, p)
+
+    def value_of(self, v: NodeInput, child_values: List[Any]) -> Any:
+        ok = all(bool(x) for x in child_values)
+        if v.is_auxiliary:
+            return ok
+        tag = _tag(v)
+        if not self.schema.arity_ok(tag, len(child_values)):
+            # Note: with degree reduction the arity check is performed on the
+            # reduced tree only when no splitting occurred; the sequential
+            # reference checks the original arity.
+            ok = False
+        parent_tag = self._parent_tag(v)
+        if parent_tag is None:
+            if not self.schema.root_ok(tag):
+                ok = False
+        elif not self.schema.child_ok(parent_tag, tag):
+            ok = False
+        return ok
+
+    # Boolean function algebra: ("const", b) or ("and_with", b) == identity∧b.
+
+    def partial_function(self, v: NodeInput, known_child_values: List[Any]) -> Any:
+        rest = self.value_of(v, list(known_child_values) + [True])
+        if not rest:
+            return ("const", False)
+        return ("and_with", True)
+
+    def apply(self, fn: Any, x: Any) -> Any:
+        kind, b = fn
+        if kind == "const":
+            return b
+        return bool(x) and b
+
+    def compose(self, outer: Any, inner: Any) -> Any:
+        if outer[0] == "const":
+            return outer
+        if inner[0] == "const":
+            return ("const", self.apply(outer, inner[1]))
+        return ("and_with", outer[1] and inner[1])
+
+    def extract_solution(self, tree, node_values, root_value):
+        return {"valid": bool(root_value), "node_valid": node_values}
+
+
+def validate_xml_tree(tree: RootedTree, schema: XMLSchema) -> bool:
+    """Reference sequential validation."""
+    for v in tree.nodes():
+        tag = _tag(tree, v)
+        kids = tree.children(v)
+        if not schema.arity_ok(tag, len(kids)):
+            return False
+        if v == tree.root:
+            if not schema.root_ok(tag):
+                return False
+        else:
+            if not schema.child_ok(_tag(tree, tree.parent[v]), tag):
+                return False
+    return True

@@ -1,0 +1,40 @@
+"""Tree input/output representations (paper Sections 3 and 6.3).
+
+The framework's standard representation is a rooted tree given as a list of
+directed child→parent edges.  This package provides:
+
+* dataclasses for the five representations the paper discusses
+  (:mod:`~repro.representations.base`),
+* host-side encoders/decoders used as ground truth
+  (:mod:`~repro.representations.parentheses`,
+  :mod:`~repro.representations.traversals`),
+* :mod:`~repro.representations.normalize` — the MPC conversion of any
+  representation into the standard one, including the distributed
+  chunk-cancellation algorithm for strings of parentheses (Section 3.2),
+* :mod:`~repro.representations.export` — Section 6.3: converting the standard
+  representation back into the others.
+"""
+
+from repro.representations.base import (
+    Representation,
+    ListOfEdges,
+    StringOfParentheses,
+    BFSTraversal,
+    DFSTraversal,
+    PointersToParents,
+)
+from repro.representations.normalize import normalize_to_rooted_tree
+from repro.representations import export, parentheses, traversals
+
+__all__ = [
+    "Representation",
+    "ListOfEdges",
+    "StringOfParentheses",
+    "BFSTraversal",
+    "DFSTraversal",
+    "PointersToParents",
+    "normalize_to_rooted_tree",
+    "export",
+    "parentheses",
+    "traversals",
+]

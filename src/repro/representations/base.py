@@ -1,0 +1,111 @@
+"""Dataclasses for the five tree representations of paper Section 3.1.
+
+Using the paper's example tree T (Fig. 4) with nodes 1..5 rooted at 3:
+
+* list-of-edges:          ``[(1, 4), (2, 3), (5, 4), (4, 3)]``
+* string-of-parentheses:  ``"((()())())"``
+* BFS-traversal:          ``[None, 1, 1, 2, 2]`` (1-indexed parents per BFS rank)
+* DFS-traversal:          ``[None, 1, 2, 2, 1]``
+* pointers-to-parents:    ``[4, 3, None, 3, 4]`` (parent of node i+1 at index i)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Representation",
+    "ListOfEdges",
+    "StringOfParentheses",
+    "BFSTraversal",
+    "DFSTraversal",
+    "PointersToParents",
+]
+
+
+class Representation(enum.Enum):
+    """The representation kinds the normaliser accepts."""
+
+    LIST_OF_EDGES = "list-of-edges"
+    UNDIRECTED_EDGES = "undirected-edges"
+    STRING_OF_PARENTHESES = "string-of-parentheses"
+    BFS_TRAVERSAL = "bfs-traversal"
+    DFS_TRAVERSAL = "dfs-traversal"
+    POINTERS_TO_PARENTS = "pointers-to-parents"
+
+
+@dataclass
+class ListOfEdges:
+    """Directed child→parent edges; the standard representation."""
+
+    edges: List[Tuple[Hashable, Hashable]]
+    directed: bool = True
+
+    @property
+    def kind(self) -> Representation:
+        return (
+            Representation.LIST_OF_EDGES if self.directed else Representation.UNDIRECTED_EDGES
+        )
+
+
+@dataclass
+class StringOfParentheses:
+    """A properly nested string of ``(`` and ``)`` (or open/close tags).
+
+    Each opening parenthesis represents one node; the outermost pair is the
+    root.  Node identifiers produced by the normaliser are the indices of the
+    opening parentheses within the string.
+    """
+
+    text: str
+
+    @property
+    def kind(self) -> Representation:
+        return Representation.STRING_OF_PARENTHESES
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+
+@dataclass
+class BFSTraversal:
+    """``parents[i]`` is the 1-indexed BFS rank of the parent of the node with
+    BFS rank ``i + 1``; the root (rank 1) has parent ``None``."""
+
+    parents: List[Optional[int]]
+
+    @property
+    def kind(self) -> Representation:
+        return Representation.BFS_TRAVERSAL
+
+
+@dataclass
+class DFSTraversal:
+    """Like :class:`BFSTraversal` but ranks follow a depth-first traversal."""
+
+    parents: List[Optional[int]]
+
+    @property
+    def kind(self) -> Representation:
+        return Representation.DFS_TRAVERSAL
+
+
+@dataclass
+class PointersToParents:
+    """``parents[i]`` is the label of the parent of node ``labels[i]``; the
+    root's entry is ``None``.  If ``labels`` is omitted, node ``i + 1`` is the
+    label at index ``i`` (matching the paper's example)."""
+
+    parents: List[Optional[Hashable]]
+    labels: Optional[List[Hashable]] = None
+
+    @property
+    def kind(self) -> Representation:
+        return Representation.POINTERS_TO_PARENTS
+
+    def node_labels(self) -> List[Hashable]:
+        if self.labels is not None:
+            return list(self.labels)
+        return [i + 1 for i in range(len(self.parents))]

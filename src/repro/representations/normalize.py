@@ -1,0 +1,240 @@
+"""Normalising any input representation into the standard rooted edge list.
+
+Paper Section 3.2: the standard representation used by the clustering and the
+DP engine is a rooted tree given as a list of directed child→parent edges.
+
+* BFS-traversal, DFS-traversal and pointers-to-parents already store one
+  parent reference per array entry, so the conversion is local (O(1) rounds).
+* A list of **undirected** edges is rooted/oriented first (O(log D) rounds;
+  we use :func:`repro.mpc.treeops.orient_tree_charged`, a documented
+  substitution of the rooting lemma of [SODA'23]).
+* A **string of parentheses** is converted with the distributed
+  chunk-cancellation algorithm of Section 3.2: every machine cancels the
+  properly nested pairs inside its chunk, the per-chunk summaries
+  ``(c_i, o_i)`` are exchanged, cross-chunk parents are located by a scan
+  over the summaries, and the type-1/type-2 tuple matching is realised with a
+  distributed group-by.  O(1) rounds overall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.mpc.darray import DistributedArray
+from repro.mpc.simulator import MPCSimulator
+from repro.mpc.treeops import orient_tree_charged
+from repro.representations.base import (
+    BFSTraversal,
+    DFSTraversal,
+    ListOfEdges,
+    PointersToParents,
+    StringOfParentheses,
+)
+from repro.representations.traversals import (
+    bfs_traversal_to_edges,
+    dfs_traversal_to_edges,
+    pointers_to_edges,
+)
+from repro.trees.tree import RootedTree
+
+__all__ = [
+    "normalize_to_rooted_tree",
+    "parentheses_to_edges_mpc",
+]
+
+AnyRepresentation = Union[
+    ListOfEdges,
+    StringOfParentheses,
+    BFSTraversal,
+    DFSTraversal,
+    PointersToParents,
+    RootedTree,
+]
+
+
+# --------------------------------------------------------------------------- #
+# Distributed parentheses matching (Section 3.2)
+# --------------------------------------------------------------------------- #
+
+
+def parentheses_to_edges_mpc(sim: MPCSimulator, text: str) -> List[Tuple[int, int]]:
+    """Convert a parenthesis string into child→parent edges on the simulator.
+
+    Node identifiers are the indices of the opening parentheses; the root is
+    the node at index 0.  Raises ``ValueError`` on malformed input.
+    """
+    n = len(text)
+    if n == 0:
+        raise ValueError("empty parenthesis string")
+    m = sim.num_machines
+
+    # Initial placement: contiguous chunks of the string (part of the input
+    # specification, costs no rounds).
+    per = max(1, (n + m - 1) // m)
+    chunks: List[List[Tuple[int, str]]] = [[] for _ in range(m)]
+    for pos, ch in enumerate(text):
+        if ch not in "()":
+            raise ValueError(f"invalid character {ch!r} at position {pos}")
+        chunks[min(pos // per, m - 1)].append((pos, ch))
+
+    # ---- Local cancellation inside every chunk (no rounds). ---------------- #
+    local_edges: List[Tuple[int, int]] = []
+    cross_requests: List[List[Tuple[int, int]]] = [[] for _ in range(m)]  # (pos, lk)
+    surviving_opens: List[List[int]] = [[] for _ in range(m)]
+    summaries: List[Tuple[int, int]] = []  # (c_i, o_i)
+
+    for i, chunk in enumerate(chunks):
+        stack: List[int] = []
+        surviving_closings = 0
+        for pos, ch in chunk:
+            if ch == "(":
+                if stack:
+                    local_edges.append((pos, stack[-1]))
+                else:
+                    cross_requests[i].append((pos, surviving_closings))
+                stack.append(pos)
+            else:
+                if stack:
+                    stack.pop()
+                else:
+                    surviving_closings += 1
+        surviving_opens[i] = list(stack)
+        summaries.append((surviving_closings, len(stack)))
+
+    # ---- Exchange the per-chunk summaries (1 round, O(1) words each). ------ #
+    def exchange(machine):
+        c_i, o_i = summaries[machine.mid] if machine.mid < len(summaries) else (0, 0)
+        return [(dest, ("summary", machine.mid, c_i, o_i)) for dest in range(m)]
+
+    sim.superstep(exchange, label="parens-summaries")
+
+    # ---- Resolve cross-chunk parents locally using the summaries. ---------- #
+    type1: List[Tuple[Tuple[str, int, int], int, int]] = []
+    type2: List[Tuple[Tuple[str, int, int], int, int]] = []
+    root_candidates: List[int] = []
+
+    for i in range(m):
+        opens = surviving_opens[i]
+        for idx, pos in enumerate(opens):
+            t_right = len(opens) - 1 - idx  # number of surviving opens to my right
+            type1.append((("T", i, t_right), 1, pos))
+
+    for b in range(m):
+        for pos, lk in cross_requests[b]:
+            need = lk + 1
+            debt = 0
+            found = False
+            for x in range(b - 1, -1, -1):
+                c_x, o_x = summaries[x]
+                avail = max(0, o_x - debt)
+                if need <= avail:
+                    t_right = debt + need - 1
+                    type2.append((("T", x, t_right), 2, pos))
+                    found = True
+                    break
+                need -= avail
+                debt = c_x + max(0, debt - o_x)
+            if not found:
+                root_candidates.append(pos)
+
+    if len(root_candidates) != 1 or root_candidates[0] != 0:
+        raise ValueError(
+            "malformed parenthesis string: expected exactly one root at position 0, "
+            f"got roots at {root_candidates}"
+        )
+
+    # ---- Distributed matching of type-1/type-2 tuples (group-by, O(1) rounds).
+    tuples = type1 + type2
+    arr = DistributedArray.from_records(sim, tuples)
+    grouped = arr.group_by(lambda rec: rec[0])
+
+    def emit_edges(group):
+        _, members = group
+        parents = [pos for (_, typ, pos) in members if typ == 1]
+        children = [pos for (_, typ, pos) in members if typ == 2]
+        if children and len(parents) != 1:
+            raise ValueError("malformed parenthesis string: unmatched child tuple")
+        if not parents:
+            return []
+        p = parents[0]
+        return [(c, p) for c in children]
+
+    cross_edges = grouped.flat_map(emit_edges).collect()
+
+    edges = local_edges + cross_edges
+    expected_nodes = sum(1 for ch in text if ch == "(")
+    if expected_nodes == 0 or text.count("(") != text.count(")"):
+        raise ValueError("malformed parenthesis string: unbalanced")
+    if len(edges) != expected_nodes - 1:
+        raise ValueError(
+            f"malformed parenthesis string: produced {len(edges)} edges "
+            f"for {expected_nodes} nodes"
+        )
+    return edges
+
+
+# --------------------------------------------------------------------------- #
+# Dispatcher
+# --------------------------------------------------------------------------- #
+
+
+def normalize_to_rooted_tree(
+    sim: MPCSimulator,
+    rep: AnyRepresentation,
+    root: Optional[Hashable] = None,
+) -> RootedTree:
+    """Turn any supported representation into a :class:`RootedTree`.
+
+    The returned tree's node identifiers depend on the representation: node
+    labels for edge lists and pointers, 1-based traversal ranks for BFS/DFS
+    traversals, opening-parenthesis positions for parenthesis strings.
+    """
+    if isinstance(rep, RootedTree):
+        return rep
+
+    if isinstance(rep, ListOfEdges):
+        if rep.directed:
+            # Edges are already child→parent; one sort co-locates each node
+            # with its incident edges (as in Section 4.2).
+            arr = DistributedArray.from_records(sim, list(rep.edges))
+            arr.sort_by(lambda e: _sort_key(e[1]))
+            return RootedTree.from_edges(rep.edges, root=root)
+        parent, chosen_root = orient_tree_charged(sim, rep.edges, root=root)
+        return RootedTree.from_parent_map(parent, root=chosen_root)
+
+    if isinstance(rep, StringOfParentheses):
+        edges = parentheses_to_edges_mpc(sim, rep.text)
+        if not edges:
+            return RootedTree.from_parent_map({0: 0}, root=0)
+        return RootedTree.from_edges(edges, root=0)
+
+    if isinstance(rep, BFSTraversal):
+        edges = bfs_traversal_to_edges(rep)
+        sim.charge_rounds(1, label="traversal-decode")
+        if not edges:
+            return RootedTree.from_parent_map({1: 1}, root=1)
+        return RootedTree.from_edges(edges, root=1)
+
+    if isinstance(rep, DFSTraversal):
+        edges = dfs_traversal_to_edges(rep)
+        sim.charge_rounds(1, label="traversal-decode")
+        if not edges:
+            return RootedTree.from_parent_map({1: 1}, root=1)
+        return RootedTree.from_edges(edges, root=1)
+
+    if isinstance(rep, PointersToParents):
+        edges = pointers_to_edges(rep)
+        sim.charge_rounds(1, label="traversal-decode")
+        labels = rep.node_labels()
+        the_root = next(
+            lbl for lbl, p in zip(labels, rep.parents) if p is None
+        )
+        if not edges:
+            return RootedTree.from_parent_map({the_root: the_root}, root=the_root)
+        return RootedTree.from_edges(edges, root=the_root)
+
+    raise TypeError(f"unsupported representation type: {type(rep).__name__}")
+
+
+def _sort_key(x: Hashable):
+    return (str(type(x)), str(x))

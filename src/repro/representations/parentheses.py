@@ -1,0 +1,92 @@
+"""Host-side encoder/decoder between trees and strings of parentheses.
+
+These single-machine reference implementations serve as ground truth for the
+distributed chunk-cancellation algorithm in
+:mod:`repro.representations.normalize` and are used by generators, examples
+and tests.  The node ids produced by :func:`parse_parentheses` are the string
+indices of the opening parentheses (as in the distributed version), so both
+implementations are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.trees.tree import RootedTree
+
+__all__ = [
+    "tree_to_parentheses",
+    "parse_parentheses",
+    "parentheses_to_tree",
+    "is_balanced",
+]
+
+
+def tree_to_parentheses(tree: RootedTree) -> str:
+    """Serialise a rooted tree into a properly nested parenthesis string.
+
+    Children are emitted in the deterministic order of
+    :meth:`RootedTree.children_map`, so round-tripping through
+    :func:`parentheses_to_tree` preserves the shape (node ids change to
+    string positions).
+    """
+    cm = tree.children_map()
+    out: List[str] = []
+    # Iterative DFS with explicit open/close events to avoid recursion limits.
+    stack: List[Tuple[Hashable, bool]] = [(tree.root, False)]
+    while stack:
+        node, closing = stack.pop()
+        if closing:
+            out.append(")")
+            continue
+        out.append("(")
+        stack.append((node, True))
+        for c in reversed(cm[node]):
+            stack.append((c, False))
+    return "".join(out)
+
+
+def is_balanced(text: str) -> bool:
+    """True iff ``text`` is a single properly nested parenthesis string."""
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                return False
+            if depth == 0 and i != len(text) - 1:
+                return False  # more than one top-level tree
+        else:
+            return False
+    return depth == 0 and len(text) > 0
+
+
+def parse_parentheses(text: str) -> List[Tuple[int, int]]:
+    """Parse a parenthesis string into child→parent edges (reference).
+
+    Node ids are the indices of opening parentheses.  Raises ``ValueError``
+    for malformed input.
+    """
+    if not is_balanced(text):
+        raise ValueError("input is not a single properly nested parenthesis string")
+    edges: List[Tuple[int, int]] = []
+    stack: List[int] = []
+    for i, ch in enumerate(text):
+        if ch == "(":
+            if stack:
+                edges.append((i, stack[-1]))
+            stack.append(i)
+        else:
+            stack.pop()
+    return edges
+
+
+def parentheses_to_tree(text: str) -> RootedTree:
+    """Parse a parenthesis string into a :class:`RootedTree` (reference)."""
+    edges = parse_parentheses(text)
+    if not edges:
+        # single node "()"
+        return RootedTree.from_parent_map({0: 0}, root=0)
+    return RootedTree.from_edges(edges, root=0)

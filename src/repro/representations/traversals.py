@@ -1,0 +1,100 @@
+"""Host-side encoders/decoders for traversal-based representations.
+
+BFS-traversal, DFS-traversal and pointers-to-parents all store one parent
+reference per node, so decoding them into the standard list-of-edges is a
+purely local (zero-round) operation in the MPC model; encoding them from a
+tree requires depths / DFS timestamps, which Section 6.3 of the paper computes
+with the framework itself (see :mod:`repro.representations.export` and the
+representation benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.representations.base import BFSTraversal, DFSTraversal, PointersToParents
+from repro.trees.tree import RootedTree
+
+__all__ = [
+    "tree_to_bfs_traversal",
+    "tree_to_dfs_traversal",
+    "tree_to_pointers",
+    "bfs_traversal_to_edges",
+    "dfs_traversal_to_edges",
+    "pointers_to_edges",
+]
+
+
+def tree_to_bfs_traversal(tree: RootedTree) -> BFSTraversal:
+    """Encode a tree as a BFS-traversal (1-indexed parent ranks)."""
+    order = tree.bfs_order()
+    rank = {v: i + 1 for i, v in enumerate(order)}
+    parents: List[Optional[int]] = []
+    for v in order:
+        parents.append(None if v == tree.root else rank[tree.parent[v]])
+    return BFSTraversal(parents)
+
+
+def tree_to_dfs_traversal(tree: RootedTree) -> DFSTraversal:
+    """Encode a tree as a DFS-traversal (1-indexed parent ranks)."""
+    order = tree.dfs_order()
+    rank = {v: i + 1 for i, v in enumerate(order)}
+    parents: List[Optional[int]] = []
+    for v in order:
+        parents.append(None if v == tree.root else rank[tree.parent[v]])
+    return DFSTraversal(parents)
+
+
+def tree_to_pointers(tree: RootedTree) -> PointersToParents:
+    """Encode a tree as pointers-to-parents over its own node labels."""
+    labels = sorted(tree.nodes(), key=lambda x: (str(type(x)), str(x)))
+    parents: List[Optional[Hashable]] = []
+    for v in labels:
+        parents.append(None if v == tree.root else tree.parent[v])
+    return PointersToParents(parents=parents, labels=labels)
+
+
+def _traversal_to_edges(parents: List[Optional[int]]) -> List[Tuple[int, int]]:
+    edges: List[Tuple[int, int]] = []
+    roots = 0
+    for i, p in enumerate(parents):
+        rank = i + 1
+        if p is None:
+            roots += 1
+            continue
+        if not (1 <= p <= len(parents)):
+            raise ValueError(f"parent rank {p} out of range at position {i}")
+        edges.append((rank, p))
+    if roots != 1:
+        raise ValueError(f"expected exactly one root entry, found {roots}")
+    return edges
+
+
+def bfs_traversal_to_edges(rep: BFSTraversal) -> List[Tuple[int, int]]:
+    """Decode a BFS-traversal into child→parent edges over ranks 1..n."""
+    return _traversal_to_edges(rep.parents)
+
+
+def dfs_traversal_to_edges(rep: DFSTraversal) -> List[Tuple[int, int]]:
+    """Decode a DFS-traversal into child→parent edges over ranks 1..n."""
+    return _traversal_to_edges(rep.parents)
+
+
+def pointers_to_edges(rep: PointersToParents) -> List[Tuple[Hashable, Hashable]]:
+    """Decode pointers-to-parents into child→parent edges over node labels."""
+    labels = rep.node_labels()
+    if len(labels) != len(rep.parents):
+        raise ValueError("labels and parents must have the same length")
+    edges: List[Tuple[Hashable, Hashable]] = []
+    roots = 0
+    label_set = set(labels)
+    for lbl, p in zip(labels, rep.parents):
+        if p is None:
+            roots += 1
+            continue
+        if p not in label_set:
+            raise ValueError(f"parent {p!r} of {lbl!r} is not a node label")
+        edges.append((lbl, p))
+    if roots != 1:
+        raise ValueError(f"expected exactly one root entry, found {roots}")
+    return edges

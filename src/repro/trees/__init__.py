@@ -1,0 +1,18 @@
+"""Tree data structures, generators and property helpers.
+
+Trees are the input domain of the paper.  This package provides:
+
+* :class:`~repro.trees.tree.RootedTree` — the canonical in-memory tree object
+  (parent pointers, children lists, optional node/edge data),
+* :mod:`~repro.trees.generators` — deterministic generators for the tree
+  families used throughout the tests and benchmarks (paths, stars, brooms,
+  caterpillars, balanced k-ary trees, random attachment trees, spiders),
+* :mod:`~repro.trees.properties` — diameter, depth, subtree sizes and degree
+  statistics (host-side reference implementations),
+* :mod:`~repro.trees.validation` — structural validators.
+"""
+
+from repro.trees.tree import RootedTree
+from repro.trees import generators, properties, validation
+
+__all__ = ["RootedTree", "generators", "properties", "validation"]

@@ -1,0 +1,225 @@
+"""Deterministic generators for the tree families used in tests and benches.
+
+The paper's round bound O(log D) is interesting precisely because different
+tree families decouple the diameter D from the size n:
+
+* **paths** maximise D (D = n - 1),
+* **stars** and **brooms** minimise D at arbitrary n (D = 2 resp. O(1)),
+* **balanced k-ary trees** give D = Θ(log_k n),
+* **caterpillars** and **spiders** interpolate,
+* **random attachment trees** give the "typical" shape.
+
+All generators are deterministic given their arguments (randomised ones take
+an explicit seed) and return :class:`~repro.trees.tree.RootedTree` objects
+with integer node ids ``0..n-1`` and root ``0``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.trees.tree import RootedTree
+
+__all__ = [
+    "path_tree",
+    "star_tree",
+    "broom_tree",
+    "caterpillar_tree",
+    "balanced_kary_tree",
+    "spider_tree",
+    "random_attachment_tree",
+    "random_recursive_tree",
+    "complete_binary_tree",
+    "two_level_tree",
+    "with_random_weights",
+    "with_random_leaf_values",
+    "FAMILIES",
+]
+
+
+def path_tree(n: int) -> RootedTree:
+    """A path 0 - 1 - ... - (n-1) rooted at 0 (diameter n - 1)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    parent = {0: 0}
+    for v in range(1, n):
+        parent[v] = v - 1
+    return RootedTree.from_parent_map(parent, root=0)
+
+
+def star_tree(n: int) -> RootedTree:
+    """A star with centre 0 and n - 1 leaves (diameter 2)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    parent = {0: 0}
+    for v in range(1, n):
+        parent[v] = 0
+    return RootedTree.from_parent_map(parent, root=0)
+
+
+def broom_tree(n: int, handle_length: int = 4) -> RootedTree:
+    """A path of ``handle_length`` nodes whose last node carries all remaining
+    nodes as leaves; diameter ``handle_length + 1`` independent of n."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    handle_length = max(1, min(handle_length, n))
+    parent = {0: 0}
+    for v in range(1, handle_length):
+        parent[v] = v - 1
+    for v in range(handle_length, n):
+        parent[v] = handle_length - 1
+    return RootedTree.from_parent_map(parent, root=0)
+
+
+def caterpillar_tree(n: int, spine_fraction: float = 0.5) -> RootedTree:
+    """A spine path with leaves distributed evenly along it."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    spine_len = max(1, int(round(n * spine_fraction)))
+    spine_len = min(spine_len, n)
+    parent = {0: 0}
+    for v in range(1, spine_len):
+        parent[v] = v - 1
+    for i, v in enumerate(range(spine_len, n)):
+        parent[v] = i % spine_len
+    return RootedTree.from_parent_map(parent, root=0)
+
+
+def balanced_kary_tree(n: int, k: int = 2) -> RootedTree:
+    """A complete k-ary tree on n nodes (heap numbering); diameter Θ(log_k n)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    parent = {0: 0}
+    for v in range(1, n):
+        parent[v] = (v - 1) // k
+    return RootedTree.from_parent_map(parent, root=0)
+
+
+def complete_binary_tree(n: int) -> RootedTree:
+    """A complete binary tree on n nodes."""
+    return balanced_kary_tree(n, k=2)
+
+
+def spider_tree(n: int, legs: Optional[int] = None) -> RootedTree:
+    """A spider: ``legs`` equal-length paths hanging off the root."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return path_tree(1)
+    if legs is None:
+        legs = max(1, int(round((n - 1) ** 0.5)))
+    legs = max(1, min(legs, n - 1))
+    parent = {0: 0}
+    v = 1
+    leg_tips = []
+    for _ in range(legs):
+        parent[v] = 0
+        leg_tips.append(v)
+        v += 1
+        if v >= n:
+            break
+    i = 0
+    while v < n:
+        parent[v] = leg_tips[i % len(leg_tips)]
+        leg_tips[i % len(leg_tips)] = v
+        v += 1
+        i += 1
+    return RootedTree.from_parent_map(parent, root=0)
+
+
+def two_level_tree(n: int, top_degree: Optional[int] = None) -> RootedTree:
+    """A depth-2 tree: the root has ``top_degree`` children, each of which
+    carries an equal share of the remaining nodes as leaves.
+
+    Used to exercise the high-degree handling: degrees are Θ(sqrt(n)) while
+    the diameter is 4.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n <= 2:
+        return path_tree(n)
+    if top_degree is None:
+        top_degree = max(1, int(round((n - 1) ** 0.5)))
+    top_degree = max(1, min(top_degree, n - 1))
+    parent = {0: 0}
+    mids = []
+    v = 1
+    for _ in range(top_degree):
+        if v >= n:
+            break
+        parent[v] = 0
+        mids.append(v)
+        v += 1
+    i = 0
+    while v < n:
+        parent[v] = mids[i % len(mids)]
+        v += 1
+        i += 1
+    return RootedTree.from_parent_map(parent, root=0)
+
+
+def random_attachment_tree(n: int, seed: int = 0) -> RootedTree:
+    """Each node attaches to a uniformly random earlier node (random recursive
+    tree); expected diameter Θ(log n)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    parent = {0: 0}
+    for v in range(1, n):
+        parent[v] = rng.randrange(v)
+    return RootedTree.from_parent_map(parent, root=0)
+
+
+def random_recursive_tree(n: int, seed: int = 0, bias: float = 0.0) -> RootedTree:
+    """Random recursive tree with optional bias towards deeper attachments.
+
+    ``bias = 0`` is the uniform random recursive tree; ``bias -> 1`` attaches
+    preferentially to the most recently added node, approaching a path.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not (0.0 <= bias <= 1.0):
+        raise ValueError("bias must lie in [0, 1]")
+    rng = random.Random(seed)
+    parent = {0: 0}
+    for v in range(1, n):
+        if v == 1 or rng.random() > bias:
+            parent[v] = rng.randrange(v)
+        else:
+            parent[v] = v - 1
+    return RootedTree.from_parent_map(parent, root=0)
+
+
+def with_random_weights(
+    tree: RootedTree, seed: int = 0, low: float = 0.0, high: float = 10.0
+) -> RootedTree:
+    """Attach independent uniform node weights (used by the optimisation problems)."""
+    rng = random.Random(seed)
+    data = {v: round(rng.uniform(low, high), 3) for v in tree.nodes()}
+    return tree.with_node_data(data)
+
+
+def with_random_leaf_values(
+    tree: RootedTree, seed: int = 0, low: float = -100.0, high: float = 100.0
+) -> RootedTree:
+    """Attach values to the leaves only (used by tree median / aggregation)."""
+    rng = random.Random(seed)
+    data = {v: round(rng.uniform(low, high), 3) for v in tree.leaves()}
+    return tree.with_node_data(data)
+
+
+#: Named generators used by parameterised tests and benchmark sweeps.
+FAMILIES: Dict[str, Callable[[int], RootedTree]] = {
+    "path": path_tree,
+    "star": star_tree,
+    "broom": broom_tree,
+    "caterpillar": caterpillar_tree,
+    "binary": complete_binary_tree,
+    "4-ary": lambda n: balanced_kary_tree(n, k=4),
+    "spider": spider_tree,
+    "two-level": two_level_tree,
+    "random": random_attachment_tree,
+}

@@ -1,0 +1,104 @@
+"""Host-side reference computations of tree properties.
+
+These are single-machine implementations used as ground truth by tests and
+as inputs to benchmark reporting (e.g. the diameter D that the paper's round
+bound O(log D) refers to).  They are deliberately simple and iterative (no
+recursion, so deep paths do not hit Python's recursion limit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.trees.tree import RootedTree
+
+__all__ = [
+    "diameter",
+    "height",
+    "max_degree",
+    "degree_histogram",
+    "subtree_aggregate",
+    "tree_summary",
+]
+
+
+def height(tree: RootedTree) -> int:
+    """Height of the tree (maximum depth of any node)."""
+    depths = tree.depths()
+    return max(depths.values()) if depths else 0
+
+
+def diameter(tree: RootedTree) -> int:
+    """Diameter of the tree in edges (longest path between any two nodes).
+
+    Computed bottom-up: for every node combine the two largest child heights.
+    """
+    cm = tree.children_map()
+    down: Dict[Hashable, int] = {v: 0 for v in tree.nodes()}
+    best = 0
+    for v in tree.postorder():
+        kids = cm[v]
+        top_two = [0, 0]
+        for c in kids:
+            h = down[c] + 1
+            if h > top_two[0]:
+                top_two = [h, top_two[0]]
+            elif h > top_two[1]:
+                top_two[1] = h
+        down[v] = top_two[0]
+        best = max(best, top_two[0] + top_two[1])
+    return best
+
+
+def max_degree(tree: RootedTree) -> int:
+    """Maximum undirected degree over all nodes."""
+    return max((tree.degree(v) for v in tree.nodes()), default=0)
+
+
+def degree_histogram(tree: RootedTree) -> Dict[int, int]:
+    """Histogram of undirected degrees."""
+    hist: Dict[int, int] = {}
+    for v in tree.nodes():
+        d = tree.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def subtree_aggregate(tree: RootedTree, op: str = "sum") -> Dict[Hashable, float]:
+    """Per-subtree aggregate of the numeric node data (reference implementation).
+
+    ``op`` is one of ``"sum"``, ``"min"``, ``"max"``; missing node data counts
+    as 0 for ``sum`` and is skipped for ``min``/``max`` (a node with no data
+    anywhere in its subtree gets ``+inf``/``-inf`` respectively).
+    """
+    if op not in ("sum", "min", "max"):
+        raise ValueError(f"unsupported op {op!r}")
+    vals: Dict[Hashable, float] = {}
+    for v in tree.postorder():
+        if op == "sum":
+            acc = float(tree.node_data.get(v, 0.0) or 0.0)
+            for c in tree.children(v):
+                acc += vals[c]
+        else:
+            candidates: List[float] = []
+            if v in tree.node_data and isinstance(tree.node_data[v], (int, float)):
+                candidates.append(float(tree.node_data[v]))
+            for c in tree.children(v):
+                candidates.append(vals[c])
+            if not candidates:
+                acc = float("inf") if op == "min" else float("-inf")
+            else:
+                acc = min(candidates) if op == "min" else max(candidates)
+        vals[v] = acc
+    return vals
+
+
+def tree_summary(tree: RootedTree) -> Dict[str, float]:
+    """Small dictionary of structural statistics used in benchmark reports."""
+    return {
+        "n": tree.num_nodes,
+        "height": height(tree),
+        "diameter": diameter(tree),
+        "max_degree": max_degree(tree),
+        "leaves": len(tree.leaves()),
+    }

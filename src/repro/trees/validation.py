@@ -1,0 +1,72 @@
+"""Structural validators for trees and edge lists.
+
+Used by the representation converters (to reject malformed inputs early with
+informative errors) and by property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.trees.tree import RootedTree
+
+__all__ = [
+    "is_connected_tree_edge_list",
+    "check_rooted_tree",
+    "assert_same_tree",
+]
+
+
+def is_connected_tree_edge_list(edges: Sequence[Tuple[Hashable, Hashable]]) -> bool:
+    """True iff the undirected edge list forms a single connected acyclic graph."""
+    if not edges:
+        return False
+    adj: Dict[Hashable, List[Hashable]] = {}
+    for a, b in edges:
+        if a == b:
+            return False
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, []).append(a)
+    n = len(adj)
+    if len(edges) != n - 1:
+        return False
+    # Connectivity check by BFS.
+    start = next(iter(adj))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for w in adj[u]:
+                if w not in seen:
+                    seen.add(w)
+                    nxt.append(w)
+        frontier = nxt
+    return len(seen) == n
+
+
+def check_rooted_tree(tree: RootedTree) -> None:
+    """Raise ``ValueError`` if ``tree`` violates the rooted-tree invariants."""
+    tree.validate()
+    # children_map consistency
+    cm = tree.children_map()
+    for v, kids in cm.items():
+        for c in kids:
+            if tree.parent[c] != v:
+                raise ValueError(f"children map inconsistent at {v!r} -> {c!r}")
+    # Node count consistency: edges = nodes - 1
+    if len(tree.edges()) != tree.num_nodes - 1:
+        raise ValueError("edge count does not equal node count minus one")
+
+
+def assert_same_tree(a: RootedTree, b: RootedTree) -> None:
+    """Raise ``AssertionError`` unless both trees have identical structure."""
+    if a.root != b.root:
+        raise AssertionError(f"roots differ: {a.root!r} vs {b.root!r}")
+    if set(a.nodes()) != set(b.nodes()):
+        raise AssertionError("node sets differ")
+    for v in a.nodes():
+        if a.parent[v] != b.parent[v]:
+            raise AssertionError(
+                f"parent of {v!r} differs: {a.parent[v]!r} vs {b.parent[v]!r}"
+            )

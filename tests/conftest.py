@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpc import MPCConfig, MPCSimulator
+from repro.trees import generators as gen
+
+#: Tree families exercised by most structural tests: (name, generator).
+FAMILIES = [
+    ("path", gen.path_tree),
+    ("star", gen.star_tree),
+    ("broom", gen.broom_tree),
+    ("caterpillar", gen.caterpillar_tree),
+    ("binary", gen.complete_binary_tree),
+    ("spider", gen.spider_tree),
+    ("two-level", gen.two_level_tree),
+    ("random", lambda n: gen.random_attachment_tree(n, seed=11)),
+]
+
+FAMILY_IDS = [name for name, _ in FAMILIES]
+
+
+@pytest.fixture
+def simulator():
+    """A small simulated MPC deployment."""
+    return MPCSimulator(MPCConfig(n=512, delta=0.5))
+
+
+def make_sim(n: int, delta: float = 0.5, **kw) -> MPCSimulator:
+    return MPCSimulator(MPCConfig(n=max(4, n), delta=delta, **kw))

@@ -1,0 +1,179 @@
+"""Accumulation problems: subtree aggregates, depths, expressions, XML, tree median."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import solve
+from repro.problems.expression_evaluation import (
+    ArithmeticExpressionEvaluation,
+    evaluate_expression_tree,
+)
+from repro.problems.subtree_aggregation import NodeDepth, RootToNodeSum, SubtreeAggregate, SubtreeSize
+from repro.problems.tree_median import TreeMedian, lower_median, sequential_tree_median
+from repro.problems.xml_validation import XMLSchema, XMLStructureValidation, validate_xml_tree
+from repro.trees import generators as gen
+from repro.trees.properties import subtree_aggregate
+
+from tests.conftest import FAMILIES, FAMILY_IDS
+
+
+class TestSubtreeAggregates:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    @pytest.mark.parametrize("op", ["sum", "min", "max"])
+    def test_per_node_values_match_reference(self, family, builder, op):
+        tree = gen.with_random_weights(builder(130), seed=4)
+        res = solve(tree, SubtreeAggregate(op=op))
+        reference = subtree_aggregate(tree, op=op)
+        values = res.output["subtree_values"]
+        assert set(values) == set(tree.nodes())
+        for v in tree.nodes():
+            assert values[v] == pytest.approx(reference[v])
+
+    def test_subtree_size(self):
+        tree = gen.random_attachment_tree(180, seed=6)
+        res = solve(tree, SubtreeSize())
+        sizes = tree.subtree_sizes()
+        for v, got in res.output["subtree_values"].items():
+            assert int(got) == sizes[v]
+
+    def test_unsupported_op_rejected(self):
+        with pytest.raises(ValueError):
+            SubtreeAggregate(op="median")
+
+    @given(st.integers(1, 80), st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_sum_on_random_trees(self, n, seed):
+        tree = gen.with_random_weights(gen.random_attachment_tree(n, seed=seed), seed=seed)
+        res = solve(tree, SubtreeAggregate(op="sum"))
+        assert res.value == pytest.approx(sum(tree.node_data.values()))
+
+
+class TestDownwardAccumulations:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_depths_match_reference(self, family, builder):
+        tree = builder(140)
+        res = solve(tree, NodeDepth())
+        depths = tree.depths()
+        got = res.output["depths"]
+        for v in tree.nodes():
+            assert int(got[v]) == depths[v]
+
+    def test_root_to_node_sums(self):
+        tree = gen.with_random_weights(gen.random_attachment_tree(100, seed=2), seed=3)
+        res = solve(tree, RootToNodeSum())
+        got = res.output["prefix_sums"]
+        # reference: accumulate down
+        expected = {}
+        for v in tree.bfs_order():
+            expected[v] = tree.weight(v) + (expected[tree.parent[v]] if v != tree.root else 0.0)
+        for v in tree.nodes():
+            assert got[v] == pytest.approx(expected[v])
+
+    def test_depth_with_high_degree_reduction(self):
+        tree = gen.star_tree(500)
+        res = solve(tree, NodeDepth())
+        got = res.output["depths"]
+        assert int(got[0]) == 0
+        assert all(int(got[v]) == 1 for v in range(1, 500))
+
+
+class TestExpressionEvaluation:
+    def _expr_tree(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        t = gen.random_attachment_tree(n, seed=seed)
+        data = {}
+        for v in t.nodes():
+            if t.is_leaf(v):
+                data[v] = rng.randint(-4, 4)
+            else:
+                data[v] = {"op": rng.choice(["+", "*"])}
+        return t.with_node_data(data)
+
+    @pytest.mark.parametrize("n,seed", [(20, 0), (80, 1), (200, 2)])
+    def test_matches_reference_modular(self, n, seed):
+        tree = self._expr_tree(n, seed)
+        mod = 1_000_000_007
+        res = solve(tree, ArithmeticExpressionEvaluation(modulus=mod))
+        assert int(res.value) == evaluate_expression_tree(tree, modulus=mod)
+
+    def test_pure_sum_tree(self):
+        tree = gen.with_random_weights(gen.balanced_kary_tree(63, 2), seed=5)
+        data = {v: (tree.node_data[v] if tree.is_leaf(v) else {"op": "+"}) for v in tree.nodes()}
+        tree = tree.with_node_data(data)
+        res = solve(tree, ArithmeticExpressionEvaluation())
+        assert res.value == pytest.approx(evaluate_expression_tree(tree))
+
+    def test_unsupported_operator_raises(self):
+        tree = gen.path_tree(3).with_node_data({0: {"op": "-"}, 1: {"op": "-"}, 2: 3})
+        with pytest.raises(ValueError):
+            solve(tree, ArithmeticExpressionEvaluation())
+
+
+class TestXMLValidation:
+    SCHEMA = XMLSchema(
+        allowed_children={"book": {"chapter"}, "chapter": {"section"}, "section": {"para"}, "para": set()},
+        allowed_root={"book"},
+        max_children={"book": 50, "chapter": 50, "section": 50, "para": 0},
+    )
+
+    def _doc(self, n, valid=True, seed=0):
+        t = gen.balanced_kary_tree(n, k=3)
+        tags = ["book", "chapter", "section", "para"]
+        data = {}
+        for v, d in t.depths().items():
+            data[v] = {"tag": tags[min(d, 3)]}
+        if not valid:
+            # introduce a structural violation deep in the document
+            leaf = t.leaves()[-1]
+            data[leaf] = {"tag": "book"}
+        return t.with_node_data(data)
+
+    @pytest.mark.parametrize("valid", [True, False])
+    def test_validation_matches_reference(self, valid):
+        # 40 nodes of a ternary tree stay within the schema's 4 tag levels.
+        tree = self._doc(40, valid=valid)
+        problem = XMLStructureValidation(self.SCHEMA).bind(tree)
+        res = solve(tree, problem, degree_reduction=False)
+        assert bool(res.output["valid"]) == validate_xml_tree(tree, self.SCHEMA)
+        assert bool(res.output["valid"]) == valid
+
+    def test_schema_free_validation_accepts_anything(self):
+        tree = gen.random_attachment_tree(60, seed=1)
+        problem = XMLStructureValidation().bind(tree)
+        res = solve(tree, problem, degree_reduction=False)
+        assert res.output["valid"]
+
+
+class TestTreeMedian:
+    def test_lower_median_definition(self):
+        assert lower_median([5.0]) == 5.0
+        assert lower_median([1.0, 9.0]) == 1.0
+        assert lower_median([3.0, 1.0, 2.0]) == 2.0
+        assert lower_median([4.0, 1.0, 3.0, 2.0]) == 2.0
+        with pytest.raises(ValueError):
+            lower_median([])
+
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_matches_sequential_reference(self, family, builder):
+        tree = gen.with_random_leaf_values(builder(150), seed=9)
+        res = solve(tree, TreeMedian(), degree_reduction=False)
+        ref = sequential_tree_median(tree)
+        assert res.value == pytest.approx(ref[tree.root])
+        got = res.output["medians"]
+        for v in tree.nodes():
+            assert got[v] == pytest.approx(ref[v])
+
+    def test_high_degree_star(self):
+        # The paper's motivating case: a star's median is the median of all leaves.
+        tree = gen.with_random_leaf_values(gen.star_tree(301), seed=2)
+        res = solve(tree, TreeMedian(), degree_reduction=False)
+        assert res.value == pytest.approx(lower_median(list(tree.node_data.values())))
+
+    @given(st.integers(2, 80), st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_random_trees(self, n, seed):
+        tree = gen.with_random_leaf_values(gen.random_attachment_tree(n, seed=seed), seed=seed)
+        res = solve(tree, TreeMedian(), degree_reduction=False)
+        assert res.value == pytest.approx(sequential_tree_median(tree)[tree.root])

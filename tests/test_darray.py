@@ -1,0 +1,117 @@
+"""Tests of the distributed-array primitives (sort, group, join, prefix sums)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpc.config import MPCConfig
+from repro.mpc.darray import DistributedArray
+from repro.mpc.simulator import MPCSimulator
+
+
+def make_array(records, n=None):
+    sim = MPCSimulator(MPCConfig(n=max(4, n or len(records) or 4)))
+    return sim, DistributedArray.from_records(sim, records)
+
+
+class TestLocalOps:
+    def test_map_filter_flatmap_cost_no_rounds(self):
+        sim, arr = make_array(list(range(50)))
+        before = sim.stats.rounds
+        out = arr.map(lambda x: x + 1).filter(lambda x: x % 2 == 0).flat_map(lambda x: [x, x])
+        assert sim.stats.rounds == before
+        assert sorted(out.collect()) == sorted(
+            [x + 1 for x in range(50) if (x + 1) % 2 == 0] * 2
+        )
+
+    def test_len_and_collect(self):
+        _, arr = make_array(list(range(17)))
+        assert len(arr) == 17
+        assert sorted(arr.collect()) == list(range(17))
+
+
+class TestSort:
+    def test_sort_costs_constant_rounds(self):
+        sim, arr = make_array(list(range(200, 0, -1)))
+        before = sim.stats.rounds
+        out = arr.sort_by(lambda x: x)
+        assert out.collect() == sorted(range(1, 201))
+        assert sim.stats.rounds - before == 4
+
+    def test_sort_with_duplicate_keys(self):
+        sim, arr = make_array([(i % 5, i) for i in range(100)])
+        out = arr.sort_by(lambda r: r[0]).collect()
+        assert [r[0] for r in out] == sorted(i % 5 for i in range(100))
+
+    def test_sort_empty(self):
+        sim, arr = make_array([])
+        assert arr.sort_by(lambda x: x).collect() == []
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_sort_matches_python_sorted(self, xs):
+        _, arr = make_array(xs, n=max(4, len(xs)))
+        assert arr.sort_by(lambda x: x).collect() == sorted(xs)
+
+
+class TestGroupAndJoin:
+    def test_group_by_collects_whole_groups(self):
+        _, arr = make_array([(i % 7, i) for i in range(140)])
+        groups = dict(arr.group_by(lambda r: r[0]).collect())
+        assert set(groups) == set(range(7))
+        for k, members in groups.items():
+            assert sorted(m[1] for m in members) == [i for i in range(140) if i % 7 == k]
+
+    def test_join_inner_semantics(self):
+        sim = MPCSimulator(MPCConfig(n=64))
+        left = DistributedArray.from_records(sim, [("a", 1), ("b", 2), ("c", 3)])
+        right = DistributedArray.from_records(sim, [("a", 10), ("a", 11), ("c", 30), ("d", 40)])
+        joined = left.join(right, key_self=lambda r: r[0], key_other=lambda r: r[0]).collect()
+        pairs = sorted((k, l[1], r[1]) for k, l, r in joined)
+        assert pairs == [("a", 1, 10), ("a", 1, 11), ("c", 3, 30)]
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 20), st.integers()), max_size=80),
+        st.lists(st.tuples(st.integers(0, 20), st.integers()), max_size=80),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_join_matches_nested_loop(self, left_recs, right_recs):
+        sim = MPCSimulator(MPCConfig(n=max(4, len(left_recs) + len(right_recs))))
+        left = DistributedArray.from_records(sim, left_recs)
+        right = DistributedArray.from_records(sim, right_recs)
+        joined = left.join(right, key_self=lambda r: r[0], key_other=lambda r: r[0]).collect()
+        expected = sorted(
+            (l[0], l, r) for l in left_recs for r in right_recs if l[0] == r[0]
+        )
+        assert sorted(joined) == expected
+
+
+class TestPrefixAndReduce:
+    def test_prefix_sum_exclusive(self):
+        _, arr = make_array([1] * 25)
+        out = arr.prefix_sum(lambda r: r)
+        prefixes = [p for _, p in out.collect()]
+        assert prefixes == list(range(25))
+
+    def test_prefix_sum_general_values(self):
+        values = [3, -1, 4, 1, -5, 9, 2, 6]
+        _, arr = make_array(values)
+        out = arr.prefix_sum(lambda r: r).collect()
+        running = 0
+        for rec, prefix in out:
+            assert prefix == running
+            running += rec
+
+    def test_reduce_and_count(self):
+        sim, arr = make_array(list(range(101)))
+        assert arr.count() == 101
+        assert arr.reduce(lambda r: r, lambda a, b: a + b, 0) == sum(range(101))
+
+    def test_rebalance_preserves_content(self):
+        sim = MPCSimulator(MPCConfig(n=64))
+        parts = [[i for i in range(60)]] + [[] for _ in range(sim.num_machines - 1)]
+        arr = DistributedArray(sim, parts)
+        out = arr.rebalance()
+        assert sorted(out.collect()) == list(range(60))
+        sizes = [len(p) for p in out.parts]
+        assert max(sizes) - min(s for s in sizes if s > 0 or True) <= max(sizes)
+        assert max(sizes) <= (60 // sim.num_machines) + sim.num_machines

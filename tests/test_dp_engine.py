@@ -1,0 +1,127 @@
+"""Engine-level tests: invariants of the bottom-up/top-down passes, table sizes."""
+
+import pytest
+
+from repro.core.pipeline import prepare, solve, solve_many, solve_on
+from repro.dp.engine import ROUNDS_PER_LAYER
+from repro.mpc.words import word_size
+from repro.problems.max_weight_independent_set import (
+    MaxWeightIndependentSet,
+    sequential_max_weight_independent_set,
+)
+from repro.problems.min_weight_vertex_cover import MinWeightVertexCover
+from repro.problems.subtree_aggregation import SubtreeAggregate
+from repro.problems.tree_median import TreeMedian
+from repro.trees import generators as gen
+
+from tests.conftest import FAMILIES, FAMILY_IDS
+
+
+class TestSummaries:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_finite_state_tables_are_constant_words(self, family, builder):
+        """Definition 1.2: every cluster summary must be O(1) words."""
+        tree = gen.with_random_weights(builder(200), seed=1)
+        res = solve(tree, MaxWeightIndependentSet())
+        sizes = [word_size(s) for s in res.solve_result.summaries.values()]
+        # 2 states -> at most a 2-vector or 2x2 matrix plus structural overhead.
+        assert max(sizes) <= 40
+
+    def test_accumulation_tables_are_constant_words(self):
+        tree = gen.with_random_leaf_values(gen.path_tree(300), seed=2)
+        res = solve(tree, TreeMedian(), degree_reduction=False)
+        sizes = [word_size(s) for s in res.solve_result.summaries.values()]
+        assert max(sizes) <= 16
+
+    def test_every_cluster_summarized(self):
+        tree = gen.with_random_weights(gen.random_attachment_tree(150, seed=3), seed=3)
+        res = solve(tree, MaxWeightIndependentSet())
+        prepared = res.prepared
+        assert set(res.solve_result.summaries) == set(prepared.clustering.clusters)
+
+
+class TestLabels:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_every_edge_labelled(self, family, builder):
+        tree = gen.with_random_weights(builder(120), seed=4)
+        res = solve(tree, MaxWeightIndependentSet())
+        assert set(res.edge_labels) == set(tree.edges())
+        assert set(res.node_labels) == set(tree.nodes())
+
+    def test_labels_consistent_with_value(self):
+        tree = gen.with_random_weights(gen.caterpillar_tree(200), seed=5)
+        res = solve(tree, MaxWeightIndependentSet())
+        in_weight = sum(tree.weight(v) for v, s in res.node_labels.items() if s == "in")
+        assert in_weight == pytest.approx(res.value)
+
+
+class TestRoundAccounting:
+    def test_dp_rounds_proportional_to_layers(self):
+        tree = gen.with_random_weights(gen.random_attachment_tree(300, seed=6), seed=6)
+        prepared = prepare(tree)
+        res = solve_on(prepared, MaxWeightIndependentSet())
+        layers = prepared.clustering.num_layers
+        # bottom-up + top-down, constant rounds per layer
+        assert res.rounds["dp"] == 2 * layers * ROUNDS_PER_LAYER
+
+    def test_dp_rounds_independent_of_n_at_fixed_layers(self):
+        small = prepare(gen.with_random_weights(gen.broom_tree(200), seed=1))
+        large = prepare(gen.with_random_weights(gen.broom_tree(2000), seed=1))
+        r_small = solve_on(small, MaxWeightIndependentSet()).rounds["dp"]
+        r_large = solve_on(large, MaxWeightIndependentSet()).rounds["dp"]
+        # A 10x larger input may change the layer count by a small constant
+        # (thresholds are floored for small n), never proportionally to n.
+        assert r_large <= r_small + 4 * ROUNDS_PER_LAYER
+
+    def test_value_only_problems_use_half_the_passes(self):
+        from repro.problems.counting_matchings import CountMatchingsModK
+
+        prepared = prepare(gen.random_attachment_tree(200, seed=2))
+        with_labels = solve_on(prepared, MaxWeightIndependentSet())
+        value_only = solve_on(prepared, CountMatchingsModK(k=97))
+        assert value_only.solve_result.rounds < with_labels.solve_result.rounds
+
+
+class TestClusteringReuse:
+    def test_one_clustering_many_problems(self):
+        tree = gen.with_random_weights(gen.random_attachment_tree(250, seed=8), seed=8)
+        prepared = prepare(tree)
+        clustering_rounds = prepared.clustering_stats.total_rounds
+        r1 = solve_on(prepared, MaxWeightIndependentSet())
+        r2 = solve_on(prepared, MinWeightVertexCover())
+        r3 = solve_on(prepared, SubtreeAggregate(op="sum"))
+        # the clustering is not recomputed: each additional solve costs only DP rounds
+        assert r1.value == pytest.approx(sequential_max_weight_independent_set(tree))
+        for r in (r1, r2, r3):
+            assert r.rounds["clustering"] == clustering_rounds
+            assert r.rounds["dp"] < clustering_rounds or clustering_rounds <= 4
+
+    def test_solve_many_returns_all_results(self):
+        tree = gen.with_random_weights(gen.random_attachment_tree(120, seed=9), seed=9)
+        results = solve_many(tree, [MaxWeightIndependentSet(), MinWeightVertexCover()])
+        assert set(results) == {"maximum-weight independent set", "minimum-weight vertex cover"}
+
+
+class TestPipelineInputs:
+    def test_solve_accepts_all_representations(self):
+        from repro.representations import ListOfEdges, StringOfParentheses
+        from repro.representations.parentheses import tree_to_parentheses
+        from repro.representations.traversals import tree_to_bfs_traversal, tree_to_pointers
+
+        tree = gen.random_attachment_tree(80, seed=10)
+        expected = solve(tree, SubtreeAggregate(op="sum")).value
+        for rep in (
+            ListOfEdges(tree.edges(), directed=True),
+            ListOfEdges(tree.edges(), directed=False),
+            StringOfParentheses(tree_to_parentheses(tree)),
+            tree_to_bfs_traversal(tree),
+            tree_to_pointers(tree),
+        ):
+            root = tree.root if isinstance(rep, ListOfEdges) else None
+            res = solve(rep, SubtreeAggregate(op="sum"), root=root)
+            # weights are absent in re-encoded representations; compare node counts instead
+            assert res.prepared.original_tree.num_nodes == tree.num_nodes
+
+    def test_unsupported_problem_type_rejected(self):
+        with pytest.raises(TypeError):
+            solve(gen.path_tree(5), object())

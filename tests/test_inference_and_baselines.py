@@ -1,0 +1,103 @@
+"""Gaussian tree inference (Section 6.2) and the rake-and-compress baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rake_compress import RakeCompressDP, max_is_edge_problem
+from repro.core.pipeline import solve
+from repro.inference import (
+    GaussianTreeInference,
+    random_gaussian_tree_model,
+    root_posterior_reference,
+)
+from repro.inference.gaussian import GaussianFactor
+from repro.mpc import MPCConfig, MPCSimulator
+from repro.problems.max_weight_independent_set import sequential_max_weight_independent_set
+from repro.trees import generators as gen
+
+from tests.conftest import FAMILIES, FAMILY_IDS
+
+
+class TestGaussianFactor:
+    def test_multiply_and_marginalize_match_dense_gaussian(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 3))
+        J = a @ a.T + 3 * np.eye(3)
+        h = rng.normal(size=3)
+        f = GaussianFactor(["x", "y", "z"], 1)
+        f.J = J.copy()
+        f.h = h.copy()
+        marg = f.marginalize_out(["y", "z"])
+        mean_full = np.linalg.solve(J, h)
+        cov_full = np.linalg.inv(J)
+        mean, cov = marg.mean_and_cov()
+        assert np.allclose(mean, mean_full[:1])
+        assert np.allclose(cov, cov_full[:1, :1])
+
+    def test_word_size_is_quadratic_in_dim_only(self):
+        f = GaussianFactor(["a", "b"], 2)
+        assert f.word_size() == 16 + 4
+
+
+class TestGaussianInference:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_root_posterior_matches_dense_reference(self, family, builder):
+        tree = builder(60)
+        model = random_gaussian_tree_model(tree, dim=1, seed=4)
+        res = solve(tree, GaussianTreeInference(model), degree_reduction=False)
+        mean_ref, cov_ref = root_posterior_reference(model)
+        assert np.allclose(res.value["mean"], mean_ref, atol=1e-6)
+        assert np.allclose(res.value["cov"], cov_ref, atol=1e-6)
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_multivariate_states(self, dim):
+        tree = gen.random_attachment_tree(40, seed=6)
+        model = random_gaussian_tree_model(tree, dim=dim, seed=7)
+        res = solve(tree, GaussianTreeInference(model), degree_reduction=False)
+        mean_ref, cov_ref = root_posterior_reference(model)
+        assert np.allclose(res.value["mean"], mean_ref, atol=1e-6)
+        assert np.allclose(res.value["cov"], cov_ref, atol=1e-6)
+
+    def test_posterior_covariance_shrinks_with_observations(self):
+        tree = gen.star_tree(80)
+        model = random_gaussian_tree_model(tree, dim=1, seed=8)
+        res = solve(tree, GaussianTreeInference(model), degree_reduction=False)
+        prior_var = model.Q[tree.root][0, 0]
+        assert res.value["cov"][0, 0] < prior_var + 1e-9
+
+    def test_summary_word_sizes_constant(self):
+        tree = gen.path_tree(120)
+        model = random_gaussian_tree_model(tree, dim=1, seed=9)
+        res = solve(tree, GaussianTreeInference(model), degree_reduction=False)
+        sizes = [s["factor"].word_size() for s in res.solve_result.summaries.values()]
+        assert max(sizes) <= 6  # at most a factor over two scalar variables
+
+
+class TestRakeCompressBaseline:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_value_matches_sequential(self, family, builder):
+        tree = gen.with_random_weights(builder(200), seed=11)
+        sim = MPCSimulator(MPCConfig(n=200))
+        rc = RakeCompressDP(sim=sim, seed=5)
+        val = rc.solve(tree, max_is_edge_problem(tree))
+        assert val == pytest.approx(sequential_max_weight_independent_set(tree))
+        assert rc.phases >= 1
+        assert sim.stats.charged_rounds > 0
+
+    def test_phase_count_grows_with_n_even_at_small_diameter(self):
+        """The baseline's contraction depth tracks log n, not log D."""
+        phases = {}
+        for n in (64, 1024):
+            tree = gen.with_random_weights(gen.caterpillar_tree(n), seed=1)
+            rc = RakeCompressDP(seed=3)
+            rc.solve(tree, max_is_edge_problem(tree))
+            phases[n] = rc.phases
+        assert phases[1024] > phases[64]
+
+    def test_deterministic_given_seed(self):
+        tree = gen.with_random_weights(gen.random_attachment_tree(150, seed=2), seed=2)
+        a = RakeCompressDP(seed=42)
+        b = RakeCompressDP(seed=42)
+        va = a.solve(tree, max_is_edge_problem(tree))
+        vb = b.solve(tree, max_is_edge_problem(tree))
+        assert va == vb and a.phases == b.phases

@@ -1,0 +1,111 @@
+"""Unit tests for the MPC simulator substrate (config, machines, supersteps)."""
+
+import pytest
+
+from repro.mpc.config import MPCConfig
+from repro.mpc.simulator import CapacityViolation, MPCSimulator
+from repro.mpc.words import record_words, word_size
+
+
+class TestConfig:
+    def test_capacity_scales_with_delta(self):
+        lo = MPCConfig(n=100_000, delta=0.3)
+        hi = MPCConfig(n=100_000, delta=0.7)
+        assert lo.machine_capacity < hi.machine_capacity
+        assert lo.num_machines > hi.num_machines
+
+    def test_total_memory_covers_input(self):
+        cfg = MPCConfig(n=50_000, delta=0.5)
+        assert cfg.total_memory_words >= cfg.n
+
+    def test_light_threshold_below_capacity(self):
+        cfg = MPCConfig(n=50_000, delta=0.5)
+        assert 2 <= cfg.light_threshold() <= cfg.cluster_capacity()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MPCConfig(n=0)
+        with pytest.raises(ValueError):
+            MPCConfig(n=10, delta=0.0)
+        with pytest.raises(ValueError):
+            MPCConfig(n=10, delta=1.0)
+
+    def test_scaled_preserves_settings(self):
+        cfg = MPCConfig(n=1000, delta=0.4, capacity_factor=2.0, strict_memory=True)
+        cfg2 = cfg.scaled(4000)
+        assert cfg2.delta == 0.4
+        assert cfg2.strict_memory
+        assert cfg2.n == 4000
+
+
+class TestWords:
+    def test_small_values_cost_one_word(self):
+        assert word_size(7) == 1
+        assert word_size(3.14) == 1
+        assert word_size(None) == 1
+        assert word_size(True) == 1
+
+    def test_big_integers_cost_more(self):
+        assert word_size(2 ** 200) > 1
+
+    def test_containers_sum_their_elements(self):
+        assert word_size((1, 2, 3)) == 4  # 3 elements + structural overhead
+        assert record_words([(1, 2), (3, 4)]) == 6
+
+
+class TestSimulator:
+    def test_scatter_and_gather_roundtrip(self, simulator):
+        data = list(range(100))
+        simulator.scatter(data)
+        assert sorted(simulator.gather()) == data
+
+    def test_superstep_counts_rounds_and_messages(self, simulator):
+        simulator.scatter(list(range(20)))
+
+        def compute(machine):
+            return [((machine.mid + 1) % simulator.num_machines, x) for x in machine.store]
+
+        simulator.superstep(compute)
+        assert simulator.stats.rounds == 1
+        assert simulator.stats.total_messages == 20
+        total_inbox = sum(len(m.inbox) for m in simulator.machines)
+        assert total_inbox == 20
+
+    def test_invalid_destination_raises(self, simulator):
+        simulator.scatter([1])
+        with pytest.raises(ValueError):
+            simulator.superstep(lambda m: [(10_000, "x")] if m.store else [])
+
+    def test_charge_rounds_tracked_separately(self, simulator):
+        simulator.charge_rounds(5, label="dp-pass")
+        simulator.charge_rounds(3, label="dp-pass")
+        assert simulator.stats.charged_rounds == 8
+        assert simulator.stats.rounds == 0
+        assert simulator.stats.charged_by_label["dp-pass"] == 8
+        assert simulator.stats.total_rounds == 8
+
+    def test_charge_negative_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.charge_rounds(-1)
+
+    def test_broadcast_reaches_every_machine(self, simulator):
+        simulator.broadcast_to_all(("hello", 42))
+        assert all(("hello", 42) in m.inbox for m in simulator.machines)
+
+    def test_strict_bandwidth_raises(self):
+        sim = MPCSimulator(MPCConfig(n=64, delta=0.5, strict_bandwidth=True, min_capacity=8))
+        sim.scatter(list(range(64)))
+
+        def flood(machine):
+            return [(0, tuple(range(50))) for _ in range(20)]
+
+        with pytest.raises(CapacityViolation):
+            sim.superstep(flood)
+
+    def test_snapshot_diff(self, simulator):
+        snap = simulator.snapshot()
+        simulator.charge_rounds(2)
+        simulator.superstep(lambda m: [])
+        diff = simulator.stats.diff(snap)
+        assert diff.rounds == 1
+        assert diff.charged_rounds == 2

@@ -1,0 +1,183 @@
+"""Counting, constraint-satisfaction (LCL) and remaining Table-1 problems."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import solve
+from repro.problems.counting_matchings import CountMatchingsModK, sequential_count_matchings
+from repro.problems.edge_coloring import EdgeColoring, is_proper_edge_coloring
+from repro.problems.longest_path import LongestPath, sequential_longest_path
+from repro.problems.maximal_independent_set import (
+    MaximalIndependentSet,
+    is_maximal_independent_set,
+)
+from repro.problems.sum_coloring import SumColoring, is_proper_coloring, sequential_sum_coloring
+from repro.problems.vertex_coloring import VertexColoring, is_proper_vertex_coloring
+from repro.problems.weighted_max_sat import (
+    WeightedMaxSAT,
+    max_sat_value_of_assignment,
+    sequential_max_sat,
+)
+from repro.trees import generators as gen
+
+from tests.conftest import FAMILIES, FAMILY_IDS
+
+
+class TestCountingMatchings:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_matches_reference_mod_k(self, family, builder):
+        tree = builder(120)
+        k = 10_007
+        res = solve(tree, CountMatchingsModK(k=k))
+        assert int(res.value) == sequential_count_matchings(tree, k=k)
+
+    def test_small_closed_forms(self):
+        # A path with e edges has Fibonacci(e + 2) matchings.
+        fib = [1, 1]
+        for _ in range(20):
+            fib.append(fib[-1] + fib[-2])
+        for n in (1, 2, 3, 5, 8, 13):
+            res = solve(gen.path_tree(n), CountMatchingsModK(k=1_000_003))
+            assert int(res.value) == fib[n]
+        # A star with l leaves has l + 1 matchings.
+        for n in (2, 5, 9):
+            res = solve(gen.star_tree(n), CountMatchingsModK(k=1_000_003))
+            assert int(res.value) == n
+
+    def test_counting_skips_topdown(self):
+        res = solve(gen.path_tree(30), CountMatchingsModK(k=97))
+        assert res.edge_labels == {}
+
+    @given(st.integers(1, 60), st.integers(0, 50), st.sampled_from([2, 3, 97]))
+    @settings(max_examples=20, deadline=None)
+    def test_random_trees_mod_small_k(self, n, seed, k):
+        tree = gen.random_attachment_tree(n, seed=seed)
+        assert int(solve(tree, CountMatchingsModK(k=k)).value) == sequential_count_matchings(tree, k=k)
+
+
+class TestColorings:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_vertex_coloring_is_proper(self, family, builder):
+        tree = builder(150)
+        res = solve(tree, VertexColoring(k=3))
+        assert res.output["feasible"]
+        assert is_proper_vertex_coloring(tree, res.output["coloring"])
+
+    def test_two_colors_suffice_on_trees(self):
+        tree = gen.random_attachment_tree(120, seed=8)
+        res = solve(tree, VertexColoring(k=2))
+        assert is_proper_vertex_coloring(tree, res.output["coloring"])
+
+    def test_list_coloring_respects_allowed_lists(self):
+        tree = gen.path_tree(40)
+        data = {v: {"allowed": [1, 2] if v % 2 == 0 else [2, 3]} for v in tree.nodes()}
+        res = solve(tree.with_node_data(data), VertexColoring(k=3))
+        coloring = res.output["coloring"]
+        assert is_proper_vertex_coloring(tree, coloring)
+        for v, c in coloring.items():
+            assert c in data[v]["allowed"]
+
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_sum_coloring_matches_reference(self, family, builder):
+        tree = builder(140)
+        res = solve(tree, SumColoring(k=3))
+        assert res.value == pytest.approx(sequential_sum_coloring(tree, k=3))
+        assert is_proper_coloring(tree, res.output["coloring"])
+
+    def test_sum_coloring_path_closed_form(self):
+        # On a path the optimum alternates colours 1 and 2.
+        n = 41
+        res = solve(gen.path_tree(n), SumColoring(k=3))
+        assert res.value == pytest.approx(21 * 1 + 20 * 2)
+
+    def test_edge_coloring_bounded_degree(self):
+        tree = gen.balanced_kary_tree(121, k=3)
+        res = solve(tree, EdgeColoring(k=5), degree_reduction=False)
+        assert res.output["feasible"]
+        assert is_proper_edge_coloring(tree, res.output["edge_coloring"])
+
+    def test_edge_coloring_path_two_colors(self):
+        tree = gen.path_tree(50)
+        res = solve(tree, EdgeColoring(k=2), degree_reduction=False)
+        assert is_proper_edge_coloring(tree, res.output["edge_coloring"])
+
+    def test_edge_coloring_rejects_large_k(self):
+        with pytest.raises(ValueError):
+            EdgeColoring(k=20)
+
+
+class TestMaximalIndependentSet:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_output_is_maximal_independent(self, family, builder):
+        tree = builder(160)
+        res = solve(tree, MaximalIndependentSet())
+        assert is_maximal_independent_set(tree, res.output["maximal_independent_set"])
+
+    def test_single_node(self):
+        res = solve(gen.path_tree(1), MaximalIndependentSet())
+        assert res.output["maximal_independent_set"] == [0]
+
+
+class TestWeightedMaxSAT:
+    def _instance(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        t = gen.random_attachment_tree(n, seed=seed)
+        node_data = {
+            v: {"clauses": [(rng.random() < 0.5, round(rng.uniform(0, 3), 2))]} for v in t.nodes()
+        }
+        edge_data = {
+            e: {
+                "clauses": [
+                    (rng.random() < 0.5, rng.random() < 0.5, round(rng.uniform(0, 3), 2))
+                    for _ in range(rng.randint(0, 2))
+                ]
+            }
+            for e in t.edges()
+        }
+        t = t.with_node_data(node_data)
+        t.edge_data = edge_data
+        return t
+
+    @pytest.mark.parametrize("n,seed", [(50, 0), (120, 1), (200, 2)])
+    def test_matches_reference(self, n, seed):
+        tree = self._instance(n, seed)
+        res = solve(tree, WeightedMaxSAT())
+        assert res.value == pytest.approx(sequential_max_sat(tree))
+
+    def test_returned_assignment_achieves_value(self):
+        tree = self._instance(150, 7)
+        res = solve(tree, WeightedMaxSAT())
+        assignment = res.output["assignment"]
+        assert max_sat_value_of_assignment(tree, assignment) == pytest.approx(res.value)
+
+
+class TestLongestPath:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_unweighted_matches_reference(self, family, builder):
+        tree = builder(170)
+        res = solve(tree, LongestPath())
+        assert res.value == pytest.approx(sequential_longest_path(tree))
+
+    def test_unweighted_equals_diameter(self):
+        from repro.trees.properties import diameter
+
+        for builder in (gen.path_tree, gen.broom_tree, gen.complete_binary_tree):
+            tree = builder(200)
+            assert solve(tree, LongestPath()).value == pytest.approx(diameter(tree))
+
+    def test_weighted_edges(self):
+        import random
+
+        rng = random.Random(3)
+        tree = gen.random_attachment_tree(150, seed=3)
+        tree.edge_data = {e: round(rng.uniform(0.1, 5.0), 3) for e in tree.edges()}
+        res = solve(tree, LongestPath())
+        assert res.value == pytest.approx(sequential_longest_path(tree))
+
+    @given(st.integers(1, 50), st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_random_trees(self, n, seed):
+        tree = gen.random_attachment_tree(n, seed=seed)
+        assert solve(tree, LongestPath()).value == pytest.approx(sequential_longest_path(tree))

@@ -1,0 +1,170 @@
+"""Framework vs. sequential vs. brute force for the optimisation problems."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import solve
+from repro.dp.sequential import solve_sequential
+from repro.problems.max_weight_independent_set import (
+    MaxWeightIndependentSet,
+    independent_set_weight,
+    is_independent_set,
+    sequential_max_weight_independent_set,
+)
+from repro.problems.max_weight_matching import (
+    MaxWeightMatching,
+    is_matching,
+    matching_weight,
+    sequential_max_weight_matching,
+)
+from repro.problems.min_weight_dominating_set import (
+    MinWeightDominatingSet,
+    is_dominating_set,
+    sequential_min_weight_dominating_set,
+)
+from repro.problems.min_weight_vertex_cover import (
+    MinWeightVertexCover,
+    is_vertex_cover,
+    sequential_min_weight_vertex_cover,
+)
+from repro.trees import generators as gen
+from repro.trees.tree import RootedTree
+
+from tests.conftest import FAMILIES, FAMILY_IDS
+
+PROBLEMS = [
+    ("max-is", MaxWeightIndependentSet, sequential_max_weight_independent_set),
+    ("min-vc", MinWeightVertexCover, sequential_min_weight_vertex_cover),
+    ("min-ds", MinWeightDominatingSet, sequential_min_weight_dominating_set),
+    ("max-matching", MaxWeightMatching, sequential_max_weight_matching),
+]
+
+
+def weighted(builder, n, seed=13):
+    return gen.with_random_weights(builder(n), seed=seed)
+
+
+@pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+@pytest.mark.parametrize("pname,problem_cls,reference", PROBLEMS, ids=[p[0] for p in PROBLEMS])
+def test_framework_matches_sequential_reference(family, builder, pname, problem_cls, reference):
+    tree = weighted(builder, 180)
+    res = solve(tree, problem_cls())
+    assert res.value == pytest.approx(reference(tree), rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 30, 90])
+@pytest.mark.parametrize("pname,problem_cls,reference", PROBLEMS, ids=[p[0] for p in PROBLEMS])
+def test_small_and_edge_case_sizes(n, pname, problem_cls, reference):
+    tree = weighted(gen.random_attachment_tree, n, seed=n)
+    res = solve(tree, problem_cls())
+    assert res.value == pytest.approx(reference(tree), rel=1e-9, abs=1e-9)
+
+
+class TestSolutionStructure:
+    def test_max_is_solution_is_feasible_and_optimal(self):
+        tree = weighted(gen.random_attachment_tree, 250, seed=3)
+        res = solve(tree, MaxWeightIndependentSet())
+        chosen = res.output["independent_set"]
+        assert is_independent_set(tree, chosen)
+        assert independent_set_weight(tree, chosen) == pytest.approx(res.value)
+
+    def test_vertex_cover_solution_is_feasible_and_optimal(self):
+        tree = weighted(gen.caterpillar_tree, 200, seed=5)
+        res = solve(tree, MinWeightVertexCover())
+        chosen = res.output["vertex_cover"]
+        assert is_vertex_cover(tree, chosen)
+        assert sum(tree.weight(v) for v in chosen) == pytest.approx(res.value)
+
+    def test_dominating_set_solution_is_feasible_and_optimal(self):
+        tree = weighted(gen.spider_tree, 220, seed=7)
+        res = solve(tree, MinWeightDominatingSet())
+        chosen = res.output["dominating_set"]
+        assert is_dominating_set(tree, chosen)
+        assert sum(tree.weight(v) for v in chosen) == pytest.approx(res.value)
+
+    def test_matching_solution_is_feasible_and_optimal(self):
+        tree = gen.random_attachment_tree(200, seed=2)
+        tree.edge_data = {e: round(1 + (hash(e) % 100) / 10.0, 2) for e in tree.edges()}
+        res = solve(tree, MaxWeightMatching())
+        edges = res.output["matching"]
+        assert is_matching(edges)
+        assert matching_weight(tree, edges) == pytest.approx(res.value)
+        assert res.value == pytest.approx(sequential_max_weight_matching(tree))
+
+    def test_high_degree_star_with_degree_reduction(self):
+        tree = weighted(gen.star_tree, 400, seed=1)
+        res = solve(tree, MaxWeightIndependentSet())
+        assert res.value == pytest.approx(sequential_max_weight_independent_set(tree))
+        chosen = res.output["independent_set"]
+        assert is_independent_set(tree, chosen)
+
+    def test_two_level_high_degree_tree(self):
+        tree = weighted(gen.two_level_tree, 500, seed=4)
+        for problem_cls, reference in [
+            (MaxWeightIndependentSet, sequential_max_weight_independent_set),
+            (MinWeightVertexCover, sequential_min_weight_vertex_cover),
+            (MinWeightDominatingSet, sequential_min_weight_dominating_set),
+        ]:
+            res = solve(tree, problem_cls())
+            assert res.value == pytest.approx(reference(tree), rel=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Brute force oracle on tiny random weighted trees (hypothesis)
+# --------------------------------------------------------------------------- #
+
+
+def brute_force_optimum(tree, kind):
+    nodes = tree.nodes()
+    best = None
+    for mask in itertools.product([False, True], repeat=len(nodes)):
+        chosen = {v for v, m in zip(nodes, mask) if m}
+        w = sum(tree.weight(v) for v in chosen)
+        if kind == "is":
+            ok = all(not (c in chosen and p in chosen) for c, p in tree.edges())
+            if ok and (best is None or w > best):
+                best = w
+        elif kind == "vc":
+            ok = all(c in chosen or p in chosen for c, p in tree.edges())
+            if ok and (best is None or w < best):
+                best = w
+        elif kind == "ds":
+            ok = True
+            cm = tree.children_map()
+            for v in nodes:
+                if v in chosen:
+                    continue
+                neigh = list(cm[v]) + ([tree.parent[v]] if v != tree.root else [])
+                if not any(u in chosen for u in neigh):
+                    ok = False
+                    break
+            if ok and (best is None or w < best):
+                best = w
+    return best
+
+
+@given(
+    st.integers(1, 9),
+    st.integers(0, 1000),
+    st.sampled_from(["is", "vc", "ds"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_against_exponential_brute_force(n, seed, kind):
+    tree = gen.with_random_weights(gen.random_attachment_tree(n, seed=seed), seed=seed)
+    problem = {"is": MaxWeightIndependentSet, "vc": MinWeightVertexCover, "ds": MinWeightDominatingSet}[kind]()
+    res = solve(tree, problem)
+    assert res.value == pytest.approx(brute_force_optimum(tree, kind), rel=1e-9, abs=1e-9)
+
+
+@given(st.integers(1, 10), st.integers(0, 500))
+@settings(max_examples=30, deadline=None)
+def test_sequential_solver_agrees_with_framework(n, seed):
+    """The generic sequential solver and the cluster engine share problem
+    definitions but differ in combination logic; they must agree exactly."""
+    tree = gen.with_random_weights(gen.random_attachment_tree(n, seed=seed), seed=seed + 1)
+    problem = MaxWeightIndependentSet()
+    assert solve(tree, problem).value == pytest.approx(
+        solve_sequential(problem, tree).value
+    )

@@ -1,0 +1,169 @@
+"""Tests of the representation conversions (Sections 3 and 6.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.representations.base import (
+    BFSTraversal,
+    DFSTraversal,
+    ListOfEdges,
+    PointersToParents,
+    StringOfParentheses,
+)
+from repro.representations import export, parentheses, traversals
+from repro.representations.normalize import normalize_to_rooted_tree, parentheses_to_edges_mpc
+from repro.trees import generators as gen
+from repro.trees.tree import RootedTree
+from repro.trees.validation import assert_same_tree
+
+from tests.conftest import FAMILIES, FAMILY_IDS, make_sim
+
+
+class TestParenthesesReference:
+    def test_paper_example(self):
+        # Tree T of Fig. 4 has the string ((()())()) up to child order.
+        t = RootedTree.from_edges([(1, 4), (2, 3), (5, 4), (4, 3)])
+        text = parentheses.tree_to_parentheses(t)
+        assert len(text) == 10
+        assert parentheses.is_balanced(text)
+
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_roundtrip_shape(self, family, builder):
+        t = builder(80)
+        text = parentheses.tree_to_parentheses(t)
+        back = parentheses.parentheses_to_tree(text)
+        assert back.num_nodes == t.num_nodes
+        assert sorted(back.subtree_sizes().values()) == sorted(t.subtree_sizes().values())
+
+    def test_malformed_rejected(self):
+        for bad in ["", "(", ")", "())(", "()()", "(()", "(a)"]:
+            assert not parentheses.is_balanced(bad)
+            with pytest.raises(ValueError):
+                parentheses.parse_parentheses(bad)
+
+
+class TestDistributedParenthesesMatcher:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_matches_reference_parser(self, family, builder):
+        t = builder(90)
+        text = parentheses.tree_to_parentheses(t)
+        sim = make_sim(len(text))
+        edges = parentheses_to_edges_mpc(sim, text)
+        ref = parentheses.parse_parentheses(text)
+        assert sorted(edges) == sorted(ref)
+
+    def test_costs_constant_rounds(self):
+        t = gen.random_attachment_tree(200, seed=1)
+        text = parentheses.tree_to_parentheses(t)
+        sim = make_sim(len(text))
+        parentheses_to_edges_mpc(sim, text)
+        assert sim.stats.rounds <= 10  # summaries + group-by, independent of n and D
+
+    def test_malformed_inputs_raise(self):
+        sim = make_sim(16)
+        for bad in ["", "((", "))((", "()()"]:
+            with pytest.raises(ValueError):
+                parentheses_to_edges_mpc(sim, bad)
+
+    @given(st.integers(2, 120), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_random_trees(self, n, seed):
+        t = gen.random_attachment_tree(n, seed=seed)
+        text = parentheses.tree_to_parentheses(t)
+        sim = make_sim(len(text))
+        edges = parentheses_to_edges_mpc(sim, text)
+        assert sorted(edges) == sorted(parentheses.parse_parentheses(text))
+
+
+class TestTraversals:
+    def test_paper_examples(self):
+        t = RootedTree.from_edges([(1, 4), (2, 3), (5, 4), (4, 3)])
+        bfs = traversals.tree_to_bfs_traversal(t)
+        assert bfs.parents[0] is None
+        assert len(bfs.parents) == 5
+        ptr = traversals.tree_to_pointers(t)
+        decoded = traversals.pointers_to_edges(ptr)
+        assert_same_tree(t, RootedTree.from_edges(decoded, root=3))
+
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_bfs_dfs_roundtrip_shape(self, family, builder):
+        t = builder(70)
+        for encode, decode in [
+            (traversals.tree_to_bfs_traversal, traversals.bfs_traversal_to_edges),
+            (traversals.tree_to_dfs_traversal, traversals.dfs_traversal_to_edges),
+        ]:
+            rep = encode(t)
+            back = RootedTree.from_edges(decode(rep), root=1) if t.num_nodes > 1 else t
+            assert back.num_nodes == t.num_nodes
+            assert sorted(back.subtree_sizes().values()) == sorted(t.subtree_sizes().values())
+
+    def test_traversal_validation(self):
+        with pytest.raises(ValueError):
+            traversals.bfs_traversal_to_edges(BFSTraversal([None, None, 1]))
+        with pytest.raises(ValueError):
+            traversals.bfs_traversal_to_edges(BFSTraversal([None, 99]))
+        with pytest.raises(ValueError):
+            traversals.pointers_to_edges(PointersToParents(parents=[None, "zzz"], labels=["a", "b"]))
+
+
+class TestNormalizeDispatcher:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_all_representations_normalize_to_same_shape(self, family, builder):
+        t = builder(60)
+        sim = make_sim(60)
+        reps = [
+            ListOfEdges(t.edges(), directed=True),
+            ListOfEdges(t.edges(), directed=False),
+            StringOfParentheses(parentheses.tree_to_parentheses(t)),
+            traversals.tree_to_bfs_traversal(t),
+            traversals.tree_to_dfs_traversal(t),
+            traversals.tree_to_pointers(t),
+        ]
+        shapes = set()
+        for rep in reps:
+            root = t.root if isinstance(rep, ListOfEdges) else None
+            tree = normalize_to_rooted_tree(sim, rep, root=root)
+            shapes.add(tuple(sorted(tree.subtree_sizes().values())))
+        assert len(shapes) == 1
+
+    def test_unsupported_type_raises(self):
+        sim = make_sim(8)
+        with pytest.raises(TypeError):
+            normalize_to_rooted_tree(sim, object())
+
+
+class TestExport:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    def test_exports_roundtrip(self, family, builder):
+        t = builder(60)
+        sim = make_sim(60)
+        # pointers
+        ptr = export.to_pointers_to_parents(t, sim)
+        back = RootedTree.from_edges(traversals.pointers_to_edges(ptr), root=t.root) if t.num_nodes > 1 else t
+        assert_same_tree(t, back)
+        # BFS / DFS ranks must be consistent parent references
+        bfs = export.to_bfs_traversal(t, sim)
+        dfs = export.to_dfs_traversal(t, sim)
+        for rep, decode in [(bfs, traversals.bfs_traversal_to_edges), (dfs, traversals.dfs_traversal_to_edges)]:
+            if t.num_nodes == 1:
+                continue
+            rebuilt = RootedTree.from_edges(decode(rep), root=1)
+            assert sorted(rebuilt.subtree_sizes().values()) == sorted(t.subtree_sizes().values())
+        # parentheses
+        text = export.to_string_of_parentheses(t, sim).text
+        rebuilt = parentheses.parentheses_to_tree(text)
+        assert sorted(rebuilt.subtree_sizes().values()) == sorted(t.subtree_sizes().values())
+
+    def test_dfs_timestamps_are_preorder(self):
+        t = gen.random_attachment_tree(60, seed=2)
+        ts = export.dfs_timestamps(t)
+        assert sorted(ts.values()) == list(range(t.num_nodes))
+        for v in t.nodes():
+            if v != t.root:
+                assert ts[v] > ts[t.parent[v]]
+
+    def test_export_charges_rounds(self):
+        t = gen.path_tree(64)
+        sim = make_sim(64)
+        export.to_bfs_traversal(t, sim)
+        assert sim.stats.charged_rounds > 0

@@ -1,0 +1,140 @@
+"""Tests of the distributed tree subroutines (depths, capped gather, path positions)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpc.config import MPCConfig
+from repro.mpc.simulator import MPCSimulator
+from repro.mpc.treeops import (
+    capped_subtree_gather,
+    compute_depths,
+    degree2_path_positions,
+    orient_tree_charged,
+)
+from repro.trees import generators as gen
+from repro.trees.tree import RootedTree
+
+from tests.conftest import FAMILIES, FAMILY_IDS, make_sim
+
+
+def random_parent_map(sizes):
+    """hypothesis helper: a random recursive tree as a parent map."""
+    return st.integers(2, sizes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(st.integers(0, 10_000), min_size=n - 1, max_size=n - 1),
+        )
+    )
+
+
+@pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+def test_compute_depths_matches_reference(family, builder):
+    tree = builder(150)
+    sim = make_sim(tree.num_nodes)
+    depths = compute_depths(sim, dict(tree.parent), tree.root)
+    assert depths == tree.depths()
+
+
+def test_compute_depths_round_count_scales_with_log_depth():
+    deep = gen.path_tree(256)
+    shallow = gen.broom_tree(256)
+    sim_deep, sim_shallow = make_sim(256), make_sim(256)
+    compute_depths(sim_deep, dict(deep.parent), deep.root)
+    compute_depths(sim_shallow, dict(shallow.parent), shallow.root)
+    assert sim_shallow.stats.rounds < sim_deep.stats.rounds
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=120))
+@settings(max_examples=25, deadline=None)
+def test_compute_depths_random_trees(raw_parents):
+    n = len(raw_parents) + 1
+    parent = {0: 0}
+    for v in range(1, n):
+        parent[v] = raw_parents[v - 1] % v
+    tree = RootedTree.from_parent_map(parent, root=0)
+    sim = make_sim(n)
+    assert compute_depths(sim, dict(tree.parent), tree.root) == tree.depths()
+
+
+@pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+@pytest.mark.parametrize("cap", [3, 8, 25])
+def test_capped_subtree_gather(family, builder, cap):
+    tree = builder(120)
+    sim = make_sim(tree.num_nodes)
+    info = capped_subtree_gather(sim, dict(tree.parent), tree.children_map(), tree.root, cap=cap)
+    sizes = tree.subtree_sizes()
+    for v in tree.nodes():
+        if sizes[v] <= cap:
+            assert not info[v].heavy, f"{v} wrongly heavy"
+            assert info[v].size == sizes[v]
+            assert len(info[v].members) == sizes[v]
+            # gathered members really are the subtree
+            assert all(_is_descendant(tree, u, v) for u in info[v].members)
+        else:
+            assert info[v].heavy, f"{v} wrongly light"
+
+
+def _is_descendant(tree, u, v):
+    while True:
+        if u == v:
+            return True
+        if u == tree.root:
+            return False
+        u = tree.parent[u]
+
+
+def test_degree2_path_positions_on_path():
+    n = 60
+    path_parent = {}
+    path_child = {}
+    for v in range(1, n - 1):
+        path_parent[v] = v - 1 if v - 1 >= 1 else None
+        path_child[v] = v + 1 if v + 1 <= n - 2 else None
+    sim = make_sim(n)
+    pos = degree2_path_positions(sim, path_parent, path_child)
+    for v in range(1, n - 1):
+        up_t, up_d, dn_t, dn_d = pos[v]
+        assert up_t == 1 and dn_t == n - 2
+        assert up_d == v - 1
+        assert dn_d == (n - 2) - v
+
+
+def test_degree2_path_positions_multiple_paths():
+    # Two disjoint chains: 1-2-3 and 10-11-12-13.
+    path_parent = {1: None, 2: 1, 3: 2, 10: None, 11: 10, 12: 11, 13: 12}
+    path_child = {1: 2, 2: 3, 3: None, 10: 11, 11: 12, 12: 13, 13: None}
+    sim = make_sim(32)
+    pos = degree2_path_positions(sim, path_parent, path_child)
+    assert pos[3] == (1, 2, 3, 0)
+    assert pos[1] == (1, 0, 3, 2)
+    assert pos[13] == (10, 3, 13, 0)
+    assert pos[11] == (10, 1, 13, 2)
+
+
+def test_degree2_path_positions_empty():
+    sim = make_sim(8)
+    assert degree2_path_positions(sim, {}, {}) == {}
+
+
+class TestOrientation:
+    def test_orients_towards_requested_root(self):
+        tree = gen.random_attachment_tree(80, seed=3)
+        undirected = [(c, p) for c, p in tree.edges()]
+        sim = make_sim(80)
+        parent, root = orient_tree_charged(sim, undirected, root=0)
+        rebuilt = RootedTree.from_parent_map(parent, root=root)
+        assert set(rebuilt.nodes()) == set(tree.nodes())
+        assert rebuilt.depths() == tree.depths()
+        assert sim.stats.charged_rounds > 0
+
+    def test_rejects_disconnected_input(self):
+        sim = make_sim(8)
+        with pytest.raises(ValueError):
+            orient_tree_charged(sim, [(0, 1), (2, 3)], root=0)
+
+    def test_rejects_unknown_root(self):
+        sim = make_sim(8)
+        with pytest.raises(ValueError):
+            orient_tree_charged(sim, [(0, 1)], root=99)

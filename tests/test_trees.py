@@ -1,0 +1,182 @@
+"""Tests of the tree data structure, generators and property helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees import generators as gen
+from repro.trees.properties import diameter, height, max_degree, subtree_aggregate, tree_summary
+from repro.trees.tree import RootedTree
+from repro.trees.validation import (
+    assert_same_tree,
+    check_rooted_tree,
+    is_connected_tree_edge_list,
+)
+
+from tests.conftest import FAMILIES, FAMILY_IDS
+
+
+class TestRootedTree:
+    def test_from_edges_infers_root(self):
+        t = RootedTree.from_edges([(1, 4), (2, 3), (5, 4), (4, 3)])
+        assert t.root == 3
+        assert t.num_nodes == 5
+        assert t.parent[1] == 4
+
+    def test_from_edges_rejects_two_parents(self):
+        with pytest.raises(ValueError):
+            RootedTree.from_edges([(1, 2), (1, 3)], root=2)
+
+    def test_from_parent_map_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            RootedTree.from_parent_map({0: 0, 1: 2, 2: 1})
+
+    def test_children_and_leaves(self):
+        t = gen.star_tree(10)
+        assert sorted(t.children(0)) == list(range(1, 10))
+        assert sorted(t.leaves()) == list(range(1, 10))
+        assert t.degree(0) == 9
+        assert t.degree(3) == 1
+
+    def test_orders_cover_all_nodes(self):
+        t = gen.random_attachment_tree(200, seed=5)
+        assert sorted(t.bfs_order()) == sorted(t.nodes())
+        assert sorted(t.dfs_order()) == sorted(t.nodes())
+        assert sorted(t.postorder()) == sorted(t.nodes())
+        # parents precede children in BFS order
+        pos = {v: i for i, v in enumerate(t.bfs_order())}
+        assert all(pos[t.parent[v]] < pos[v] for v in t.nodes() if v != t.root)
+        # children precede parents in postorder
+        pos = {v: i for i, v in enumerate(t.postorder())}
+        assert all(pos[t.parent[v]] > pos[v] for v in t.nodes() if v != t.root)
+
+    def test_depths_and_subtree_sizes_on_path(self):
+        t = gen.path_tree(50)
+        depths = t.depths()
+        sizes = t.subtree_sizes()
+        assert depths[49] == 49
+        assert sizes[0] == 50
+        assert sizes[49] == 1
+
+    def test_deep_path_does_not_hit_recursion_limit(self):
+        t = gen.path_tree(5000)
+        assert t.subtree_sizes()[0] == 5000
+        assert max(t.depths().values()) == 4999
+
+    def test_relabeled_preserves_shape(self):
+        t = gen.random_attachment_tree(60, seed=9)
+        r, mapping = t.relabeled()
+        assert r.num_nodes == t.num_nodes
+        assert r.root == 0
+        assert max(r.depths().values()) == max(t.depths().values())
+
+    def test_with_node_data_does_not_mutate_original(self):
+        t = gen.path_tree(5)
+        t2 = t.with_node_data({0: 1.5})
+        assert t.node_data == {}
+        assert t2.node_data[0] == 1.5
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("family,builder", FAMILIES, ids=FAMILY_IDS)
+    @pytest.mark.parametrize("n", [1, 2, 7, 64, 321])
+    def test_families_produce_valid_trees(self, family, builder, n):
+        t = builder(n)
+        assert t.num_nodes == n
+        check_rooted_tree(t)
+
+    def test_expected_diameters(self):
+        assert diameter(gen.path_tree(100)) == 99
+        assert diameter(gen.star_tree(100)) == 2
+        assert diameter(gen.broom_tree(100, handle_length=4)) == 4
+        assert diameter(gen.two_level_tree(100)) == 4
+
+    def test_balanced_tree_height_logarithmic(self):
+        t = gen.balanced_kary_tree(1023, k=2)
+        assert height(t) == 9
+
+    def test_random_weights_attached_to_all_nodes(self):
+        t = gen.with_random_weights(gen.path_tree(30), seed=1)
+        assert len(t.node_data) == 30
+        assert all(isinstance(w, float) for w in t.node_data.values())
+
+    def test_leaf_values_only_on_leaves(self):
+        t = gen.with_random_leaf_values(gen.balanced_kary_tree(31, 2), seed=1)
+        assert set(t.node_data) == set(t.leaves())
+
+    def test_invalid_sizes_rejected(self):
+        for builder in (gen.path_tree, gen.star_tree, gen.balanced_kary_tree):
+            with pytest.raises(ValueError):
+                builder(0)
+
+
+class TestProperties:
+    def test_diameter_matches_bruteforce_on_random_trees(self):
+        import itertools
+
+        for seed in range(5):
+            t = gen.random_attachment_tree(40, seed=seed)
+            # brute force: BFS from every node
+            adj = {v: list(t.children(v)) for v in t.nodes()}
+            for v in t.nodes():
+                if v != t.root:
+                    adj[v].append(t.parent[v])
+            best = 0
+            for s in t.nodes():
+                dist = {s: 0}
+                frontier = [s]
+                while frontier:
+                    nxt = []
+                    for u in frontier:
+                        for w in adj[u]:
+                            if w not in dist:
+                                dist[w] = dist[u] + 1
+                                nxt.append(w)
+                    frontier = nxt
+                best = max(best, max(dist.values()))
+            assert diameter(t) == best
+
+    def test_subtree_aggregate_ops(self):
+        t = gen.path_tree(5).with_node_data({i: float(i) for i in range(5)})
+        sums = subtree_aggregate(t, "sum")
+        assert sums[0] == 10.0
+        assert sums[4] == 4.0
+        assert subtree_aggregate(t, "max")[0] == 4.0
+        assert subtree_aggregate(t, "min")[2] == 2.0
+        with pytest.raises(ValueError):
+            subtree_aggregate(t, "median")
+
+    def test_tree_summary_keys(self):
+        s = tree_summary(gen.random_attachment_tree(64, seed=0))
+        assert set(s) == {"n", "height", "diameter", "max_degree", "leaves"}
+
+
+class TestValidation:
+    def test_connected_tree_edge_list(self):
+        assert is_connected_tree_edge_list([(0, 1), (1, 2)])
+        assert not is_connected_tree_edge_list([(0, 1), (2, 3)])
+        assert not is_connected_tree_edge_list([(0, 1), (1, 2), (2, 0)])
+        assert not is_connected_tree_edge_list([])
+        assert not is_connected_tree_edge_list([(0, 0)])
+
+    def test_assert_same_tree_detects_differences(self):
+        a = gen.path_tree(5)
+        b = gen.star_tree(5)
+        with pytest.raises(AssertionError):
+            assert_same_tree(a, b)
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=150))
+@settings(max_examples=30, deadline=None)
+def test_random_parent_maps_are_valid_and_consistent(raw):
+    n = len(raw) + 1
+    parent = {0: 0}
+    for v in range(1, n):
+        parent[v] = raw[v - 1] % v
+    t = RootedTree.from_parent_map(parent, root=0)
+    check_rooted_tree(t)
+    sizes = t.subtree_sizes()
+    assert sizes[0] == n
+    depths = t.depths()
+    assert height(t) == max(depths.values())
+    assert diameter(t) <= 2 * height(t)
+    assert max_degree(t) >= 1
