@@ -6,8 +6,6 @@ one and indegree at most one.  This benchmark measures those quantities over
 tree families, sizes and delta values and checks the invariants.
 """
 
-import pytest
-
 from repro.clustering.builder import build_hierarchical_clustering
 from repro.clustering.degree_reduction import reduce_degrees
 from repro.clustering.invariants import check_clustering
@@ -15,10 +13,10 @@ from repro.mpc import MPCConfig, MPCSimulator
 from repro.trees import generators as gen
 from repro.trees.properties import diameter
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import emit_json, print_table, run_once, scaled
 
 FAMILIES = ["path", "caterpillar", "binary", "spider", "random", "broom"]
-SIZES = [500, 2000]
+SIZES = scaled([500, 2000], [250, 600])
 DELTAS = [0.3, 0.5, 0.7]
 
 
@@ -60,6 +58,7 @@ def test_fig1_clustering_structure(benchmark):
         ["family", "n", "delta", "D", "layers", "clusters", "max|C|", "capacity", "rounds"],
         rows,
     )
+    emit_json("fig1_clustering", {"rows": rows})
     # Cluster sizes never exceed the capacity and layer counts stay small.
     assert all(r[6] <= r[7] for r in rows)
     assert all(r[4] <= 14 for r in rows)

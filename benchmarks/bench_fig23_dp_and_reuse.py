@@ -7,8 +7,6 @@ emphasise that the clustering is computed once and reused for any problem and
 any input values.  This module measures both claims.
 """
 
-import pytest
-
 from repro.core.pipeline import prepare, solve_on
 from repro.dp.engine import ROUNDS_PER_LAYER
 from repro.problems.max_weight_independent_set import MaxWeightIndependentSet
@@ -19,12 +17,12 @@ from repro.problems.subtree_aggregation import SubtreeAggregate
 from repro.problems.sum_coloring import SumColoring
 from repro.trees import generators as gen
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import emit_json, print_table, run_once, scaled
 
 
 def _dp_rounds_vs_n():
     rows = []
-    for n in (200, 800, 3200):
+    for n in scaled((200, 800, 3200), (100, 250)):
         tree = gen.with_random_weights(gen.random_attachment_tree(n, seed=2), seed=2)
         prepared = prepare(tree)
         res = solve_on(prepared, MaxWeightIndependentSet())
@@ -42,13 +40,16 @@ def test_fig23_dp_pass_rounds(benchmark):
         ["n", "layers", "measured dp rounds", "2 * layers * rounds/layer"],
         rows,
     )
+    emit_json("fig23_dp_rounds", {"rows": rows})
     assert all(r[2] == r[3] for r in rows)
     # 16x more nodes: the DP round count moves only with the O(1) layer count.
     assert rows[-1][2] <= rows[0][2] + 4 * ROUNDS_PER_LAYER
 
 
 def _reuse():
-    tree = gen.with_random_weights(gen.random_attachment_tree(1500, seed=5), seed=5)
+    tree = gen.with_random_weights(
+        gen.random_attachment_tree(scaled(1500, 300), seed=5), seed=5
+    )
     prepared = prepare(tree)
     problems = [
         MaxWeightIndependentSet(),
@@ -72,6 +73,7 @@ def test_clustering_reuse(benchmark):
         ["step", "rounds", "value"],
         rows,
     )
+    emit_json("fig23_reuse", {"rows": rows})
     build = rows[0][1]
     per_problem = [r[1] for r in rows[1:]]
     assert all(r <= build for r in per_problem)

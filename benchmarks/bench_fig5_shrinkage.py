@@ -6,17 +6,15 @@ bounds the number of layers by a constant.  The benchmark reports the
 shrink factors the builder recorded for several tree families.
 """
 
-import pytest
-
 from repro.clustering.builder import build_hierarchical_clustering
 from repro.clustering.degree_reduction import reduce_degrees
 from repro.mpc import MPCConfig, MPCSimulator
 from repro.trees import generators as gen
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import emit_json, print_table, run_once, scaled
 
 FAMILIES = ["path", "caterpillar", "binary", "random", "spider"]
-N = 3000
+N = scaled(3000, 500)
 
 
 def _sweep():
@@ -40,6 +38,7 @@ def test_fig5_shrinkage(benchmark):
         ["family", "iteration", "uncolored before", "uncolored after", "shrink"],
         rows,
     )
+    emit_json("fig5_shrinkage", {"n": N, "rows": rows})
     # Every family converges within a handful of iterations.
     iterations = {}
     for family, it, *_ in rows:

@@ -7,9 +7,7 @@ claim (Theta(n^delta) words per machine, Theta(n) in total) is checked by
 reporting the peak per-machine load of the full pipeline as n grows.
 """
 
-import pytest
-
-from repro.core.pipeline import prepare, solve, solve_on
+from repro.core.pipeline import prepare, solve_on
 from repro.problems.max_weight_independent_set import (
     MaxWeightIndependentSet,
     sequential_max_weight_independent_set,
@@ -21,15 +19,15 @@ from repro.problems.min_weight_dominating_set import (
 from repro.trees import generators as gen
 from repro.trees.properties import max_degree
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import emit_json, print_table, run_once, scaled
 
 
 def _high_degree():
     rows = []
     cases = {
-        "star n=1000": gen.star_tree(1000),
-        "two-level n=1500": gen.two_level_tree(1500),
-        "broom n=1200": gen.broom_tree(1200),
+        "star": gen.star_tree(scaled(1000, 300)),
+        "two-level": gen.two_level_tree(scaled(1500, 400)),
+        "broom": gen.broom_tree(scaled(1200, 300)),
     }
     for name, t0 in cases.items():
         tree = gen.with_random_weights(t0, seed=6)
@@ -41,9 +39,10 @@ def _high_degree():
             res = solve_on(prepared, problem_cls())
             ref = reference(tree)
             aux = len(prepared.reduction.aux_nodes)
+            ok = "ok" if abs(res.value - ref) < 1e-6 else "MISMATCH"
             rows.append(
                 (name, problem_cls().name, max_degree(tree), aux,
-                 f"{res.value:.3f}", f"{ref:.3f}", "ok" if abs(res.value - ref) < 1e-6 else "MISMATCH")
+                 f"{res.value:.3f}", f"{ref:.3f}", ok)
             )
     return rows
 
@@ -55,13 +54,14 @@ def test_s44_high_degree_nodes(benchmark):
         ["tree", "problem", "max degree", "aux nodes", "framework", "sequential", "correct"],
         rows,
     )
+    emit_json("high_degree", {"rows": rows})
     assert all(r[6] == "ok" for r in rows)
     assert all(r[3] > 0 for r in rows)  # degree reduction actually triggered
 
 
 def _memory_sweep():
     rows = []
-    for n in (250, 1000, 4000):
+    for n in scaled((250, 1000, 4000), (150, 400)):
         tree = gen.with_random_weights(gen.random_attachment_tree(n, seed=8), seed=8)
         prepared = prepare(tree)
         solve_on(prepared, MaxWeightIndependentSet())
@@ -78,9 +78,11 @@ def test_memory_scaling(benchmark):
     rows = run_once(benchmark, _memory_sweep)
     print_table(
         "MPC memory — peak per-machine words vs the Theta(n^delta) capacity",
-        ["n", "machines", "capacity (words)", "peak load (words)", "load/capacity", "peak recv/round"],
+        ["n", "machines", "capacity (words)", "peak load (words)", "load/capacity",
+         "peak recv/round"],
         rows,
     )
+    emit_json("memory_scaling", {"rows": rows})
     # The load/capacity ratio must stay bounded by a constant as n grows 16x
     # (constant factors of the simulator's record encoding are expected).
     ratios = [r[3] / r[2] for r in rows]

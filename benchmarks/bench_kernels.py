@@ -1,0 +1,137 @@
+"""Experiment K — vectorized semiring kernels vs. the scalar local solver.
+
+The paper's engine (Section 5) makes the number of rounds O(1); wall-clock
+speed of the reproduction is then set by the per-cluster local solves.  This
+experiment measures the DP-solve phase (``solve_on`` on a prepared
+clustering — the clustering itself is backend-independent and reused) for
+every finite-state Table-1 problem under both backends:
+
+* ``python`` — the scalar dict-of-dicts reference path,
+* ``numpy``  — the dense kernels of :mod:`repro.dp.kernels` (hole batching,
+  level-scheduled cross-cluster batching, affine finalize decomposition).
+
+Besides the speedups, the harness asserts that both backends return
+bit-identical objective values and edge labels on every problem, and writes
+``BENCH_kernels.json`` so CI tracks the numbers per PR.
+"""
+
+import time
+
+from repro.core.pipeline import prepare, solve_on
+from repro.problems.counting_matchings import CountMatchingsModK
+from repro.problems.max_weight_independent_set import MaxWeightIndependentSet
+from repro.problems.max_weight_matching import MaxWeightMatching
+from repro.problems.maximal_independent_set import MaximalIndependentSet
+from repro.problems.min_weight_dominating_set import MinWeightDominatingSet
+from repro.problems.min_weight_vertex_cover import MinWeightVertexCover
+from repro.problems.sum_coloring import SumColoring
+from repro.problems.vertex_coloring import VertexColoring
+from repro.problems.weighted_max_sat import WeightedMaxSAT
+from repro.trees import generators as gen
+
+from benchmarks.conftest import SMOKE, emit_json, print_table, run_once, scaled
+
+#: The acceptance regime: n >= 10^4 nodes (reduced in smoke mode).
+N = scaled(10_000, 500)
+SEED = 2
+
+#: The finite-state problem suite (name, factory); spans every dense kernel
+#: (max-plus, min-plus, counting) and state-space sizes from 2 to 6.
+PROBLEMS = [
+    ("maximum-weight independent set", MaxWeightIndependentSet),
+    ("minimum-weight vertex cover", MinWeightVertexCover),
+    ("minimum-weight dominating set", MinWeightDominatingSet),
+    ("maximum-weight matching", MaxWeightMatching),
+    ("maximal independent set", MaximalIndependentSet),
+    ("weighted max-SAT", WeightedMaxSAT),
+    ("sum coloring (k=3)", lambda: SumColoring(k=3)),
+    ("vertex coloring (k=3)", lambda: VertexColoring(k=3)),
+    ("sum coloring (k=6)", lambda: SumColoring(k=6)),
+    ("vertex coloring (k=6)", lambda: VertexColoring(k=6)),
+    ("counting matchings mod 997", lambda: CountMatchingsModK(k=997)),
+]
+
+
+def _sat_payload(tree, seed):
+    """Per-node unit clauses and per-edge binary clauses (the SAT input)."""
+    import random
+
+    rng = random.Random(seed)
+    node_data = {
+        v: {"clauses": [(rng.random() < 0.5, round(rng.uniform(0, 5), 2))]}
+        for v in tree.nodes()
+    }
+    t = tree.with_node_data(node_data)
+    t.edge_data = {
+        e: {"clauses": [(rng.random() < 0.5, rng.random() < 0.5, round(rng.uniform(0, 5), 2))]}
+        for e in tree.edges()
+    }
+    return t
+
+
+def _measure():
+    # Each problem runs on its natural input (as in the Table-1 registry):
+    # weighted random trees for the optimisation problems, a clause-decorated
+    # tree for max-SAT.  Both clusterings are prepared outside the timed
+    # phase — the clustering is backend-independent and reused.
+    base = gen.random_attachment_tree(N, seed=SEED)
+    prepared = prepare(gen.with_random_weights(base, seed=SEED))
+    prepared_sat = prepare(_sat_payload(base, SEED))
+    rows = []
+    totals = {"python": 0.0, "numpy": 0.0}
+    repeats = 1 if SMOKE else 3  # min-of-3 strips scheduler noise at full size
+    for name, make in PROBLEMS:
+        target = prepared_sat if "SAT" in name else prepared
+        times, results = {}, {}
+        for backend in ("python", "numpy"):
+            runs = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                res = solve_on(target, make(), backend=backend)
+                runs.append(time.perf_counter() - t0)
+            times[backend] = min(runs)
+            results[backend] = res
+            totals[backend] += times[backend]
+        r_py, r_np = results["python"], results["numpy"]
+        identical = r_py.value == r_np.value and r_py.edge_labels == r_np.edge_labels
+        rows.append(
+            (
+                name,
+                f"{times['python'] * 1000:.1f}",
+                f"{times['numpy'] * 1000:.1f}",
+                f"{times['python'] / times['numpy']:.2f}x",
+                "yes" if identical else "MISMATCH",
+            )
+        )
+    return rows, totals
+
+
+def test_kernels_backend_speedup(benchmark):
+    rows, totals = run_once(benchmark, _measure)
+    speedup = totals["python"] / totals["numpy"]
+    rows.append(("TOTAL (DP-solve phase)", f"{totals['python'] * 1000:.1f}",
+                 f"{totals['numpy'] * 1000:.1f}", f"{speedup:.2f}x", "-"))
+    print_table(
+        f"Kernels — DP-solve phase, python vs numpy backend (n={N}, random tree)",
+        ["problem", "python ms", "numpy ms", "speedup", "bit-identical"],
+        rows,
+    )
+    emit_json(
+        "kernels",
+        {
+            "n": N,
+            "seed": SEED,
+            "per_problem": [
+                {"problem": r[0], "python_ms": float(r[1]), "numpy_ms": float(r[2]),
+                 "speedup": float(r[3].rstrip("x"))}
+                for r in rows[:-1]
+            ],
+            "total_python_s": totals["python"],
+            "total_numpy_s": totals["numpy"],
+            "speedup": speedup,
+        },
+    )
+    assert all(r[4] == "yes" for r in rows[:-1])
+    if not SMOKE and N >= 10_000:
+        # The acceptance bar: >=3x on the DP-solve phase at n >= 10^4.
+        assert speedup >= 3.0, f"kernel speedup regressed to {speedup:.2f}x"

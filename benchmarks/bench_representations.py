@@ -6,9 +6,6 @@ matcher costs O(1) rounds, and undirected edge lists pay the O(log D) rooting
 charge.  Section 6.3's reverse conversions are exercised as well.
 """
 
-import pytest
-
-from repro.core.pipeline import prepare
 from repro.mpc import MPCConfig, MPCSimulator
 from repro.representations import ListOfEdges, StringOfParentheses, export
 from repro.representations.normalize import normalize_to_rooted_tree
@@ -21,9 +18,9 @@ from repro.representations.traversals import (
 from repro.trees import generators as gen
 from repro.trees.properties import diameter
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import emit_json, print_table, run_once, scaled
 
-N = 1200
+N = scaled(1200, 300)
 
 
 def _forward():
@@ -70,6 +67,7 @@ def test_representation_normalization(benchmark):
         ["representation", "measured rounds", "charged rounds", "correct"],
         rows,
     )
+    emit_json("representations", {"n": N, "rows": rows})
     assert all(r[3] == "ok" for r in rows)
     by_name = {r[0]: r for r in rows}
     # Already-rooted forms and the parenthesis matcher stay at O(1) rounds;
@@ -86,3 +84,4 @@ def test_representation_export(benchmark):
         ["conversion", "size / rounds"],
         rows,
     )
+    emit_json("representations_export", {"n": N, "rows": rows})

@@ -7,15 +7,13 @@ here).  The paper's Table 1 carries no numbers, only check marks; the
 "verified" column is this reproduction's addition.
 """
 
-import pytest
-
 from repro.core.pipeline import solve
 from repro.problems.registry import table1_entries
 from repro.problems.xml_validation import XMLStructureValidation
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import emit_json, print_table, run_once, scaled
 
-N = 400
+N = scaled(400, 120)
 SEED = 1
 
 ENTRIES = [e for e in table1_entries() if "Bayesian" not in e.name]
@@ -49,6 +47,7 @@ def test_table1_coverage(benchmark):
         ["problem", "prior work [4]", "this work", "reproduction", "rounds"],
         rows,
     )
+    emit_json("table1_coverage", {"n": N, "rows": rows})
     assert all(r[3] == "verified" for r in rows)
     # The paper's Table 1: only the three LCL problems are solvable by prior work.
     assert sum(1 for r in rows if r[1] == "yes") == 3

@@ -7,8 +7,6 @@ sequential references and their round counts reported.
 """
 
 import numpy as np
-import pytest
-
 from repro.core.pipeline import solve
 from repro.inference import (
     GaussianTreeInference,
@@ -19,16 +17,16 @@ from repro.problems.tree_median import TreeMedian, sequential_tree_median
 from repro.trees import generators as gen
 from repro.trees.properties import diameter, max_degree
 
-from benchmarks.conftest import print_table, run_once
+from benchmarks.conftest import emit_json, print_table, run_once, scaled
 
 
 def _tree_median_sweep():
     rows = []
     cases = {
-        "random (n=1000)": gen.random_attachment_tree(1000, seed=1),
-        "star (n=801, deg=800)": gen.star_tree(801),
-        "spider (n=1000)": gen.spider_tree(1000),
-        "caterpillar (n=1000)": gen.caterpillar_tree(1000),
+        "random": gen.random_attachment_tree(scaled(1000, 300), seed=1),
+        "star": gen.star_tree(scaled(801, 201)),
+        "spider": gen.spider_tree(scaled(1000, 300)),
+        "caterpillar": gen.caterpillar_tree(scaled(1000, 300)),
     }
     for name, t0 in cases.items():
         tree = gen.with_random_leaf_values(t0, seed=2)
@@ -49,15 +47,16 @@ def test_s61_tree_median(benchmark):
         ["tree", "D", "max deg", "framework", "sequential", "all node labels", "rounds"],
         rows,
     )
+    emit_json("tree_median", {"rows": rows})
     assert all(r[5] == "exact" for r in rows)
 
 
 def _inference_sweep():
     rows = []
     for name, t0, dim in [
-        ("random n=300, dim=1", gen.random_attachment_tree(300, seed=3), 1),
-        ("binary n=255, dim=2", gen.complete_binary_tree(255), 2),
-        ("caterpillar n=300, dim=1", gen.caterpillar_tree(300), 1),
+        ("random dim=1", gen.random_attachment_tree(scaled(300, 120), seed=3), 1),
+        ("binary dim=2", gen.complete_binary_tree(scaled(255, 127)), 2),
+        ("caterpillar dim=1", gen.caterpillar_tree(scaled(300, 120)), 1),
     ]:
         model = random_gaussian_tree_model(t0, dim=dim, seed=4)
         res = solve(t0, GaussianTreeInference(model), degree_reduction=False)
@@ -75,4 +74,5 @@ def test_s62_gaussian_inference(benchmark):
         ["model", "D", "max |mean err|", "max |cov err|", "rounds"],
         rows,
     )
+    emit_json("gaussian_inference", {"rows": rows})
     assert all(float(r[2]) < 1e-6 and float(r[3]) < 1e-6 for r in rows)

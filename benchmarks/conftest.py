@@ -6,11 +6,33 @@ index and EXPERIMENTS.md for paper-vs-measured notes.  The benchmarks print
 their rows so the harness output doubles as the reproduction report; the
 ``benchmark`` fixture (pytest-benchmark) times a single representative run of
 each experiment.
+
+Two harness-level facilities support the CI perf-tracking job:
+
+* **Smoke mode** — setting ``BENCH_SMOKE=1`` (or ``true``/``yes``/``on``)
+  switches every module to reduced sizes via :func:`scaled`, so the whole
+  suite finishes in CI minutes while still exercising every code path.
+* **JSON artifacts** — :func:`emit_json` writes each experiment's measured
+  rows to ``BENCH_<name>.json`` (in the working directory, or
+  ``$BENCH_OUTPUT_DIR``); CI uploads them so the perf trajectory of every
+  PR is recorded.  Each file carries a ``smoke`` flag plus the experiment's
+  free-form payload.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
 from typing import Callable
+
+#: True when the harness runs in reduced-size CI mode.
+SMOKE = os.environ.get("BENCH_SMOKE", "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+def scaled(full, smoke):
+    """Pick the full-size or smoke-size experiment parameter."""
+    return smoke if SMOKE else full
 
 
 def run_once(benchmark, fn: Callable, *args, **kwargs):
@@ -20,10 +42,37 @@ def run_once(benchmark, fn: Callable, *args, **kwargs):
 
 def print_table(title: str, header: list, rows: list) -> None:
     """Render a small fixed-width table into the captured benchmark output."""
-    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h)) for i, h in enumerate(header)]
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
     line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
     print(f"\n== {title} ==")
     print(line)
     print("-" * len(line))
     for r in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def _json_default(x):
+    item = getattr(x, "item", None)
+    if callable(item):
+        return item()  # NumPy scalars
+    return str(x)
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` for the CI artifact upload.
+
+    Smoke runs default to ``bench-artifacts/`` (gitignored) so a local
+    ``BENCH_SMOKE=1`` pass never clobbers the tracked full-size
+    ``BENCH_kernels.json`` record in the repo root.
+    """
+    default_dir = "bench-artifacts" if SMOKE else "."
+    out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", default_dir))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    body = {"smoke": SMOKE}
+    body.update(payload)
+    path.write_text(json.dumps(body, indent=2, sort_keys=True, default=_json_default) + "\n")
+    return path

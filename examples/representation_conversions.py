@@ -41,7 +41,8 @@ def main() -> None:
     print(f"  pointers-to-parents: {len(export.to_pointers_to_parents(tree, sim).parents)} entries")
     print(f"  BFS-traversal:       {len(export.to_bfs_traversal(tree, sim).parents)} entries")
     print(f"  DFS-traversal:       {len(export.to_dfs_traversal(tree, sim).parents)} entries")
-    print(f"  parentheses string:  {len(export.to_string_of_parentheses(tree, sim).text)} characters")
+    parens = export.to_string_of_parentheses(tree, sim).text
+    print(f"  parentheses string:  {len(parens)} characters")
     print(f"  charged rounds:      {sim.stats.charged_rounds}")
 
 

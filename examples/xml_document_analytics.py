@@ -9,7 +9,6 @@ and nesting depth.
 Run with:  python examples/xml_document_analytics.py
 """
 
-import random
 
 from repro import prepare, solve_on
 from repro.problems import NodeDepth, SubtreeSize

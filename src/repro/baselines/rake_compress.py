@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from repro.dp.semiring import MAX_PLUS, Semiring
 from repro.mpc.simulator import MPCSimulator
@@ -44,7 +44,9 @@ class EdgeMatrixProblem:
     semiring: Semiring
     states: Tuple[Hashable, ...]
     node_vector: Callable[[RootedTree, Hashable], Dict[Hashable, Any]]
-    edge_matrix: Callable[[RootedTree, Tuple[Hashable, Hashable]], Dict[Tuple[Hashable, Hashable], Any]]
+    edge_matrix: Callable[
+        [RootedTree, Tuple[Hashable, Hashable]], Dict[Tuple[Hashable, Hashable], Any]
+    ]
     root_feasible: Callable[[Hashable], Any]
 
 

@@ -32,8 +32,6 @@ which are charged under the label ``"clustering-bookkeeping"``.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.clustering.model import (
@@ -45,7 +43,6 @@ from repro.clustering.model import (
     cluster_element,
     node_element,
 )
-from repro.mpc.config import MPCConfig
 from repro.mpc.simulator import MPCSimulator
 from repro.mpc.treeops import capped_subtree_gather, degree2_path_positions
 from repro.trees.tree import RootedTree

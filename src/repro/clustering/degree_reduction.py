@@ -17,7 +17,7 @@ constant factor (each original edge passes through at most
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.trees.tree import RootedTree
@@ -68,7 +68,9 @@ class DegreeReductionResult:
         """True when no auxiliary nodes were needed."""
         return not self.aux_nodes
 
-    def project_labels(self, labels: Dict[Tuple[Hashable, Hashable], Any]) -> Dict[Tuple[Hashable, Hashable], Any]:
+    def project_labels(
+        self, labels: Dict[Tuple[Hashable, Hashable], Any]
+    ) -> Dict[Tuple[Hashable, Hashable], Any]:
         """Restrict edge labels of the reduced tree to the original edges.
 
         An original edge ``(c, p)`` of the input tree may have been rerouted

@@ -15,10 +15,9 @@ Used by the unit/property tests and by the Figure-1 benchmark:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, Set, Tuple
 
 from repro.clustering.model import (
-    Cluster,
     ClusterKind,
     HierarchicalClustering,
     VIRTUAL_PARENT,
@@ -84,7 +83,8 @@ def check_clustering(
         for cid in cids:
             if hc.clusters[cid].layer != layer_idx:
                 raise ClusteringInvariantError(
-                    f"cluster {cid} recorded at layer {layer_idx} but labeled {hc.clusters[cid].layer}"
+                    f"cluster {cid} recorded at layer {layer_idx} "
+                f"but labeled {hc.clusters[cid].layer}"
                 )
     # A cluster may only absorb clusters from strictly lower layers.
     for cid, c in hc.clusters.items():

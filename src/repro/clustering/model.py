@@ -112,23 +112,83 @@ class Cluster:
     in_edge: Optional[Tuple[Hashable, Hashable]] = None
     hole_element: Optional[Element] = None
 
+    # Lazily built element-tree views.  The DP engine creates one
+    # ClusterContext per cluster per pass per problem; caching here is what
+    # lets solve_many amortize the traversal structure across all problems
+    # sharing one clustering.  Callers must treat the returned containers as
+    # read-only.
+    _element_children: Optional[Dict[Element, List[Element]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _element_parent: Optional[Dict[Element, Element]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _edge_of_element: Optional[Dict[Element, Tuple[Hashable, Hashable]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _sorted_children: Optional[Dict[Element, List[Element]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _postorder: Optional[List[Element]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    # Problem-independent local-solve plan built by ClusterContext.local_plan()
+    # (postorder entries with prefetched node inputs / edge infos), and the
+    # hole-to-top element path (ClusterContext.hole_path()).
+    _local_plan: Optional[List[Any]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _hole_path: Optional[frozenset] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     def element_children(self) -> Dict[Element, List[Element]]:
-        """Children lists of the element tree inside this cluster."""
-        children: Dict[Element, List[Element]] = {e: [] for e in self.elements}
-        for child, parent, _edge in self.internal_edges:
-            children[parent].append(child)
-        return children
+        """Children lists of the element tree inside this cluster (cached)."""
+        if self._element_children is None:
+            children: Dict[Element, List[Element]] = {e: [] for e in self.elements}
+            for child, parent, _edge in self.internal_edges:
+                children[parent].append(child)
+            self._element_children = children
+        return self._element_children
 
     def element_parent(self) -> Dict[Element, Element]:
-        """Parent pointers of the element tree inside this cluster."""
-        parent: Dict[Element, Element] = {}
-        for child, par, _edge in self.internal_edges:
-            parent[child] = par
-        return parent
+        """Parent pointers of the element tree inside this cluster (cached)."""
+        if self._element_parent is None:
+            parent: Dict[Element, Element] = {}
+            for child, par, _edge in self.internal_edges:
+                parent[child] = par
+            self._element_parent = parent
+        return self._element_parent
 
     def edge_of_element(self) -> Dict[Element, Tuple[Hashable, Hashable]]:
         """For every non-top element, the original edge to its parent element."""
-        return {child: edge for child, _parent, edge in self.internal_edges}
+        if self._edge_of_element is None:
+            self._edge_of_element = {
+                child: edge for child, _parent, edge in self.internal_edges
+            }
+        return self._edge_of_element
+
+    def element_children_sorted(self) -> Dict[Element, List[Element]]:
+        """Children lists in the deterministic (repr) absorption order (cached)."""
+        if self._sorted_children is None:
+            self._sorted_children = {
+                e: sorted(kids, key=repr) for e, kids in self.element_children().items()
+            }
+        return self._sorted_children
+
+    def element_postorder(self) -> List[Element]:
+        """Postorder of the element tree (children before parents; cached)."""
+        if self._postorder is None:
+            children = self.element_children_sorted()
+            order: List[Element] = []
+            stack = [self.top_element]
+            while stack:
+                e = stack.pop()
+                order.append(e)
+                stack.extend(children.get(e, ()))
+            order.reverse()
+            self._postorder = order
+        return self._postorder
 
     @property
     def num_elements(self) -> int:

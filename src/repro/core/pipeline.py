@@ -42,12 +42,17 @@ __all__ = ["PipelineResult", "PreparedTree", "prepare", "solve", "solve_many", "
 AnyProblem = Union[ClusterDP, FiniteStateDP, UpwardAccumulationDP, DownwardAccumulationDP]
 
 
-def as_cluster_dp(problem: AnyProblem) -> ClusterDP:
-    """Wrap any supported problem description into a :class:`ClusterDP`."""
+def as_cluster_dp(problem: AnyProblem, backend: str = "auto") -> ClusterDP:
+    """Wrap any supported problem description into a :class:`ClusterDP`.
+
+    ``backend`` selects the finite-state local-solve implementation
+    (``"auto"``, ``"numpy"`` or ``"python"``; see :mod:`repro.dp.kernels`)
+    and is ignored for problems that are not :class:`FiniteStateDP`.
+    """
     if isinstance(problem, ClusterDP):
         return problem
     if isinstance(problem, FiniteStateDP):
-        return FiniteStateClusterSolver(problem)
+        return FiniteStateClusterSolver(problem, backend=backend)
     if isinstance(problem, UpwardAccumulationDP):
         return UpwardAccumulationSolver(problem)
     if isinstance(problem, DownwardAccumulationDP):
@@ -112,13 +117,24 @@ def prepare(
     degree_reduction: bool = True,
     sim: Optional[MPCSimulator] = None,
     light_threshold: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> PreparedTree:
     """Normalise the input and build the reusable hierarchical clustering."""
+    if sim is not None and backend is not None:
+        raise ValueError(
+            "prepare() received both an explicit sim and a backend; set "
+            "dp_backend on the sim's MPCConfig instead"
+        )
     if sim is None:
         # Size the deployment by a first estimate of n; representations that
         # are not RootedTree know their own length.
         n_hint = _size_hint(tree_or_representation)
-        config = MPCConfig(n=max(4, n_hint), delta=delta, capacity_factor=capacity_factor)
+        config = MPCConfig(
+            n=max(4, n_hint),
+            delta=delta,
+            capacity_factor=capacity_factor,
+            dp_backend=backend or "auto",
+        )
         sim = MPCSimulator(config)
 
     snap0 = sim.snapshot()
@@ -147,9 +163,15 @@ def prepare(
     )
 
 
-def solve_on(prepared: PreparedTree, problem: AnyProblem) -> PipelineResult:
-    """Solve one DP problem on an already prepared tree (O(1) rounds/layer)."""
-    solver = as_cluster_dp(problem)
+def solve_on(
+    prepared: PreparedTree, problem: AnyProblem, backend: Optional[str] = None
+) -> PipelineResult:
+    """Solve one DP problem on an already prepared tree (O(1) rounds/layer).
+
+    ``backend`` overrides the deployment's default finite-state backend
+    (``prepared.sim.config.dp_backend``) for this solve only.
+    """
+    solver = as_cluster_dp(problem, backend=backend or prepared.sim.config.dp_backend)
     snap = prepared.sim.snapshot()
     engine = prepared.engine()
     res = engine.solve(solver)
@@ -188,6 +210,7 @@ def solve(
     capacity_factor: float = 4.0,
     degree_reduction: bool = True,
     light_threshold: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> PipelineResult:
     """One-shot convenience API: prepare the tree and solve one problem."""
     prepared = prepare(
@@ -197,8 +220,9 @@ def solve(
         capacity_factor=capacity_factor,
         degree_reduction=degree_reduction,
         light_threshold=light_threshold,
+        backend=backend,
     )
-    return solve_on(prepared, problem)
+    return solve_on(prepared, problem, backend=backend)
 
 
 def solve_many(
@@ -207,15 +231,27 @@ def solve_many(
     delta: float = 0.5,
     root: Optional[Hashable] = None,
     degree_reduction: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[str, PipelineResult]:
-    """Solve several problems while reusing one clustering (paper §1.4)."""
+    """Solve several problems while reusing one clustering (paper §1.4).
+
+    Beyond sharing the clustering, repeated solves amortize the per-cluster
+    element-tree traversal: children lists, absorption order and postorder
+    are computed once per cluster and cached on the
+    :class:`~repro.clustering.model.Cluster` objects, so every problem (and
+    both DP passes) reuses them.
+    """
     prepared = prepare(
-        tree_or_representation, delta=delta, root=root, degree_reduction=degree_reduction
+        tree_or_representation,
+        delta=delta,
+        root=root,
+        degree_reduction=degree_reduction,
+        backend=backend,
     )
     out: Dict[str, PipelineResult] = {}
     for problem in problems:
         name = getattr(problem, "name", type(problem).__name__)
-        out[name] = solve_on(prepared, problem)
+        out[name] = solve_on(prepared, problem, backend=backend)
     return out
 
 

@@ -27,7 +27,8 @@ rounds per layer.
 
 from repro.dp.semiring import Semiring, MAX_PLUS, MIN_PLUS, SUM_PRODUCT, counting_mod
 from repro.dp.problem import ClusterDP, FiniteStateDP, NodeInput, EdgeInfo
-from repro.dp.local_solver import FiniteStateClusterSolver
+from repro.dp.local_solver import FiniteStateClusterSolver, backend_ineligibility
+from repro.dp.kernels import DenseClusterKernel, StateSpace, kernel_for
 from repro.dp.accumulation import (
     UpwardAccumulationDP,
     UpwardAccumulationSolver,
@@ -47,6 +48,10 @@ __all__ = [
     "NodeInput",
     "EdgeInfo",
     "FiniteStateClusterSolver",
+    "backend_ineligibility",
+    "DenseClusterKernel",
+    "StateSpace",
+    "kernel_for",
     "UpwardAccumulationDP",
     "UpwardAccumulationSolver",
     "DownwardAccumulationDP",

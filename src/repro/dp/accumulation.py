@@ -120,7 +120,9 @@ class UpwardAccumulationSolver(ClusterDP):
 
     # -- local evaluation ---------------------------------------------------- #
 
-    def _evaluate(self, ctx: ClusterContext, hole_value: Optional[Any]) -> Dict[Element, Tuple[str, Any]]:
+    def _evaluate(
+        self, ctx: ClusterContext, hole_value: Optional[Any]
+    ) -> Dict[Element, Tuple[str, Any]]:
         """Evaluate every element of the cluster to ("val", x) or ("fun", f).
 
         When ``hole_value`` is None the hole (if any) stays symbolic and the
@@ -315,5 +317,6 @@ class DownwardAccumulationSolver(ClusterDP):
         node_values: Dict[Hashable, Any] = {tree.root: value}
         for (child, parent), msg in edge_labels.items():
             edge = EdgeInfo(edge=(child, parent))
-            node_values[child] = p.apply(p.down_function(NodeInput(node=child, data=tree.node_data.get(child)), edge), msg)
+            inp = NodeInput(node=child, data=tree.node_data.get(child))
+            node_values[child] = p.apply(p.down_function(inp, edge), msg)
         return self.problem.extract_solution(tree, node_values, value)

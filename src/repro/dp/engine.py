@@ -20,18 +20,12 @@ number of layers (which is O(1)), not on ``n``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
 
-from repro.clustering.model import (
-    Cluster,
-    ClusterKind,
-    HierarchicalClustering,
-    VIRTUAL_PARENT,
-)
+from repro.clustering.model import Cluster, HierarchicalClustering
 from repro.dp.problem import ClusterContext, ClusterDP
 from repro.mpc.simulator import MPCSimulator
-from repro.trees.tree import RootedTree
 
 __all__ = ["DPEngine", "SolveResult", "ROUNDS_PER_LAYER"]
 
@@ -122,10 +116,14 @@ class DPEngine:
         charged = 0
 
         # ---- bottom-up (Definition 8 / Figure 2) -------------------------- #
+        # A layer's clusters are independent (they would be solved by
+        # different machines in one round); they are handed to the solver as
+        # one batch so vectorized solvers can share work across clusters.
         for layer in range(1, hc.num_layers + 1):
-            for cluster in hc.clusters_at_layer(layer):
-                ctx = self._context(cluster, summaries)
-                summaries[cluster.cid] = problem.summarize(ctx)
+            clusters = hc.clusters_at_layer(layer)
+            ctxs = [self._context(cluster, summaries) for cluster in clusters]
+            for cluster, summary in zip(clusters, problem.summarize_layer(ctxs)):
+                summaries[cluster.cid] = summary
             self._charge(ROUNDS_PER_LAYER)
             charged += ROUNDS_PER_LAYER
 

@@ -1,0 +1,450 @@
+"""Hole-batched, layer-scheduled dense per-cluster solver (the hot path).
+
+Mirrors the scalar :class:`~repro.dp.local_solver.FiniteStateClusterSolver`
+element-tree walk, with four structural speedups:
+
+* **Hole batching.**  The scalar path summarises an indegree-one cluster by
+  walking its element tree once per hole state.  Here every element carries a
+  table of shape ``(H, S)`` — one row per hole state — and a single walk
+  produces the full (top state × below state) summary matrix.  Elements whose
+  subtree does not contain the hole carry a broadcastable ``(1, S)`` row.
+* **Batched semiring steps.**  Absorbing one child is one broadcast +
+  reduction over a ``(H, A, S, A')`` candidate array instead of three nested
+  Python loops; arg-reductions over the flattened ``(A * S)`` axis recover
+  backpointers, and their first-minimum tie-break equals the scalar path's
+  first-wins merge over the same (acc-major, child-state-minor) order.
+* **Single traversal per problem.**  Backpointers are recorded *during* the
+  bottom-up pass (per hole row), so the top-down pass only walks the stored
+  traces instead of re-running the local solve per cluster, as the scalar
+  path does.
+* **Level scheduling across the layer.**  The engine hands the solver one
+  whole layer of clusters at a time (its parallel unit); all node elements
+  off the hole paths are grouped by element-tree height and by structural
+  signature (transition/finalize cache keys), and each group is solved as
+  one stacked array program — thousands of per-node table builds become a
+  handful of broadcasts per layer.
+
+Summaries are ``{"kind": "vec"|"mat", "dense": ndarray}``; ``vec`` is a
+``(S,)`` vector over top-node states, ``mat`` a ``(S, S)`` matrix over (top
+state, below state).  Infeasible cells hold the semiring zero, which is what
+dict-table summaries express by omission, so
+:func:`~repro.dp.kernels.statespace.summary_as_dict` normalises both forms
+to equal dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.clustering.model import Element
+from repro.dp.kernels.semiring_kernels import SemiringKernel, kernel_for
+from repro.dp.kernels.statespace import StateSpace, encode_mat, encode_vec
+from repro.dp.kernels.tensors import ProblemTensors
+from repro.dp.problem import ClusterContext, FiniteStateDP
+
+__all__ = ["DenseClusterKernel", "HOLE"]
+
+#: Sentinel for the hole pseudo-child (the subtree below the incoming edge).
+HOLE: Element = ("hole", None)
+
+
+class _Trace:
+    """Per-element backpointers of one bottom-up solve (one row per hole state)."""
+
+    __slots__ = ("kind", "children", "steps", "fin", "child", "bp", "vec")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.children: Tuple[Tuple[Element, Any], ...] = ()
+        self.steps: List[np.ndarray] = []      # per absorbed child: (h, A) flat (a*S+s) ids
+        self.fin: Optional[np.ndarray] = None  # (h, S) acc ids
+        self.child: Optional[Element] = None   # mat elements: the single child (HOLE: hole)
+        self.bp: Optional[np.ndarray] = None   # mat elements: (h, S) below-state ids
+        self.vec: Optional[np.ndarray] = None  # (h, S) final values (feasibility checks)
+
+    def row(self, arr: np.ndarray, h: int) -> np.ndarray:
+        """Row ``h`` of a trace array (row 0 for off-hole-path broadcasts)."""
+        return arr[h if arr.shape[0] > 1 else 0]
+
+
+class DenseClusterKernel:
+    """Dense implementation of the three per-cluster operations."""
+
+    def __init__(self, problem: FiniteStateDP):
+        kernel = kernel_for(problem.semiring)
+        if kernel is None:
+            raise ValueError(
+                f"{problem.name}: semiring {problem.semiring.name!r} has no dense kernel"
+            )
+        if getattr(problem, "acc_states", None) is None:
+            raise ValueError(f"{problem.name}: acc_states not declared; dense path unavailable")
+        self.problem = problem
+        self.kernel: SemiringKernel = kernel
+        self.sspace = StateSpace(problem.states)
+        self.aspace = StateSpace(problem.acc_states)
+        self.tensors = ProblemTensors(problem, kernel, self.sspace, self.aspace)
+        self.selective = problem.semiring.selective
+        # Hole pseudo-child tables: all hole states at once (batched summarize
+        # of indegree-one clusters) resp. one row per fixed hole state.
+        S = len(self.sspace)
+        eye = self.kernel.full((S, S))
+        np.fill_diagonal(eye, self.kernel.one)
+        self._hole_batch = eye
+        self._hole_rows = [eye[h : h + 1] for h in range(S)]
+        #: Backpointers recorded by summarize, keyed by cluster id; consumed
+        #: by assign_internal_labels during the top-down pass.
+        self._traces: Dict[int, Dict[Element, Optional[_Trace]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # ClusterDP operations
+    # ------------------------------------------------------------------ #
+
+    def summarize(self, ctx: ClusterContext) -> Any:
+        return self._summarize_one(ctx, {}, {})
+
+    def summarize_layer(self, ctxs: List[ClusterContext]) -> List[Any]:
+        """Layer batch: level-schedule the node elements across all clusters.
+
+        All elements of one height (with the levels below them done) are
+        mutually independent across the whole layer, so each height is
+        solved as a few stacked array programs — grouped by structural
+        signature — instead of thousands of per-node ones.  Elements on a
+        hole path and elements whose rules have no cache key fall back to
+        the per-cluster walk, which picks up whatever the scheduler left.
+        """
+        tables, traces = self._schedule_levels(ctxs)
+        return [
+            self._summarize_one(ctx, tables[i], traces[i]) for i, ctx in enumerate(ctxs)
+        ]
+
+    def _summarize_one(self, ctx, tables, traces) -> Any:
+        if ctx.is_indegree_one:
+            tables, traces = self._local_tables(ctx, self._hole_batch, tables, traces)
+            if self.selective:
+                self._traces[ctx.cluster.cid] = traces
+            # tables[top][h, a]: top state a with hole state h -> mat[a, b=h].
+            return {"kind": "mat", "dense": np.ascontiguousarray(tables[ctx.top_element].T)}
+        tables, traces = self._local_tables(ctx, None, tables, traces)
+        if self.selective:
+            self._traces[ctx.cluster.cid] = traces
+        return {"kind": "vec", "dense": tables[ctx.top_element].reshape(-1)}
+
+    def label_virtual_root(self, ctx: ClusterContext, summary: Any) -> Tuple[Any, Any]:
+        vec = self._dense_vec(summary)
+        totals = self.kernel.combine(vec, self.tensors.virtual_root_vec())
+        if self.selective:
+            idx = int(self.kernel.argreduce_flat(totals))
+            val = totals[idx]
+            if val == self.kernel.zero:
+                raise ValueError(f"{self.problem.name}: no feasible solution exists")
+            return self.sspace.decode(idx), val.item()
+        return None, self.kernel.reduce(totals, axis=0).item()
+
+    def assign_internal_labels(
+        self, ctx: ClusterContext, out_label: Any, in_label: Any
+    ) -> Dict[Element, Any]:
+        traces = self._traces.get(ctx.cluster.cid)
+        if traces is None:
+            # assign without a prior summarize (not reachable through the
+            # engine, which always runs the bottom-up pass first).
+            hole_table = (
+                self._hole_rows[self.sspace.encode(in_label)] if in_label is not None else None
+            )
+            _, traces = self._local_tables(ctx, hole_table, {}, {})
+        h = self.sspace.encode(in_label) if in_label is not None else 0
+
+        state_of: Dict[Element, Hashable] = {ctx.top_element: out_label}
+        stack = [ctx.top_element]
+        S = len(self.sspace)
+        decode = self.sspace.states
+        while stack:
+            e = stack.pop()
+            trace = traces[e]
+            if trace is None:
+                continue  # leaf sub-cluster: no internal children here
+            s_idx = self.sspace.index[state_of[e]]
+            if trace.row(trace.vec, h)[s_idx] == self.kernel.zero:
+                raise RuntimeError(
+                    f"inconsistent traceback: state {state_of[e]!r} unreachable at element {e!r}"
+                )
+            if trace.kind == "node":
+                acc_idx = int(trace.row(trace.fin, h)[s_idx])
+                for j in range(len(trace.children) - 1, -1, -1):
+                    child_elem, _edge = trace.children[j]
+                    flat = int(trace.row(trace.steps[j], h)[acc_idx])
+                    acc_idx, child_idx = divmod(flat, S)
+                    if child_elem != HOLE:
+                        state_of[child_elem] = decode[child_idx]
+                        stack.append(child_elem)
+            else:  # mat element
+                if trace.child != HOLE:
+                    state_of[trace.child] = decode[int(trace.row(trace.bp, h)[s_idx])]
+                    stack.append(trace.child)
+
+        return {e: s for e, s in state_of.items() if e != ctx.top_element}
+
+    # ------------------------------------------------------------------ #
+    # Level scheduler (cross-cluster batching within one layer)
+    # ------------------------------------------------------------------ #
+
+    def _schedule_levels(self, ctxs: List[ClusterContext]):
+        """Tables/traces (lists aligned with ``ctxs``) for batchable elements."""
+        tables: List[Dict[Element, np.ndarray]] = [{} for _ in ctxs]
+        traces: List[Dict[Element, Optional[_Trace]]] = [{} for _ in ctxs]
+        # levels[h] = (mats, singles, groups).  Everything at height h only
+        # depends on heights < h, so processing levels in order keeps every
+        # dependency satisfied; within a level, entries are independent.
+        levels: Dict[int, Tuple[list, list, Dict[Any, list]]] = {}
+
+        for i, ctx in enumerate(ctxs):
+            hole_path = ctx.hole_path() if ctx.is_indegree_one else frozenset()
+            for kind, e, payload, h in ctx.local_plan():
+                if e in hole_path:
+                    continue  # hole-batched rows: per-cluster walk
+                if kind == "leaf":
+                    tables[i][e] = self._dense_vec(ctx.summary_of(e)).reshape(1, -1)
+                    traces[i][e] = None
+                    continue
+                level = levels.get(h)
+                if level is None:
+                    level = ([], [], {})
+                    levels[h] = level
+                if kind == "mat":
+                    level[0].append((i, ctx, e, payload))
+                    continue
+                inp, children = payload
+                sig, w = self._node_signature(inp, children)
+                if sig is None:
+                    level[1].append((i, e, inp, children))  # uncacheable rules
+                else:
+                    level[2].setdefault(sig, []).append((i, e, inp, children, w))
+
+        for h in sorted(levels):
+            mats, singles, groups = levels[h]
+            for i, ctx, e, child in mats:
+                vec, trace = self._mat_once(ctx, e, child, None, tables[i])
+                tables[i][e] = vec
+                traces[i][e] = trace
+            for i, e, inp, children in singles:
+                tables[i][e], traces[i][e] = self._node_once(
+                    inp, children, None, None, tables[i]
+                )
+            for sig, members in groups.items():
+                if len(members) == 1:
+                    # The stacked program has more fixed overhead than the
+                    # per-node path; fragmented key spaces go straight there.
+                    i, e, inp, children, _w = members[0]
+                    tables[i][e], traces[i][e] = self._node_once(
+                        inp, children, None, None, tables[i]
+                    )
+                else:
+                    self._solve_group(sig, members, tables, traces)
+
+        return tables, traces
+
+    def _node_signature(self, inp, children) -> Tuple[Optional[Hashable], Any]:
+        """Structural signature grouping nodes with identical rule tensors."""
+        problem = self.problem
+        init_key = problem.init_key(inp)
+        if init_key is None:
+            return None, None
+        tkeys = []
+        for _child, edge in children:
+            tk = problem.transition_key(inp, edge)
+            if tk is None:
+                return None, None
+            tkeys.append(tk)
+        if self.tensors.affine_enabled:
+            aff = problem.finalize_affine_key(inp)
+            if aff is not None:
+                return ("a", aff[0], init_key, tuple(tkeys)), aff[1]
+        fin_key = problem.finalize_key(inp)
+        if fin_key is None:
+            return None, None
+        return ("e", fin_key, init_key, tuple(tkeys)), None
+
+    def _solve_group(self, sig, members, tables, traces) -> None:
+        """One stacked solve for all ``members`` (same signature, same level)."""
+        kernel = self.kernel
+        tensors = self.tensors
+        selective = self.selective
+        combine, reduce_, argreduce = kernel.combine, kernel.reduce, kernel.argreduce
+        A, S = len(self.aspace), len(self.sspace)
+        AS = A * S
+
+        i0, e0, inp0, children0, _w0 = members[0]
+        n = len(members)
+        d = len(children0)
+        shared_row = False
+
+        if sig[0] == "a":
+            pair = tensors.affine_pair(sig[1], inp0)
+            if pair is None:
+                # Structural key turned out not to be affine: per-node path.
+                for i, e, inp, children, _w in members:
+                    tables[i][e], traces[i][e] = self._node_once(
+                        inp, children, None, None, tables[i]
+                    )
+                return
+            base, mask = pair
+            w = np.array([m[4] for m in members], dtype=kernel.dtype)
+            fin = base[None, :, :] + w[:, None, None] * mask[None, :, :]  # (n, A, S)
+        else:
+            fin = tensors.finalize_mat(inp0)[None, :, :]  # (1, A, S), shared
+            shared_row = d == 0  # identical inputs end to end: share one row
+
+        acc = tensors.init_vec(inp0)  # (1, A), shared across the group
+        steps: List[np.ndarray] = []
+        for j in range(d):
+            T = tensors.transition_tensor(inp0, children0[j][1])
+            if n == 1:
+                rows = tables[i0][children0[j][0]]
+            else:
+                rows = np.concatenate(
+                    [tables[i][children[j][0]] for i, _e, _inp, children, _w in members],
+                    axis=0,
+                )  # (n, S)
+            b = combine(rows[:, None, :, None], T[None, :, :, :])
+            cand = combine(acc[:, :, None, None], b)
+            flat = cand.reshape(cand.shape[0], AS, A)
+            acc = reduce_(flat, axis=1)
+            if selective:
+                steps.append(argreduce(flat, axis=1))
+
+        cand = combine(acc[:, :, None], fin)  # (n or 1, A, S)
+        vec = reduce_(cand, axis=1)
+        fin_idx = argreduce(cand, axis=1) if selective else None
+
+        if shared_row and n > 1:
+            trace = None
+            if selective:
+                trace = _Trace("node")
+                trace.fin = fin_idx
+                trace.vec = vec
+            for i, e, _inp, _children, _w in members:
+                tables[i][e] = vec
+                traces[i][e] = trace
+            return
+
+        for j, (i, e, _inp, children, _w) in enumerate(members):
+            row = vec[j : j + 1]
+            trace = None
+            if selective:
+                trace = _Trace("node")
+                trace.children = children
+                trace.steps = [s[j : j + 1] for s in steps]
+                trace.fin = fin_idx[j : j + 1]
+                trace.vec = row
+            tables[i][e] = row
+            traces[i][e] = trace
+
+    # ------------------------------------------------------------------ #
+    # Per-element solves (hole paths, uncacheable rules, top-down fallback)
+    # ------------------------------------------------------------------ #
+
+    def _node_once(self, inp, children, hole_table, in_edge, tables):
+        """Solve one node element (mirrors the scalar absorption order)."""
+        kernel = self.kernel
+        tensors = self.tensors
+        selective = self.selective
+        combine, reduce_, argreduce = kernel.combine, kernel.reduce, kernel.argreduce
+        A, S = len(self.aspace), len(self.sspace)
+
+        if hole_table is not None:
+            children = children + ((HOLE, in_edge),)
+        trace = _Trace("node") if selective else None
+        if selective:
+            trace.children = children
+
+        acc = tensors.init_vec(inp)
+        for child_elem, edge in children:
+            child = hole_table if child_elem == HOLE else tables[child_elem]
+            T = tensors.transition_tensor(inp, edge)
+            # b = child ⊗ T first, then acc ⊗ b: associates float sums
+            # exactly like the scalar times(a, times(c, t)).
+            b = combine(child[:, None, :, None], T[None, :, :, :])
+            acc4 = acc[:, :, None, None]
+            # b already has the broadcast output shape unless only the
+            # accumulator carries the hole batch; reuse its buffer then.
+            if kernel.combine_inplace is not None and b.shape[0] >= acc.shape[0]:
+                cand = kernel.combine_inplace(acc4, b)
+            else:
+                cand = combine(acc4, b)
+            flat = cand.reshape(cand.shape[0], A * S, A)
+            acc = reduce_(flat, axis=1)
+            if selective:
+                trace.steps.append(argreduce(flat, axis=1))
+
+        fin = tensors.finalize_mat(inp)
+        cand = combine(acc[:, :, None], fin[None, :, :])
+        vec = reduce_(cand, axis=1)
+        if selective:
+            trace.fin = argreduce(cand, axis=1)
+            trace.vec = vec
+        return vec, trace
+
+    def _mat_once(self, ctx, e, child, hole_table, tables):
+        """Solve one indegree-one sub-cluster element."""
+        kernel = self.kernel
+        mat = self._dense_mat(ctx.summary_of(e))  # (S_top, S_below)
+        if child is None:
+            if hole_table is None:
+                raise RuntimeError(
+                    f"indegree-one sub-cluster {e!r} has no child and no hole is active"
+                )
+            child_elem, below = HOLE, hole_table
+        else:
+            child_elem, below = child, tables[child]
+        cand = kernel.combine(mat[None, :, :], below[:, None, :])  # (h, S_top, S_below)
+        vec = kernel.reduce(cand, axis=2)
+        trace = None
+        if self.selective:
+            trace = _Trace("mat")
+            trace.child = child_elem
+            trace.bp = kernel.argreduce(cand, axis=2)
+            trace.vec = vec
+        return vec, trace
+
+    # ------------------------------------------------------------------ #
+    # Per-cluster walk (consumes whatever the scheduler prefilled)
+    # ------------------------------------------------------------------ #
+
+    def _dense_vec(self, summary: Any) -> np.ndarray:
+        if "dense" in summary:
+            return summary["dense"]
+        # Interop: a scalar-path summary consumed by the dense solver.
+        return encode_vec(summary["table"], self.sspace, self.kernel.zero, self.kernel.dtype)
+
+    def _dense_mat(self, summary: Any) -> np.ndarray:
+        if "dense" in summary:
+            return summary["dense"]
+        return encode_mat(summary["table"], self.sspace, self.kernel.zero, self.kernel.dtype)
+
+    def _local_tables(
+        self,
+        ctx: ClusterContext,
+        hole_table: Optional[np.ndarray],
+        tables: Dict[Element, np.ndarray],
+        traces: Dict[Element, Optional[_Trace]],
+    ) -> Tuple[Dict[Element, np.ndarray], Dict[Element, Optional[_Trace]]]:
+        """Tables of shape (h_e, S) per element, plus traces when selective."""
+        hole_element = ctx.hole_element if hole_table is not None else None
+        in_edge = ctx.in_edge if hole_table is not None else None
+
+        for kind, e, payload, _h in ctx.local_plan():
+            if e in tables:
+                continue  # prefilled by the level scheduler
+            if kind == "node":
+                inp, children = payload
+                hole = hole_table if e == hole_element else None
+                tables[e], traces[e] = self._node_once(inp, children, hole, in_edge, tables)
+            elif kind == "mat":
+                hole = hole_table if payload is None else None
+                tables[e], traces[e] = self._mat_once(ctx, e, payload, hole, tables)
+            else:  # leaf: an indegree-zero sub-cluster summary
+                tables[e] = self._dense_vec(ctx.summary_of(e)).reshape(1, -1)
+                traces[e] = None
+
+        return tables, traces

@@ -1,0 +1,179 @@
+"""Per-semiring NumPy array operations (the actual vectorized kernels).
+
+A :class:`SemiringKernel` lifts a scalar :class:`~repro.dp.semiring.Semiring`
+to dense arrays:
+
+* ``combine(a, b)`` — elementwise/broadcast ``times`` (addition for the
+  tropical semirings, modular multiplication for counting),
+* ``reduce(arr, axis)`` — ``plus`` over one or more axes (min / max / sum),
+* ``argreduce(arr, axis)`` — for selective semirings, the index of the first
+  optimum along ``axis`` (ties break towards the lowest index, matching the
+  scalar path's first-wins merge).
+
+Bit-identical parity with the scalar path is part of the contract:
+
+* tropical kernels associate float additions as ``a ⊗ (b ⊗ c)`` exactly like
+  the scalar solver's ``times(a, times(b, c))`` — callers must combine the
+  *inner* pair first;
+* the counting kernel reduces int64 products with a single modulo after the
+  sum, which is exact (values stay far below 2**63 for moduli up to ~3e9).
+
+``kernel_for(semiring)`` maps a semiring to its kernel via the semiring's
+``kernel``/``modulus`` metadata and returns ``None`` for exotic semirings the
+dense path cannot represent, which makes the solver fall back to the scalar
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.dp.semiring import Semiring
+
+__all__ = [
+    "SemiringKernel",
+    "MinPlusKernel",
+    "MaxPlusKernel",
+    "SumProductKernel",
+    "CountingModKernel",
+    "kernel_for",
+]
+
+Axis = Union[int, Tuple[int, ...]]
+
+
+class SemiringKernel:
+    """Array-level semiring operations; subclasses fix dtype and reductions."""
+
+    selective: bool = False
+    dtype: np.dtype = np.dtype(np.float64)
+
+    def __init__(self, semiring: Semiring):
+        self.semiring = semiring
+        self.zero = self.dtype.type(semiring.zero)
+        self.one = self.dtype.type(semiring.one)
+
+    def full(self, shape, fill=None) -> np.ndarray:
+        """A new array filled with ``fill`` (default: the semiring zero)."""
+        return np.full(shape, self.zero if fill is None else fill, dtype=self.dtype)
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Broadcast ``times`` of two arrays."""
+        raise NotImplementedError
+
+    #: Optional in-place variant ``combine_inplace(a, out)`` writing into
+    #: ``out`` (which must already have the broadcast shape); ``None`` when
+    #: the operation cannot run in place (e.g. modular products).
+    combine_inplace = None
+
+    def reduce(self, arr: np.ndarray, axis: Axis) -> np.ndarray:
+        """``plus`` over ``axis`` (may be a tuple of axes)."""
+        raise NotImplementedError
+
+    def argreduce(self, arr: np.ndarray, axis: int) -> np.ndarray:
+        """First-optimum indices along a single axis (selective only)."""
+        raise NotImplementedError(f"{type(self).__name__} is not selective")
+
+    def argreduce_flat(self, arr: np.ndarray) -> int:
+        """Index of the first optimum of a 1-d array (selective only)."""
+        raise NotImplementedError(f"{type(self).__name__} is not selective")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.semiring.name})"
+
+
+class MinPlusKernel(SemiringKernel):
+    """Minimisation: plus = min, times = +, zero = +inf."""
+
+    selective = True
+
+    def combine(self, a, b):
+        return np.add(a, b)
+
+    def combine_inplace(self, a, out):
+        return np.add(a, out, out=out)
+
+    def reduce(self, arr, axis):
+        return arr.min(axis=axis)
+
+    def argreduce(self, arr, axis):
+        return arr.argmin(axis=axis)
+
+    def argreduce_flat(self, arr):
+        return arr.argmin()
+
+
+class MaxPlusKernel(SemiringKernel):
+    """Maximisation: plus = max, times = +, zero = -inf."""
+
+    selective = True
+
+    def combine(self, a, b):
+        return np.add(a, b)
+
+    def combine_inplace(self, a, out):
+        return np.add(a, out, out=out)
+
+    def reduce(self, arr, axis):
+        return arr.max(axis=axis)
+
+    def argreduce(self, arr, axis):
+        return arr.argmax(axis=axis)
+
+    def argreduce_flat(self, arr):
+        return arr.argmax()
+
+
+class SumProductKernel(SemiringKernel):
+    """Plain counting / probability propagation in float64.
+
+    Counts are exact up to 2**53; float summation order may differ from the
+    scalar path's left fold, so this kernel trades bit-parity on
+    pathological float inputs for speed — none of the shipped problems use
+    it with floats (the counting problems use :class:`CountingModKernel`).
+    """
+
+    def combine(self, a, b):
+        return np.multiply(a, b)
+
+    def reduce(self, arr, axis):
+        return arr.sum(axis=axis)
+
+
+class CountingModKernel(SemiringKernel):
+    """Counting modulo k in int64, exact for moduli up to ~3e9."""
+
+    dtype = np.dtype(np.int64)
+
+    def __init__(self, semiring: Semiring):
+        super().__init__(semiring)
+        if semiring.modulus is None or semiring.modulus < 2:
+            raise ValueError(f"counting kernel needs a modulus >= 2, got {semiring.modulus!r}")
+        self.modulus = int(semiring.modulus)
+        if self.modulus > 3_037_000_499:  # floor(sqrt(2**63 - 1))
+            raise ValueError(f"modulus {self.modulus} too large for exact int64 products")
+
+    def combine(self, a, b):
+        return np.multiply(a, b) % self.modulus
+
+    def reduce(self, arr, axis):
+        return arr.sum(axis=axis) % self.modulus
+
+
+def kernel_for(semiring: Semiring) -> Optional[SemiringKernel]:
+    """The dense kernel for ``semiring``, or ``None`` if it has no dense form."""
+    name = getattr(semiring, "kernel", None)
+    if name == "min-plus":
+        return MinPlusKernel(semiring)
+    if name == "max-plus":
+        return MaxPlusKernel(semiring)
+    if name == "sum-product":
+        return SumProductKernel(semiring)
+    if name == "counting":
+        try:
+            return CountingModKernel(semiring)
+        except ValueError:
+            return None
+    return None

@@ -1,0 +1,86 @@
+"""State-id codecs: hashable problem states <-> contiguous integer ids.
+
+Dense DP tables are NumPy arrays indexed by state id; the id of a state is
+its position in the problem's declared (ordered) state tuple.  The ordering
+is load-bearing: arg-reductions break ties towards the lowest id, and the
+scalar fallback path iterates states in the same order, which is what makes
+the two backends produce identical labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["StateSpace", "summary_as_dict"]
+
+
+class StateSpace:
+    """An ordered, finite set of hashable states with contiguous ids."""
+
+    __slots__ = ("states", "index")
+
+    def __init__(self, states: Sequence[Hashable]):
+        self.states: Tuple[Hashable, ...] = tuple(states)
+        self.index: Dict[Hashable, int] = {s: i for i, s in enumerate(self.states)}
+        if len(self.index) != len(self.states):
+            raise ValueError(f"duplicate states in state space: {self.states!r}")
+        if not self.states:
+            raise ValueError("state space must not be empty")
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __contains__(self, state: Hashable) -> bool:
+        return state in self.index
+
+    def encode(self, state: Hashable) -> int:
+        return self.index[state]
+
+    def decode(self, idx: int) -> Hashable:
+        return self.states[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StateSpace({self.states!r})"
+
+
+def summary_as_dict(summary, space: StateSpace, zero) -> dict:
+    """Normalise a cluster summary to the dict-table form of the scalar path.
+
+    Dense summaries hold a ``"dense"`` array; scalar summaries hold a
+    ``"table"`` dict keyed by state (vectors) or state pairs (matrices).
+    Zero-valued (infeasible) entries are dropped, matching the scalar path,
+    so both backends' summaries normalise to equal dicts.
+    """
+    if "table" in summary:
+        return dict(summary["table"])
+    dense = summary["dense"]
+    if summary["kind"] == "vec":
+        return {
+            space.decode(i): dense[i].item()
+            for i in range(len(space))
+            if dense[i] != zero
+        }
+    table = {}
+    for a in range(dense.shape[0]):
+        for b in range(dense.shape[1]):
+            if dense[a, b] != zero:
+                table[(space.decode(a), space.decode(b))] = dense[a, b].item()
+    return table
+
+
+def encode_vec(table: dict, space: StateSpace, zero, dtype) -> np.ndarray:
+    """Dense (S,) array from a dict vector table (missing entries = zero)."""
+    vec = np.full(len(space), zero, dtype=dtype)
+    for state, val in table.items():
+        vec[space.encode(state)] = val
+    return vec
+
+
+def encode_mat(table: dict, space: StateSpace, zero, dtype) -> np.ndarray:
+    """Dense (S, S) array from a dict matrix table (missing entries = zero)."""
+    mat = np.full((len(space), len(space)), zero, dtype=dtype)
+    for (a, b), val in table.items():
+        mat[space.encode(a), space.encode(b)] = val
+    return mat

@@ -1,0 +1,215 @@
+"""Dense tensor enumeration of a :class:`~repro.dp.problem.FiniteStateDP`.
+
+The dense solver needs the problem's local rules as arrays:
+
+* ``init(v)``      — vector ``I[acc]`` of initial accumulator values,
+* ``transition(v, edge)`` — tensor ``T[acc, child_state, acc']`` of the
+  values yielded when absorbing a child,
+* ``finalize(v)``  — matrix ``F[acc, state]`` mapping final accumulators to
+  node states,
+* ``virtual_root()`` — vector ``R[state]`` of virtual-root multipliers.
+
+Each array is enumerated by calling the problem's scalar methods over the
+declared accumulator/state spaces.  When several yields target the same cell
+they are merged exactly like the scalar path's ``_merge`` (first-wins under
+``prefer`` for selective semirings, ``plus``-accumulated otherwise), so the
+dense tables encode the same candidate set in the same tie-break order.
+
+Enumeration costs ``O(|acc| * |states|)`` scalar calls per (node, edge).
+Problems whose rules do not depend on the full node/edge payload declare
+cache keys (:meth:`FiniteStateDP.transition_key` and friends); a returned
+hashable key caches the built array so the cost is paid once per distinct
+key instead of once per tree node — for most Table-1 problems that is once
+per edge kind for the whole solve.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.dp.kernels.semiring_kernels import SemiringKernel
+from repro.dp.kernels.statespace import StateSpace
+from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
+
+__all__ = ["ProblemTensors", "UndeclaredStateError"]
+
+
+class UndeclaredStateError(KeyError):
+    """A problem yielded an accumulator/state outside its declared space."""
+
+
+class ProblemTensors:
+    """Builds and caches the dense rule arrays of one problem instance."""
+
+    def __init__(
+        self,
+        problem: FiniteStateDP,
+        kernel: SemiringKernel,
+        sspace: StateSpace,
+        aspace: StateSpace,
+    ):
+        self.problem = problem
+        self.kernel = kernel
+        self.sspace = sspace
+        self.aspace = aspace
+        self._init_cache: Dict[Hashable, np.ndarray] = {}
+        self._trans_cache: Dict[Hashable, np.ndarray] = {}
+        self._fin_cache: Dict[Hashable, np.ndarray] = {}
+        self._vroot: Optional[np.ndarray] = None
+        # Zero-filled templates: ndarray.copy() is several times cheaper than
+        # np.full on the tiny arrays built here (hot on cache misses).
+        self._templates: Dict[Tuple[int, ...], np.ndarray] = {}
+        # Affine finalize decompositions F(v) = base + w * mask, keyed by the
+        # problem's structural key; only sound for the tropical kernels
+        # (float cells, selective first-wins merges).
+        self.affine_enabled: bool = kernel.selective and kernel.dtype.kind == "f"
+        self._affine_cache: Dict[Hashable, Optional[Tuple[np.ndarray, np.ndarray]]] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _fill(self, shape, cells: Dict[Any, Any]) -> np.ndarray:
+        """Dense array from merged ``{index: value}`` cells."""
+        template = self._templates.get(shape)
+        if template is None:
+            template = self.kernel.full(shape)
+            self._templates[shape] = template
+        arr = template.copy()
+        for idx, val in cells.items():
+            arr[idx] = val
+        return arr
+
+    def _merge_cell(self, cells: Dict[Any, Any], idx, val: Any) -> None:
+        """Scalar-path ``_merge`` semantics on one staged cell.
+
+        Merging happens on plain Python scalars (cheap) before the single
+        array-fill pass of :meth:`_fill`.
+        """
+        sr = self.problem.semiring
+        if sr.is_zero(val):
+            return
+        old = cells.get(idx)
+        if old is None:
+            cells[idx] = val
+        elif sr.selective:
+            if sr.prefer(val, old):
+                cells[idx] = val
+        else:
+            cells[idx] = sr.plus(old, val)
+
+    def _acc_index(self, acc: Hashable, context: str) -> int:
+        try:
+            return self.aspace.index[acc]
+        except KeyError:
+            raise UndeclaredStateError(
+                f"{self.problem.name}: {context} yielded accumulator state {acc!r} "
+                f"not listed in acc_states {self.aspace.states!r}"
+            ) from None
+
+    def _state_index(self, state: Hashable, context: str) -> int:
+        try:
+            return self.sspace.index[state]
+        except KeyError:
+            raise UndeclaredStateError(
+                f"{self.problem.name}: {context} yielded node state {state!r} "
+                f"not listed in states {self.sspace.states!r}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+
+    def init_vec(self, v: NodeInput) -> np.ndarray:
+        """``I[1, acc]`` — the merged yields of ``node_init(v)``."""
+        key = self.problem.init_key(v)
+        if key is not None:
+            cached = self._init_cache.get(key)
+            if cached is not None:
+                return cached
+        cells: Dict[Any, Any] = {}
+        for acc, val in self.problem.node_init(v):
+            self._merge_cell(cells, self._acc_index(acc, "node_init"), val)
+        vec = self._fill((1, len(self.aspace)), {(0, i): x for i, x in cells.items()})
+        if key is not None:
+            self._init_cache[key] = vec
+        return vec
+
+    def transition_tensor(self, v: NodeInput, edge: Optional[EdgeInfo]) -> np.ndarray:
+        """``T[acc, child_state, acc']`` — one child absorption step."""
+        key = self.problem.transition_key(v, edge)
+        if key is not None:
+            cached = self._trans_cache.get(key)
+            if cached is not None:
+                return cached
+        A, S = len(self.aspace), len(self.sspace)
+        transition = self.problem.transition
+        cells: Dict[Any, Any] = {}
+        for ai, acc in enumerate(self.aspace.states):
+            for si, child_state in enumerate(self.sspace.states):
+                for new_acc, val in transition(v, acc, child_state, edge):
+                    idx = self._acc_index(new_acc, "transition")
+                    self._merge_cell(cells, (ai, si, idx), val)
+        tensor = self._fill((A, S, A), cells)
+        if key is not None:
+            self._trans_cache[key] = tensor
+        return tensor
+
+    def finalize_mat(self, v: NodeInput) -> np.ndarray:
+        """``F[acc, state]`` — the merged yields of ``finalize(v, acc)``."""
+        if self.affine_enabled:
+            aff = self.problem.finalize_affine_key(v)
+            if aff is not None:
+                pair = self.affine_pair(aff[0], v)
+                if pair is not None:
+                    base, mask = pair
+                    return base + aff[1] * mask
+        key = self.problem.finalize_key(v)
+        if key is not None:
+            cached = self._fin_cache.get(key)
+            if cached is not None:
+                return cached
+        mat = self._enumerate_finalize(v)
+        if key is not None:
+            self._fin_cache[key] = mat
+        return mat
+
+    def _enumerate_finalize(self, v: NodeInput) -> np.ndarray:
+        finalize = self.problem.finalize
+        cells: Dict[Any, Any] = {}
+        for ai, acc in enumerate(self.aspace.states):
+            for state, val in finalize(v, acc):
+                self._merge_cell(cells, (ai, self._state_index(state, "finalize")), val)
+        return self._fill((len(self.aspace), len(self.sspace)), cells)
+
+    def affine_pair(self, key: Hashable, v: NodeInput) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(base, mask)`` with ``F(v) = base + w * mask``, or ``None``.
+
+        Built once per structural ``key`` by enumerating the problem's two
+        probe nodes (``w = 0`` and ``w = 1``); ``None`` (cached) when the
+        probes' feasibility patterns disagree, i.e. the declared key is not
+        actually affine — callers then fall back to plain enumeration.
+        """
+        try:
+            return self._affine_cache[key]
+        except KeyError:
+            pass
+        probe = self.problem.finalize_affine_probe
+        f0 = self._enumerate_finalize(probe(v, 0.0))
+        f1 = self._enumerate_finalize(probe(v, 1.0))
+        finite0 = np.isfinite(f0)
+        if bool((finite0 == np.isfinite(f1)).all()):
+            mask = np.zeros_like(f0)
+            np.subtract(f1, f0, out=mask, where=finite0)  # inf cells stay 0
+            pair = (f0, mask)
+        else:
+            pair = None
+        self._affine_cache[key] = pair
+        return pair
+
+    def virtual_root_vec(self) -> np.ndarray:
+        """``R[state]`` — virtual-root multipliers (cached, node-independent)."""
+        if self._vroot is None:
+            vec = self.kernel.full(len(self.sspace))
+            for si, state in enumerate(self.sspace.states):
+                vec[si] = self.kernel.dtype.type(self.problem.virtual_root_value(state))
+            self._vroot = vec
+        return self._vroot

@@ -18,10 +18,23 @@ Because every original edge is internal to exactly one cluster, every edge
 constraint and every node weight is counted exactly once; the tests verify
 this against sequential and brute-force solvers.
 
-The per-cluster local computation is a straightforward sequential tree DP
-over the cluster's **element tree** (at most ``n^delta`` elements, so it fits
-in one machine as required by Definition 1), treating sub-cluster elements as
-pre-summarised leaves / unary operators.
+Two interchangeable local computations implement the per-cluster solve:
+
+* the **numpy backend** (:class:`~repro.dp.kernels.dense_local.DenseClusterKernel`)
+  keeps tables as dense arrays and batches all hole states of an
+  indegree-one cluster into one element-tree walk — this is the default
+  whenever the problem declares :attr:`~repro.dp.problem.FiniteStateDP.acc_states`
+  and its semiring has a dense kernel;
+* the **python backend** (this module) walks the element tree with
+  dict-of-dicts tables and generator-based transitions — the fallback for
+  exotic semirings or unbounded accumulator spaces (e.g. edge coloring's
+  used-colour sets), and the executable reference the numpy backend is
+  tested against (bit-identical values and labels).
+
+Both backends iterate candidates in canonical state-id order, so results do
+not depend on the backend choice.  Select explicitly with
+``FiniteStateClusterSolver(problem, backend="numpy"|"python")`` or through
+``MPCConfig.dp_backend`` / the pipeline's ``backend=`` arguments.
 """
 
 from __future__ import annotations
@@ -30,14 +43,28 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.clustering.model import Element
+from repro.dp.kernels.dense_local import DenseClusterKernel
+from repro.dp.kernels.semiring_kernels import kernel_for
 from repro.dp.problem import ClusterContext, ClusterDP, FiniteStateDP
 from repro.dp.semiring import Semiring
 
-__all__ = ["FiniteStateClusterSolver"]
+__all__ = ["FiniteStateClusterSolver", "backend_ineligibility", "BACKENDS"]
 
 #: Sentinel element representing the hole (the part of the tree below an
 #: indegree-one cluster's incoming edge).
 HOLE: Element = ("hole", None)
+
+#: Recognised backend choices.
+BACKENDS = ("auto", "numpy", "python")
+
+
+def backend_ineligibility(problem: FiniteStateDP) -> Optional[str]:
+    """Why ``problem`` cannot run on the numpy backend (``None`` if it can)."""
+    if getattr(problem, "acc_states", None) is None:
+        return "acc_states not declared (unbounded or exotic accumulator space)"
+    if kernel_for(problem.semiring) is None:
+        return f"semiring {problem.semiring.name!r} has no dense kernel"
+    return None
 
 
 @dataclass
@@ -60,17 +87,50 @@ class _MatTrace:
 
 
 class FiniteStateClusterSolver(ClusterDP):
-    """Adapter: :class:`FiniteStateDP` → :class:`ClusterDP`."""
+    """Adapter: :class:`FiniteStateDP` → :class:`ClusterDP`.
 
-    def __init__(self, problem: FiniteStateDP):
+    Parameters
+    ----------
+    problem:
+        The finite-state problem description.
+    backend:
+        ``"numpy"`` — dense vectorized kernels (raises :class:`ValueError`
+        if the problem is not eligible); ``"python"`` — the scalar
+        dict-table path; ``"auto"`` (default) — numpy when eligible, else
+        python.
+    """
+
+    def __init__(self, problem: FiniteStateDP, backend: str = "auto"):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.problem = problem
         self.produces_labels = problem.semiring.selective
+        why_not = backend_ineligibility(problem)
+        if backend == "numpy" and why_not is not None:
+            raise ValueError(f"{problem.name}: numpy backend unavailable — {why_not}")
+        self.backend = "python" if backend == "python" or why_not is not None else "numpy"
+        self._dense: Optional[DenseClusterKernel] = (
+            DenseClusterKernel(problem) if self.backend == "numpy" else None
+        )
+        # Canonical iteration orders (shared tie-breaking with the dense path).
+        self._state_order: Dict[Hashable, int] = {s: i for i, s in enumerate(problem.states)}
+        acc_states = getattr(problem, "acc_states", None)
+        self._acc_order: Optional[Dict[Hashable, int]] = (
+            {a: i for i, a in enumerate(acc_states)} if acc_states is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     # ClusterDP interface
     # ------------------------------------------------------------------ #
 
+    def summarize_layer(self, ctxs) -> List[Any]:
+        if self._dense is not None:
+            return self._dense.summarize_layer(ctxs)
+        return [self.summarize(ctx) for ctx in ctxs]
+
     def summarize(self, ctx: ClusterContext) -> Any:
+        if self._dense is not None:
+            return self._dense.summarize(ctx)
         sr = self.problem.semiring
         if ctx.is_indegree_one:
             table: Dict[Tuple[Hashable, Hashable], Any] = {}
@@ -84,12 +144,16 @@ class FiniteStateClusterSolver(ClusterDP):
         return {"kind": "vec", "table": {a: v for a, v in vec.items() if not sr.is_zero(v)}}
 
     def label_virtual_root(self, ctx: ClusterContext, summary: Any) -> Tuple[Any, Any]:
+        if self._dense is not None:
+            return self._dense.label_virtual_root(ctx, summary)
         sr = self.problem.semiring
         table = summary["table"]
         if sr.selective:
             best_state, best_val = None, sr.zero
-            for state, val in table.items():
-                total = sr.times(val, self.problem.virtual_root_value(state))
+            for state in self.problem.states:
+                if state not in table:
+                    continue
+                total = sr.times(table[state], self.problem.virtual_root_value(state))
                 if sr.is_zero(total):
                     continue
                 if best_state is None or sr.prefer(total, best_val):
@@ -98,8 +162,10 @@ class FiniteStateClusterSolver(ClusterDP):
                 raise ValueError(f"{self.problem.name}: no feasible solution exists")
             return best_state, best_val
         total = sr.zero
-        for state, val in table.items():
-            total = sr.plus(total, sr.times(val, self.problem.virtual_root_value(state)))
+        for state in self.problem.states:
+            if state not in table:
+                continue
+            total = sr.plus(total, sr.times(table[state], self.problem.virtual_root_value(state)))
         return None, total
 
     def assign_internal_labels(
@@ -110,6 +176,8 @@ class FiniteStateClusterSolver(ClusterDP):
                 f"{self.problem.name} uses a non-selective semiring; "
                 "only the root value is defined"
             )
+        if self._dense is not None:
+            return self._dense.assign_internal_labels(ctx, out_label, in_label)
         _, traces = self._local_vector(ctx, hole_state=in_label, record_trace=True)
 
         state_of: Dict[Element, Hashable] = {ctx.top_element: out_label}
@@ -156,8 +224,15 @@ class FiniteStateClusterSolver(ClusterDP):
         return self.problem.extract_solution(tree, node_states, value)
 
     # ------------------------------------------------------------------ #
-    # Local (per-cluster) sequential DP
+    # Local (per-cluster) sequential DP — the python backend
     # ------------------------------------------------------------------ #
+
+    def _ordered(self, table: Dict[Hashable, Any], order: Optional[Dict[Hashable, int]]):
+        """Items of ``table`` in canonical state order (insertion order if none)."""
+        if order is None or len(table) < 2:
+            return table.items()
+        fallback = len(order)
+        return sorted(table.items(), key=lambda kv: order.get(kv[0], fallback))
 
     def _local_vector(
         self,
@@ -166,27 +241,15 @@ class FiniteStateClusterSolver(ClusterDP):
         record_trace: bool = False,
     ) -> Tuple[Dict[Hashable, Any], Dict[Element, Any]]:
         """Vector over the top node's states, plus traceback data per element."""
-        sr = self.problem.semiring
-        problem = self.problem
-
-        # Iterative postorder over the element tree.
-        order: List[Element] = []
-        stack = [ctx.top_element]
-        while stack:
-            e = stack.pop()
-            order.append(e)
-            stack.extend(ctx.children_of(e))
-        order.reverse()
-
         vectors: Dict[Element, Dict[Hashable, Any]] = {}
         traces: Dict[Element, Any] = {}
 
         hole_vector: Optional[Dict[Hashable, Any]] = None
         if hole_state is not None:
-            hole_vector = {hole_state: sr.one}
+            hole_vector = {hole_state: self.problem.semiring.one}
 
-        for e in order:
-            kids = ctx.children_of(e)
+        for e in ctx.element_postorder():
+            kids = ctx.sorted_children_of(e)
             if e[0] == "node":
                 vectors[e], traces[e] = self._solve_node_element(
                     ctx, e, kids, vectors, hole_vector
@@ -221,9 +284,7 @@ class FiniteStateClusterSolver(ClusterDP):
         v = e[1]
         inp = ctx.node_input(v)
 
-        children: List[Tuple[Element, Any]] = []
-        for c in sorted(kids, key=repr):
-            children.append((c, ctx.edge_to_parent(c)))
+        children: List[Tuple[Element, Any]] = [(c, ctx.edge_to_parent(c)) for c in kids]
         if ctx.hole_element == e and hole_vector is not None:
             children.append((HOLE, ctx.in_edge))
 
@@ -241,8 +302,8 @@ class FiniteStateClusterSolver(ClusterDP):
             child_vec = hole_vector if child_elem == HOLE else vectors[child_elem]
             new_acc: Dict[Hashable, Any] = {}
             choices: Dict[Hashable, Tuple[Hashable, Hashable]] = {}
-            for a_state, a_val in acc.items():
-                for c_state, c_val in child_vec.items():
+            for a_state, a_val in self._ordered(acc, self._acc_order):
+                for c_state, c_val in self._ordered(child_vec, self._state_order):
                     if sr.is_zero(c_val):
                         continue
                     for n_state, t_val in problem.transition(inp, a_state, c_state, edge):
@@ -258,7 +319,7 @@ class FiniteStateClusterSolver(ClusterDP):
         # Finalize: accumulator -> node state vector.
         vec: Dict[Hashable, Any] = {}
         fin_choice: Dict[Hashable, Hashable] = {}
-        for a_state, a_val in acc.items():
+        for a_state, a_val in self._ordered(acc, self._acc_order):
             for n_state, f_val in problem.finalize(inp, a_state):
                 val = sr.times(a_val, f_val)
                 if sr.is_zero(val):

@@ -22,7 +22,7 @@ Two layers of abstraction:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.clustering.model import Cluster, Element
@@ -53,10 +53,14 @@ class NodeInput:
     is_auxiliary: bool = False
 
     def weight(self, default: float = 0.0) -> float:
-        if isinstance(self.data, (int, float)) and not isinstance(self.data, bool):
-            return float(self.data)
-        if isinstance(self.data, Mapping) and "weight" in self.data:
-            return float(self.data["weight"])
+        data = self.data
+        if type(data) is dict:  # fast path: ABC checks are hot in cache keys
+            w = data.get("weight")
+            return default if w is None else float(w)
+        if isinstance(data, (int, float)) and not isinstance(data, bool):
+            return float(data)
+        if isinstance(data, Mapping) and "weight" in data:
+            return float(data["weight"])
         return default
 
 
@@ -83,10 +87,14 @@ class EdgeInfo:
         return self.kind == "auxiliary"
 
     def weight(self, default: float = 0.0) -> float:
-        if isinstance(self.data, (int, float)) and not isinstance(self.data, bool):
-            return float(self.data)
-        if isinstance(self.data, Mapping) and "weight" in self.data:
-            return float(self.data["weight"])
+        data = self.data
+        if type(data) is dict:  # fast path: ABC checks are hot in cache keys
+            w = data.get("weight")
+            return default if w is None else float(w)
+        if isinstance(data, (int, float)) and not isinstance(data, bool):
+            return float(data)
+        if isinstance(data, Mapping) and "weight" in data:
+            return float(data["weight"])
         return default
 
 
@@ -130,6 +138,93 @@ class ClusterContext:
 
     def children_of(self, e: Element) -> List[Element]:
         return self._children.get(e, [])
+
+    def sorted_children_of(self, e: Element) -> List[Element]:
+        """Children of ``e`` in the deterministic absorption order (cached)."""
+        return self.cluster.element_children_sorted().get(e, [])
+
+    def element_postorder(self) -> List[Element]:
+        """Cached postorder of the cluster's element tree."""
+        return self.cluster.element_postorder()
+
+    def local_plan(self) -> List[Tuple[str, Element, Any, int]]:
+        """Problem-independent local-solve plan of this cluster (cached).
+
+        One postorder entry per element with everything prefetched that the
+        per-cluster solvers would otherwise rebuild on every solve:
+
+        * ``("node", e, (node_input, children), height)`` — ``children`` is
+          the tuple of ``(child_element, edge_info)`` pairs in absorption
+          order (the hole pseudo-child is *not* included; solvers append it
+          when the element is the hole element and a hole is active);
+        * ``("mat", e, child_element_or_None, height)`` — an indegree-one
+          sub-cluster element and its single child (``None``: the hole
+          attaches here);
+        * ``("leaf", e, None, 0)`` — an indegree-zero sub-cluster element.
+
+        ``height`` is the element's height in the element tree (0 for
+        childless elements); all elements of one height are mutually
+        independent given the levels below, which is what lets vectorized
+        solvers batch them across clusters.
+
+        The plan depends only on the cluster and the tree (both fixed for
+        the clustering's lifetime), so it is cached on the cluster and
+        shared by every problem, pass and backend — this is what makes
+        repeated solves on one clustering cheap.
+        """
+        plan = self.cluster._local_plan
+        if plan is not None:
+            return plan
+        plan = []
+        heights: Dict[Element, int] = {}
+        for e in self.element_postorder():
+            kids = self.sorted_children_of(e)
+            h = 1 + max(heights[c] for c in kids) if kids else 0
+            heights[e] = h
+            if e[0] == "node":
+                children = tuple((c, self.edge_to_parent(c)) for c in kids)
+                plan.append(("node", e, (self.node_input(e[1]), children), h))
+            elif self.element_kind(e) == "indegree-1":
+                if len(kids) > 1:
+                    raise RuntimeError(
+                        f"indegree-one sub-cluster {e!r} must have exactly one child, "
+                        f"got {kids}"
+                    )
+                if not kids and self.hole_element != e:
+                    raise RuntimeError(
+                        f"indegree-one sub-cluster {e!r} has no child and is not "
+                        "the hole element"
+                    )
+                plan.append(("mat", e, kids[0] if kids else None, h))
+            else:  # indegree-0 (or, impossibly, final)
+                if kids:
+                    raise RuntimeError(
+                        f"indegree-zero sub-cluster {e!r} unexpectedly has children"
+                    )
+                plan.append(("leaf", e, None, 0))
+        self.cluster._local_plan = plan
+        return plan
+
+    def hole_path(self) -> frozenset:
+        """Elements on the path from the hole element to the top (inclusive).
+
+        Empty for indegree-zero clusters.  Cached on the cluster alongside
+        the plan structures.
+        """
+        path = getattr(self.cluster, "_hole_path", None)
+        if path is None:
+            elems = []
+            e = self.cluster.hole_element
+            if e is not None:
+                parent = self.cluster.element_parent()
+                while True:
+                    elems.append(e)
+                    if e == self.cluster.top_element:
+                        break
+                    e = parent[e]
+            path = frozenset(elems)
+            self.cluster._hole_path = path
+        return path
 
     def edge_to_parent(self, e: Element) -> Optional[EdgeInfo]:
         """The original edge from element ``e`` to its parent element (if internal)."""
@@ -223,6 +318,16 @@ class ClusterDP(abc.ABC):
     def summarize(self, ctx: ClusterContext) -> Any:
         """Compute f(C) from the summaries of the cluster's elements (Fig. 2)."""
 
+    def summarize_layer(self, ctxs: List["ClusterContext"]) -> List[Any]:
+        """Summaries of one whole layer of clusters, aligned with ``ctxs``.
+
+        A layer is the engine's parallel unit (all its clusters are solved
+        independently within one charged round, Section 5.1).  The default
+        simply maps :meth:`summarize`; vectorized solvers override this to
+        batch work across the layer's clusters.
+        """
+        return [self.summarize(ctx) for ctx in ctxs]
+
     @abc.abstractmethod
     def label_virtual_root(self, ctx: ClusterContext, summary: Any) -> Tuple[Any, Any]:
         """Label of the topmost cluster's (virtual) outgoing edge.
@@ -269,14 +374,65 @@ class FiniteStateDP(abc.ABC):
       yields ``(node_state, value)`` pairs (typically adding the node weight).
     * :meth:`virtual_root_value` — extra value/feasibility of a state at the
       tree root (the virtual outgoing edge).
+
+    Problems whose accumulator space is finite declare it in
+    :attr:`acc_states`; together with a semiring that has a dense kernel
+    (:mod:`repro.dp.kernels`) this enables the vectorized NumPy backend,
+    which represents all tables as dense arrays indexed by state id.  The
+    optional ``*_key`` hooks let the backend cache the enumerated transition
+    tensors across nodes: a problem whose rules depend only on, say, the
+    edge kind returns that as the key and pays the enumeration cost once per
+    kind instead of once per tree node.  Every payload the rule reads must
+    be part of the key.
     """
 
     #: Finite, ordered state set.
     states: Sequence[Hashable] = ()
+    #: Finite, ordered accumulator state set, or ``None`` when the
+    #: accumulator space is unbounded/exotic (forces the scalar backend).
+    acc_states: Optional[Sequence[Hashable]] = None
     #: Evaluation semiring.
     semiring: Semiring = None  # type: ignore[assignment]
     #: Human-readable problem name (used by the Table-1 benchmark).
     name: str = "finite-state-dp"
+
+    def init_key(self, v: NodeInput) -> Optional[Hashable]:
+        """Cache key of ``node_init(v)``'s dense vector (``None``: no caching)."""
+        return None
+
+    def transition_key(self, v: NodeInput, edge: EdgeInfo) -> Optional[Hashable]:
+        """Cache key of ``transition``'s dense tensor for ``(v, edge)``."""
+        return None
+
+    def finalize_key(self, v: NodeInput) -> Optional[Hashable]:
+        """Cache key of ``finalize(v, ·)``'s dense matrix (``None``: no caching)."""
+        return None
+
+    def finalize_affine_key(self, v: NodeInput) -> Optional[Tuple[Hashable, float]]:
+        """Optional affine decomposition of ``finalize``'s node parameter.
+
+        Returns ``(structural_key, w)`` when the finalize values depend on
+        the node only through one scalar ``w`` (typically the node weight)
+        *linearly*: ``F(v) = F(v|w=0) + w * (F(v|w=1) - F(v|w=0))`` cell by
+        cell.  The dense backend then enumerates the two probe matrices once
+        per structural key (see :meth:`finalize_affine_probe`) and builds
+        every node's matrix — or a whole batch of them — with one fused
+        array expression.  Return ``None`` when finalize is not affine (the
+        backend falls back to :meth:`finalize_key` caching / enumeration).
+        Only meaningful for the tropical (min-plus / max-plus) semirings.
+        """
+        return None
+
+    def finalize_affine_probe(self, v: NodeInput, w: float) -> NodeInput:
+        """A copy of ``v`` whose scalar finalize parameter is ``w``.
+
+        Required when :meth:`finalize_affine_key` is implemented; called
+        once per structural key with ``w = 0.0`` and ``w = 1.0``.
+        """
+        raise NotImplementedError(
+            f"{self.name}: finalize_affine_key is declared but "
+            "finalize_affine_probe is not implemented"
+        )
 
     @abc.abstractmethod
     def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, Any]]:

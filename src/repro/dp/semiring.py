@@ -48,6 +48,14 @@ class Semiring:
     prefer:
         For selective semirings: ``prefer(a, b)`` is True when ``a`` is
         strictly better than ``b`` (used for deterministic argmax).
+    kernel:
+        Name of the dense array kernel evaluating this semiring
+        (``"min-plus"``, ``"max-plus"``, ``"sum-product"`` or ``"counting"``;
+        see :mod:`repro.dp.kernels`).  ``None`` marks an exotic semiring the
+        vectorized backend cannot represent; such problems always run on the
+        scalar path.
+    modulus:
+        The modulus of a ``"counting"`` kernel semiring (``None`` otherwise).
     """
 
     name: str
@@ -57,6 +65,8 @@ class Semiring:
     one: Any
     selective: bool
     prefer: Callable[[Any, Any], bool] = None  # type: ignore[assignment]
+    kernel: str = None  # type: ignore[assignment]
+    modulus: int = None  # type: ignore[assignment]
 
     def is_zero(self, x: Any) -> bool:
         return x == self.zero
@@ -102,6 +112,7 @@ MAX_PLUS = Semiring(
     one=0.0,
     selective=True,
     prefer=lambda a, b: a > b,
+    kernel="max-plus",
 )
 
 #: Minimisation problems (minimum dominating set, vertex cover, sum coloring).
@@ -113,6 +124,7 @@ MIN_PLUS = Semiring(
     one=0.0,
     selective=True,
     prefer=lambda a, b: a < b,
+    kernel="min-plus",
 )
 
 #: Plain counting / probability propagation.
@@ -123,6 +135,7 @@ SUM_PRODUCT = Semiring(
     zero=0,
     one=1,
     selective=False,
+    kernel="sum-product",
 )
 
 
@@ -137,4 +150,6 @@ def counting_mod(k: int) -> Semiring:
         zero=0,
         one=1 % k,
         selective=False,
+        kernel="counting",
+        modulus=k,
     )

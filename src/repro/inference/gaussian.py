@@ -14,7 +14,7 @@ derives from the parallel-Kalman literature.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Hashable, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -75,8 +75,16 @@ class GaussianFactor:
             return self
         keep = [v for v in self.vars if v not in drop]
         d = self.dim
-        keep_idx = np.concatenate([np.arange(self.vars.index(v) * d, (self.vars.index(v) + 1) * d) for v in keep]) if keep else np.array([], dtype=int)
-        drop_idx = np.concatenate([np.arange(self.vars.index(v) * d, (self.vars.index(v) + 1) * d) for v in drop])
+        keep_idx = (
+            np.concatenate(
+                [np.arange(self.vars.index(v) * d, (self.vars.index(v) + 1) * d) for v in keep]
+            )
+            if keep
+            else np.array([], dtype=int)
+        )
+        drop_idx = np.concatenate(
+            [np.arange(self.vars.index(v) * d, (self.vars.index(v) + 1) * d) for v in drop]
+        )
 
         Jaa = self.J[np.ix_(keep_idx, keep_idx)] if keep else np.zeros((0, 0))
         Jab = self.J[np.ix_(keep_idx, drop_idx)] if keep else np.zeros((0, len(drop_idx)))

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
 
 import numpy as np
 

@@ -20,11 +20,9 @@ the root; per-node posteriors are available from the sequential reference.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Optional, Tuple
 
-import numpy as np
 
-from repro.clustering.model import Element
 from repro.dp.problem import ClusterContext, ClusterDP
 from repro.inference.gaussian import GaussianFactor
 from repro.inference.model import LinearGaussianTreeModel

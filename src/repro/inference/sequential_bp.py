@@ -10,7 +10,7 @@ one cluster.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Tuple
+from typing import Hashable, Tuple
 
 import numpy as np
 

@@ -43,6 +43,11 @@ class MPCConfig:
     strict_bandwidth:
         If ``True``, a machine sending or receiving more than its capacity in
         one round raises; otherwise violations are recorded.
+    dp_backend:
+        Default local-solve backend for finite-state DP problems:
+        ``"auto"`` (vectorized NumPy kernels whenever the problem is
+        eligible, scalar fallback otherwise), ``"numpy"`` or ``"python"``.
+        See :mod:`repro.dp.kernels`.
     """
 
     n: int
@@ -52,6 +57,7 @@ class MPCConfig:
     min_machines: int = 4
     strict_memory: bool = False
     strict_bandwidth: bool = False
+    dp_backend: str = "auto"
 
     machine_capacity: int = field(init=False)
     num_machines: int = field(init=False)
@@ -61,6 +67,10 @@ class MPCConfig:
             raise ValueError(f"n must be positive, got {self.n}")
         if not (0.0 < self.delta < 1.0):
             raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        if self.dp_backend not in ("auto", "numpy", "python"):
+            raise ValueError(
+                f"dp_backend must be 'auto', 'numpy' or 'python', got {self.dp_backend!r}"
+            )
         cap = int(math.ceil(self.capacity_factor * self.n ** self.delta))
         self.machine_capacity = max(self.min_capacity, cap)
         machines = int(math.ceil(self.n / max(1, self.machine_capacity))) + 1
@@ -102,4 +112,5 @@ class MPCConfig:
             min_machines=self.min_machines,
             strict_memory=self.strict_memory,
             strict_bandwidth=self.strict_bandwidth,
+            dp_backend=self.dp_backend,
         )

@@ -27,7 +27,6 @@ word-size accounting uses :mod:`repro.mpc.words`.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.mpc.simulator import MPCSimulator
@@ -337,7 +336,9 @@ class DistributedArray:
             new_parts.append(out)
         return self._like(new_parts)
 
-    def reduce(self, value: Callable[[Any], Any], combine: Callable[[Any, Any], Any], init: Any) -> Any:
+    def reduce(
+        self, value: Callable[[Any], Any], combine: Callable[[Any, Any], Any], init: Any
+    ) -> Any:
         """Reduce all records to a single value on machine 0 (1 round)."""
         m = self.sim.num_machines
         local = []

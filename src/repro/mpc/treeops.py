@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.mpc.darray import DistributedArray
 from repro.mpc.simulator import MPCSimulator
@@ -79,7 +79,10 @@ def compute_depths(
     arr = DistributedArray.from_records(sim, records)
 
     n = len(records)
-    limit = max_iterations if max_iterations is not None else max(1, 2 + int(math.ceil(math.log2(max(2, n)))))
+    if max_iterations is not None:
+        limit = max_iterations
+    else:
+        limit = max(1, 2 + int(math.ceil(math.log2(max(2, n)))))
 
     for _ in range(limit):
         joined = arr.join(

@@ -27,11 +27,21 @@ class CountMatchingsModK(FiniteStateDP):
     """Number of matchings of the tree, modulo ``k``."""
 
     states = (MATCHED_UP, FREE)
+    acc_states = (_UNMATCHED, _MATCHED)
     name = "counting matchings modulo k"
 
     def __init__(self, k: int = 1_000_000_007):
         self.k = k
         self.semiring = counting_mod(k)
+
+    def init_key(self, v: NodeInput):
+        return ()
+
+    def transition_key(self, v: NodeInput, edge: EdgeInfo):
+        return ()  # the transition reads neither the node nor the edge
+
+    def finalize_key(self, v: NodeInput):
+        return (v.is_auxiliary,)
 
     def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, int]]:
         yield (_UNMATCHED, 1)

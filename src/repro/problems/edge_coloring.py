@@ -28,6 +28,12 @@ class EdgeColoring(FiniteStateDP):
     semiring = MAX_PLUS
     name = "edge coloring"
 
+    #: The accumulator is the *set* of colours used by child edges — an
+    #: exponentially large (2^k) space the dense kernels should not
+    #: enumerate; leaving acc_states undeclared keeps this problem on the
+    #: scalar backend, which only ever touches the reachable sets.
+    acc_states = None
+
     def __init__(self, k: int = 4):
         if k < 1:
             raise ValueError("edge coloring needs at least one colour")

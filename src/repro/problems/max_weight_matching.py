@@ -36,8 +36,19 @@ class MaxWeightMatching(FiniteStateDP):
     """Maximum-weight matching as a finite-state DP."""
 
     states = (MATCHED_UP, FREE)
+    acc_states = (_UNMATCHED, _MATCHED)
     semiring = MAX_PLUS
     name = "maximum-weight matching"
+
+    def init_key(self, v: NodeInput):
+        return ()
+
+    def transition_key(self, v: NodeInput, edge: EdgeInfo):
+        # The matched-child gain reads the edge weight, so it is part of the key.
+        return True if edge.is_auxiliary else (False, edge.weight(1.0))
+
+    def finalize_key(self, v: NodeInput):
+        return (v.is_auxiliary,)
 
     def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
         yield (_UNMATCHED, 0.0)

@@ -35,11 +35,36 @@ class MaximalIndependentSet(FiniteStateDP):
     """Maximal independent set as an LCL-style finite-state DP."""
 
     states = (IN, OUT_SAT, OUT_NEED)
+    #: (requirement, covered_from_below) pairs.
+    acc_states = tuple(
+        (req, cov) for req in (_FREE, _MUST_IN, _MUST_OUT) for cov in (False, True)
+    )
     semiring = MAX_PLUS
     name = "maximal independent set"
 
     def __init__(self, prefer_weight: bool = False):
         self.prefer_weight = prefer_weight
+
+    def init_key(self, v: NodeInput):
+        return ()
+
+    def transition_key(self, v: NodeInput, edge: EdgeInfo):
+        return (edge.is_auxiliary,)
+
+    def finalize_key(self, v: NodeInput):
+        if self.prefer_weight and not v.is_auxiliary:
+            return (False, v.weight(0.0))
+        return (v.is_auxiliary, 0.0)
+
+    def finalize_affine_key(self, v: NodeInput):
+        if self.prefer_weight and not v.is_auxiliary:
+            return (("weighted",), v.weight(0.0))
+        return (("plain",), 0.0)
+
+    def finalize_affine_probe(self, v: NodeInput, w: float) -> NodeInput:
+        if self.prefer_weight and not v.is_auxiliary:
+            return NodeInput(node=v.node, data=w, is_auxiliary=False)
+        return NodeInput(node=v.node, data=None, is_auxiliary=v.is_auxiliary)
 
     def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
         yield ((_FREE, False), 0.0)

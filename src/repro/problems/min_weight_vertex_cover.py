@@ -28,8 +28,24 @@ class MinWeightVertexCover(FiniteStateDP):
     """Minimum-weight vertex cover as a finite-state DP."""
 
     states = (IN, OUT)
+    acc_states = (_FREE, _MUST_IN, _MUST_OUT)
     semiring = MIN_PLUS
     name = "minimum-weight vertex cover"
+
+    def init_key(self, v: NodeInput):
+        return ()
+
+    def transition_key(self, v: NodeInput, edge: EdgeInfo):
+        return (edge.is_auxiliary,)
+
+    def finalize_key(self, v: NodeInput):
+        return (v.is_auxiliary, v.weight(0.0))
+
+    def finalize_affine_key(self, v: NodeInput):
+        return ((v.is_auxiliary,), 0.0 if v.is_auxiliary else v.weight(0.0))
+
+    def finalize_affine_probe(self, v: NodeInput, w: float) -> NodeInput:
+        return NodeInput(node=v.node, data=w, is_auxiliary=v.is_auxiliary)
 
     def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
         yield (_FREE, 0.0)

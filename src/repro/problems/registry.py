@@ -10,7 +10,7 @@ benchmark iterates over this registry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, List
 
 from repro.trees.tree import RootedTree
 
@@ -95,7 +95,10 @@ def table1_entries() -> List[Table1Entry]:
 
         rng = random.Random(seed)
         t = gen.random_attachment_tree(n, seed=seed)
-        node_data = {v: {"clauses": [(rng.random() < 0.5, round(rng.uniform(0, 5), 2))]} for v in t.nodes()}
+        node_data = {
+            v: {"clauses": [(rng.random() < 0.5, round(rng.uniform(0, 5), 2))]}
+            for v in t.nodes()
+        }
         edge_data = {
             e: {"clauses": [(rng.random() < 0.5, rng.random() < 0.5, round(rng.uniform(0, 5), 2))]}
             for e in t.edges()

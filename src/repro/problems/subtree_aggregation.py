@@ -14,11 +14,10 @@ The indegree-one cluster summaries are O(1)-word functions: affine maps
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from repro.dp.accumulation import DownwardAccumulationDP, UpwardAccumulationDP
 from repro.dp.problem import EdgeInfo, NodeInput
-from repro.trees.tree import RootedTree
 
 __all__ = ["SubtreeAggregate", "SubtreeSize", "NodeDepth", "RootToNodeSum"]
 

@@ -29,6 +29,28 @@ class SumColoring(FiniteStateDP):
             raise ValueError("sum coloring needs at least two colours")
         self.k = k
         self.states = tuple(range(1, k + 1))
+        self.acc_states = self.states  # the accumulator is the node's own colour
+
+    def init_key(self, v: NodeInput):
+        return ()
+
+    def transition_key(self, v: NodeInput, edge: EdgeInfo):
+        return (edge.is_auxiliary,)
+
+    def finalize_key(self, v: NodeInput):
+        if v.is_auxiliary:
+            return True
+        return (False, v.weight(1.0) if v.data is not None else 1.0)
+
+    def finalize_affine_key(self, v: NodeInput):
+        if v.is_auxiliary:
+            return (("aux",), 0.0)
+        return (("orig",), v.weight(1.0) if v.data is not None else 1.0)
+
+    def finalize_affine_probe(self, v: NodeInput, w: float) -> NodeInput:
+        if v.is_auxiliary:
+            return NodeInput(node=v.node, data=None, is_auxiliary=True)
+        return NodeInput(node=v.node, data=w, is_auxiliary=False)
 
     def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
         # The accumulator is the node's own colour.

@@ -22,8 +22,7 @@ maximum degree fits in one machine; the deviation is recorded in DESIGN.md.
 
 from __future__ import annotations
 
-import math
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List
 
 from repro.dp.accumulation import UpwardAccumulationDP
 from repro.dp.problem import NodeInput

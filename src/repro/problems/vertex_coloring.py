@@ -29,6 +29,16 @@ class VertexColoring(FiniteStateDP):
             raise ValueError("vertex coloring needs at least two colours")
         self.k = k
         self.states = tuple(range(1, k + 1))
+        self.acc_states = self.states  # the accumulator is the node's own colour
+
+    def init_key(self, v: NodeInput):
+        return True if v.is_auxiliary else (False, tuple(self._allowed(v)))
+
+    def transition_key(self, v: NodeInput, edge: EdgeInfo):
+        return (edge.is_auxiliary,)
+
+    def finalize_key(self, v: NodeInput):
+        return ()
 
     def _allowed(self, v: NodeInput):
         if isinstance(v.data, dict) and "allowed" in v.data:

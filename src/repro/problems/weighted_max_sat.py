@@ -46,8 +46,20 @@ class WeightedMaxSAT(FiniteStateDP):
     """Weighted max-SAT over a tree-structured clause set."""
 
     states = (TRUE, FALSE)
+    #: The accumulator is the node's own truth value.
+    acc_states = (TRUE, FALSE)
     semiring = MAX_PLUS
     name = "weighted max-SAT"
+
+    def init_key(self, v: NodeInput):
+        return ()
+
+    def transition_key(self, v: NodeInput, edge: EdgeInfo):
+        # Binary clauses live on the edge; the scored gain depends on them.
+        return True if edge.is_auxiliary else (False, tuple(_edge_clauses(edge)))
+
+    def finalize_key(self, v: NodeInput):
+        return True if v.is_auxiliary else (False, tuple(_unit_clauses(v)))
 
     def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
         # The accumulator is the node's own truth value, chosen up front.

@@ -15,7 +15,7 @@ under its parent), so the check composes along the tree bottom-up.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set
 
 from repro.dp.accumulation import UpwardAccumulationDP
 from repro.dp.problem import NodeInput
@@ -51,7 +51,10 @@ class XMLSchema:
 
 
 def _tag(tree_or_input, v=None) -> str:
-    data = tree_or_input.data if isinstance(tree_or_input, NodeInput) else tree_or_input.node_data.get(v)
+    if isinstance(tree_or_input, NodeInput):
+        data = tree_or_input.data
+    else:
+        data = tree_or_input.node_data.get(v)
     if isinstance(data, dict) and "tag" in data:
         return str(data["tag"])
     return "node"

@@ -12,8 +12,8 @@ Using the paper's example tree T (Fig. 4) with nodes 1..5 rooted at 3:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
 
 __all__ = [
     "Representation",

@@ -22,7 +22,7 @@ host-side reference computations while charging the corresponding rounds.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional
 
 from repro.mpc.simulator import MPCSimulator
 from repro.representations.base import (

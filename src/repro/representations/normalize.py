@@ -18,7 +18,7 @@ DP engine is a rooted tree given as a list of directed child→parent edges.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Hashable, List, Optional, Tuple, Union
 
 from repro.mpc.darray import DistributedArray
 from repro.mpc.simulator import MPCSimulator

@@ -10,7 +10,7 @@ implementations are directly comparable.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from typing import Hashable, List, Tuple
 
 from repro.trees.tree import RootedTree
 

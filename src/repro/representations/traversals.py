@@ -10,7 +10,7 @@ representation benchmarks).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional, Tuple
 
 from repro.representations.base import BFSTraversal, DFSTraversal, PointersToParents
 from repro.trees.tree import RootedTree

@@ -8,7 +8,7 @@ recursion, so deep paths do not hit Python's recursion limit).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List
 
 from repro.trees.tree import RootedTree
 

@@ -10,7 +10,7 @@ values (typically integers).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["RootedTree"]
 

@@ -6,7 +6,7 @@ informative errors) and by property-based tests.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence, Tuple
 
 from repro.trees.tree import RootedTree
 

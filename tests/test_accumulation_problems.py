@@ -8,7 +8,12 @@ from repro.problems.expression_evaluation import (
     ArithmeticExpressionEvaluation,
     evaluate_expression_tree,
 )
-from repro.problems.subtree_aggregation import NodeDepth, RootToNodeSum, SubtreeAggregate, SubtreeSize
+from repro.problems.subtree_aggregation import (
+    NodeDepth,
+    RootToNodeSum,
+    SubtreeAggregate,
+    SubtreeSize,
+)
 from repro.problems.tree_median import TreeMedian, lower_median, sequential_tree_median
 from repro.problems.xml_validation import XMLSchema, XMLStructureValidation, validate_xml_tree
 from repro.trees import generators as gen
@@ -113,7 +118,12 @@ class TestExpressionEvaluation:
 
 class TestXMLValidation:
     SCHEMA = XMLSchema(
-        allowed_children={"book": {"chapter"}, "chapter": {"section"}, "section": {"para"}, "para": set()},
+        allowed_children={
+            "book": {"chapter"},
+            "chapter": {"section"},
+            "section": {"para"},
+            "para": set(),
+        },
         allowed_root={"book"},
         max_children={"book": 50, "chapter": 50, "section": 50, "para": 0},
     )

@@ -1,6 +1,5 @@
 """Tests of the distributed-array primitives (sort, group, join, prefix sums)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mpc.config import MPCConfig

@@ -73,6 +73,24 @@ class TestRoundAccounting:
         # (thresholds are floored for small n), never proportionally to n.
         assert r_large <= r_small + 4 * ROUNDS_PER_LAYER
 
+    def test_dp_rounds_charged_under_stable_label(self):
+        """Engine rounds are charged under the "dp-pass" label, per pass.
+
+        Benchmarks key on this label to separate DP rounds from clustering
+        rounds; it is part of the engine's public accounting contract and
+        identical for both local-solve backends.
+        """
+        tree = gen.with_random_weights(gen.random_attachment_tree(200, seed=12), seed=12)
+        for backend in ("python", "numpy"):
+            prepared = prepare(tree, backend=backend)
+            res = solve_on(prepared, MaxWeightIndependentSet())
+            charged = prepared.sim.stats.charged_by_label
+            assert "dp-pass" in charged
+            layers = prepared.clustering.num_layers
+            # bottom-up + top-down, ROUNDS_PER_LAYER each
+            assert charged["dp-pass"] == 2 * layers * ROUNDS_PER_LAYER
+            assert charged["dp-pass"] == res.rounds["dp"]
+
     def test_value_only_problems_use_half_the_passes(self):
         from repro.problems.counting_matchings import CountMatchingsModK
 

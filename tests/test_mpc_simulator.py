@@ -102,6 +102,49 @@ class TestSimulator:
         with pytest.raises(CapacityViolation):
             sim.superstep(flood)
 
+
+class TestCapacityViolations:
+    """Strict-mode raises and lenient-mode recording of both capacity caps."""
+
+    def _flood(self, sim):
+        def compute(machine):
+            return [(0, tuple(range(50))) for _ in range(20)]
+
+        return compute
+
+    def test_strict_memory_raises_on_scatter_overload(self):
+        sim = MPCSimulator(
+            MPCConfig(n=16, delta=0.5, strict_memory=True, min_capacity=8, min_machines=2)
+        )
+        with pytest.raises(CapacityViolation, match="memory cap"):
+            sim.scatter([tuple(range(64)) for _ in range(200)])
+
+    def test_strict_memory_raises_on_observed_loads(self):
+        sim = MPCSimulator(
+            MPCConfig(n=16, delta=0.5, strict_memory=True, min_capacity=8, min_machines=2)
+        )
+        with pytest.raises(CapacityViolation, match="memory cap"):
+            sim.observe_loads([10 * sim.machine_capacity])
+
+    def test_lenient_memory_records_violation(self):
+        sim = MPCSimulator(MPCConfig(n=16, delta=0.5, min_capacity=8, min_machines=2))
+        sim.scatter([tuple(range(64)) for _ in range(200)])
+        assert sim.stats.memory_violations >= 1
+        assert sim.stats.peak_machine_words > sim.machine_capacity
+
+    def test_lenient_bandwidth_records_violation(self):
+        sim = MPCSimulator(MPCConfig(n=64, delta=0.5, min_capacity=8))
+        sim.scatter(list(range(64)))
+        sim.superstep(self._flood(sim))
+        assert sim.stats.bandwidth_violations >= 1
+        assert sim.stats.peak_round_send_words > sim.machine_capacity
+
+    def test_strict_bandwidth_message_names_round(self):
+        sim = MPCSimulator(MPCConfig(n=64, delta=0.5, strict_bandwidth=True, min_capacity=8))
+        sim.scatter(list(range(64)))
+        with pytest.raises(CapacityViolation, match="bandwidth cap"):
+            sim.superstep(self._flood(sim))
+
     def test_snapshot_diff(self, simulator):
         snap = simulator.snapshot()
         simulator.charge_rounds(2)

@@ -30,7 +30,6 @@ from repro.problems.min_weight_vertex_cover import (
     sequential_min_weight_vertex_cover,
 )
 from repro.trees import generators as gen
-from repro.trees.tree import RootedTree
 
 from tests.conftest import FAMILIES, FAMILY_IDS
 
@@ -153,7 +152,11 @@ def brute_force_optimum(tree, kind):
 @settings(max_examples=40, deadline=None)
 def test_against_exponential_brute_force(n, seed, kind):
     tree = gen.with_random_weights(gen.random_attachment_tree(n, seed=seed), seed=seed)
-    problem = {"is": MaxWeightIndependentSet, "vc": MinWeightVertexCover, "ds": MinWeightDominatingSet}[kind]()
+    problem = {
+        "is": MaxWeightIndependentSet,
+        "vc": MinWeightVertexCover,
+        "ds": MinWeightDominatingSet,
+    }[kind]()
     res = solve(tree, problem)
     assert res.value == pytest.approx(brute_force_optimum(tree, kind), rel=1e-9, abs=1e-9)
 

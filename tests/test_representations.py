@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.representations.base import (
     BFSTraversal,
-    DFSTraversal,
     ListOfEdges,
     PointersToParents,
     StringOfParentheses,
@@ -103,7 +102,9 @@ class TestTraversals:
         with pytest.raises(ValueError):
             traversals.bfs_traversal_to_edges(BFSTraversal([None, 99]))
         with pytest.raises(ValueError):
-            traversals.pointers_to_edges(PointersToParents(parents=[None, "zzz"], labels=["a", "b"]))
+            traversals.pointers_to_edges(
+                PointersToParents(parents=[None, "zzz"], labels=["a", "b"])
+            )
 
 
 class TestNormalizeDispatcher:
@@ -139,12 +140,19 @@ class TestExport:
         sim = make_sim(60)
         # pointers
         ptr = export.to_pointers_to_parents(t, sim)
-        back = RootedTree.from_edges(traversals.pointers_to_edges(ptr), root=t.root) if t.num_nodes > 1 else t
+        back = (
+            RootedTree.from_edges(traversals.pointers_to_edges(ptr), root=t.root)
+            if t.num_nodes > 1
+            else t
+        )
         assert_same_tree(t, back)
         # BFS / DFS ranks must be consistent parent references
         bfs = export.to_bfs_traversal(t, sim)
         dfs = export.to_dfs_traversal(t, sim)
-        for rep, decode in [(bfs, traversals.bfs_traversal_to_edges), (dfs, traversals.dfs_traversal_to_edges)]:
+        for rep, decode in [
+            (bfs, traversals.bfs_traversal_to_edges),
+            (dfs, traversals.dfs_traversal_to_edges),
+        ]:
             if t.num_nodes == 1:
                 continue
             rebuilt = RootedTree.from_edges(decode(rep), root=1)

@@ -2,11 +2,22 @@
 
 import pytest
 
-from repro.core.pipeline import solve
+from repro.core.pipeline import prepare, solve, solve_on
+from repro.dp.local_solver import backend_ineligibility
+from repro.dp.problem import FiniteStateDP
 from repro.problems.registry import table1_entries
 from repro.problems.xml_validation import XMLStructureValidation
 
 ENTRIES = [e for e in table1_entries() if "Bayesian" not in e.name]
+
+#: Entries eligible for the vectorized backend (finite-state problems with a
+#: declared accumulator space and a dense-kernel semiring).
+KERNEL_ENTRIES = [
+    e
+    for e in ENTRIES
+    if isinstance(e.make_problem(), FiniteStateDP)
+    and backend_ineligibility(e.make_problem()) is None
+]
 
 
 @pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
@@ -20,6 +31,43 @@ def test_registry_entry_end_to_end(entry):
     assert entry.compare(result, reference, tree), (
         f"{entry.name}: framework value {result.value!r} vs reference {reference!r}"
     )
+
+
+@pytest.mark.parametrize("n,seed", [(60, 3), (150, 11)], ids=["n60", "n150"])
+@pytest.mark.parametrize("entry", KERNEL_ENTRIES, ids=[e.name for e in KERNEL_ENTRIES])
+def test_numpy_backend_bit_identical_to_python(entry, n, seed):
+    """Dense kernels reproduce the scalar path exactly: values AND labels.
+
+    The two backends share canonical (state-id) tie-breaking and associate
+    float operations identically, so the comparison is ``==``, not approx.
+    """
+    tree = entry.make_tree(n, seed)
+    prepared = prepare(tree, degree_reduction=entry.degree_reduction)
+
+    def make():
+        p = entry.make_problem()
+        return p.bind(tree) if isinstance(p, XMLStructureValidation) else p
+
+    res_py = solve_on(prepared, make(), backend="python")
+    res_np = solve_on(prepared, make(), backend="numpy")
+    assert res_py.value == res_np.value
+    assert res_py.root_label == res_np.root_label
+    assert res_py.edge_labels == res_np.edge_labels
+    assert res_py.node_labels == res_np.node_labels
+
+
+def test_kernel_eligibility_covers_the_finite_state_rows():
+    """Every finite-state Table-1 problem except edge coloring is vectorized.
+
+    Edge coloring's accumulator (the set of used colours) is exponential in
+    k, so it intentionally stays on the scalar path.
+    """
+    names = {e.name for e in KERNEL_ENTRIES}
+    finite_state = {
+        e.name for e in ENTRIES if isinstance(e.make_problem(), FiniteStateDP)
+    }
+    assert finite_state - names == {"Edge coloring"}
+    assert len(names) >= 9
 
 
 def test_registry_covers_the_papers_table():

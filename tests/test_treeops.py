@@ -1,12 +1,8 @@
 """Tests of the distributed tree subroutines (depths, capped gather, path positions)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mpc.config import MPCConfig
-from repro.mpc.simulator import MPCSimulator
 from repro.mpc.treeops import (
     capped_subtree_gather,
     compute_depths,

@@ -111,8 +111,6 @@ class TestGenerators:
 
 class TestProperties:
     def test_diameter_matches_bruteforce_on_random_trees(self):
-        import itertools
-
         for seed in range(5):
             t = gen.random_attachment_tree(40, seed=seed)
             # brute force: BFS from every node
