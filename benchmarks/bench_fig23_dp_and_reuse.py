@@ -27,8 +27,12 @@ def _dp_rounds_vs_n():
         prepared = prepare(tree)
         res = solve_on(prepared, MaxWeightIndependentSet())
         rows.append(
-            (n, prepared.clustering.num_layers, res.rounds["dp"],
-             2 * prepared.clustering.num_layers * ROUNDS_PER_LAYER)
+            (
+                n,
+                prepared.clustering.num_layers,
+                res.rounds["dp"],
+                2 * prepared.clustering.num_layers * ROUNDS_PER_LAYER,
+            )
         )
     return rows
 

@@ -41,8 +41,15 @@ def _high_degree():
             aux = len(prepared.reduction.aux_nodes)
             ok = "ok" if abs(res.value - ref) < 1e-6 else "MISMATCH"
             rows.append(
-                (name, problem_cls().name, max_degree(tree), aux,
-                 f"{res.value:.3f}", f"{ref:.3f}", ok)
+                (
+                    name,
+                    problem_cls().name,
+                    max_degree(tree),
+                    aux,
+                    f"{res.value:.3f}",
+                    f"{ref:.3f}",
+                    ok,
+                )
             )
     return rows
 
@@ -68,8 +75,14 @@ def _memory_sweep():
         stats = prepared.sim.stats
         cap = prepared.sim.machine_capacity
         rows.append(
-            (n, prepared.sim.num_machines, cap, stats.peak_machine_words,
-             f"{stats.peak_machine_words / cap:.1f}x", stats.peak_round_recv_words)
+            (
+                n,
+                prepared.sim.num_machines,
+                cap,
+                stats.peak_machine_words,
+                f"{stats.peak_machine_words / cap:.1f}x",
+                stats.peak_round_recv_words,
+            )
         )
     return rows
 
@@ -78,8 +91,14 @@ def test_memory_scaling(benchmark):
     rows = run_once(benchmark, _memory_sweep)
     print_table(
         "MPC memory — peak per-machine words vs the Theta(n^delta) capacity",
-        ["n", "machines", "capacity (words)", "peak load (words)", "load/capacity",
-         "peak recv/round"],
+        [
+            "n",
+            "machines",
+            "capacity (words)",
+            "peak load (words)",
+            "load/capacity",
+            "peak recv/round",
+        ],
         rows,
     )
     emit_json("memory_scaling", {"rows": rows})

@@ -34,8 +34,15 @@ def _tree_median_sweep():
         ref = sequential_tree_median(tree)
         exact = all(abs(res.output["medians"][v] - ref[v]) < 1e-9 for v in tree.nodes())
         rows.append(
-            (name, diameter(tree), max_degree(tree), f"{res.value:.3f}", f"{ref[tree.root]:.3f}",
-             "exact" if exact else "MISMATCH", res.total_rounds)
+            (
+                name,
+                diameter(tree),
+                max_degree(tree),
+                f"{res.value:.3f}",
+                f"{ref[tree.root]:.3f}",
+                "exact" if exact else "MISMATCH",
+                res.total_rounds,
+            )
         )
     return rows
 

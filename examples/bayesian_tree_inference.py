@@ -33,8 +33,10 @@ def main() -> None:
     print(f"MPC rounds: {result.rounds}")
 
     ref_mean, ref_cov = root_posterior_reference(model)
-    print(f"max |error| vs dense reference: "
-          f"mean {np.max(np.abs(mean - ref_mean)):.2e}, cov {np.max(np.abs(cov - ref_cov)):.2e}")
+    print(
+        f"max |error| vs dense reference: "
+        f"mean {np.max(np.abs(mean - ref_mean)):.2e}, cov {np.max(np.abs(cov - ref_cov)):.2e}"
+    )
 
 
 if __name__ == "__main__":

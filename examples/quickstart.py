@@ -25,12 +25,16 @@ def main() -> None:
 
     # 3. Solve problems on the prepared clustering (O(1) rounds per layer each).
     mis = solve_on(prepared, MaxWeightIndependentSet())
-    print(f"max-weight independent set: weight={mis.value:.3f}, "
-          f"|S|={len(mis.output['independent_set'])}, dp rounds={mis.rounds['dp']}")
+    print(
+        f"max-weight independent set: weight={mis.value:.3f}, "
+        f"|S|={len(mis.output['independent_set'])}, dp rounds={mis.rounds['dp']}"
+    )
 
     vc = solve_on(prepared, MinWeightVertexCover())
-    print(f"min-weight vertex cover:    weight={vc.value:.3f}, "
-          f"|C|={len(vc.output['vertex_cover'])}, dp rounds={vc.rounds['dp']}")
+    print(
+        f"min-weight vertex cover:    weight={vc.value:.3f}, "
+        f"|C|={len(vc.output['vertex_cover'])}, dp rounds={vc.rounds['dp']}"
+    )
 
     # 4. Per-node outputs are the edge labels of the paper.
     in_set = [v for v, s in mis.node_labels.items() if s == "in"]

@@ -33,8 +33,10 @@ def main() -> None:
     for name, (rep, root) in representations.items():
         sim = MPCSimulator(MPCConfig(n=tree.num_nodes))
         normalized = normalize_to_rooted_tree(sim, rep, root=root)
-        print(f"  {name:30s} -> n={normalized.num_nodes:5d}  "
-              f"rounds={sim.stats.rounds:3d} (+{sim.stats.charged_rounds} charged)")
+        print(
+            f"  {name:30s} -> n={normalized.num_nodes:5d}  "
+            f"rounds={sim.stats.rounds:3d} (+{sim.stats.charged_rounds} charged)"
+        )
 
     print("\nSection 6.3 — exporting the standard representation:")
     sim = MPCSimulator(MPCConfig(n=tree.num_nodes))

@@ -21,8 +21,10 @@ def main() -> None:
     prepared = prepare(tree, degree_reduction=False)
 
     median = solve_on(prepared, TreeMedian())
-    print(f"median reported at the root: {median.value:.3f} "
-          f"(dp rounds = {median.rounds['dp']})")
+    print(
+        f"median reported at the root: {median.value:.3f} "
+        f"(dp rounds = {median.rounds['dp']})"
+    )
     assert abs(median.value - sequential_tree_median(tree)[tree.root]) < 1e-9
 
     # The same clustering is reused for the other aggregates; only leaves carry

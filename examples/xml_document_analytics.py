@@ -57,8 +57,10 @@ def main() -> None:
     valid_prepared = prepare(tagged, degree_reduction=False)
     validation = solve_on(valid_prepared, XMLStructureValidation(schema).bind(valid_prepared.tree))
     assert bool(validation.value) == validate_xml_tree(tagged, schema)
-    print(f"schema validation: {'valid' if validation.value else 'INVALID'} "
-          f"(dp rounds = {validation.rounds['dp']})")
+    print(
+        f"schema validation: {'valid' if validation.value else 'INVALID'} "
+        f"(dp rounds = {validation.rounds['dp']})"
+    )
 
     # Per-subtree statistics: how many elements below each element?
     sizes = solve_on(prepared, SubtreeSize()).output["subtree_values"]

@@ -44,7 +44,10 @@ class DegreeReductionResult:
     ----------
     tree:
         The degree-reduced tree.  Node data of original nodes is preserved;
-        auxiliary nodes have no node data.
+        auxiliary nodes have no node data.  Edge data follows the rerouting:
+        the payload of an original edge ``(c, p)`` lives on the reduced edge
+        from ``c`` to its new (possibly auxiliary) parent; edges between
+        auxiliary nodes carry none.
     edge_kinds:
         ``(child, parent) -> EdgeKind`` for every edge of the reduced tree.
     original_parent:
@@ -157,11 +160,18 @@ def reduce_degrees(
                 next_work.append(u)
         work = next_work
 
+    # Re-key edge payloads to the rerouted edges: the data of an original
+    # edge (c, p) belongs to the logical connection between c and p, which in
+    # the reduced tree is the edge from c to its (possibly auxiliary) new
+    # parent — keeping the dict keyed by the old edge would silently drop
+    # the payload (e.g. max-SAT clause weights) for every rerouted child.
+    # Auxiliary-to-anything edges carry no payload.
+    edge_data = {(c, parent[c]): data for (c, _p), data in tree.edge_data.items()}
     reduced = RootedTree(
         root=tree.root,
         parent=parent,
         node_data=dict(tree.node_data),
-        edge_data=dict(tree.edge_data),
+        edge_data=edge_data,
     )
     reduced.validate()
     return DegreeReductionResult(

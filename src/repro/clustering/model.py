@@ -133,12 +133,18 @@ class Cluster:
         default=None, init=False, repr=False, compare=False
     )
     # Problem-independent local-solve plan built by ClusterContext.local_plan()
-    # (postorder entries with prefetched node inputs / edge infos), and the
-    # hole-to-top element path (ClusterContext.hole_path()).
+    # (postorder entries with prefetched node inputs / edge infos), the
+    # hole-to-top element path (ClusterContext.hole_path()), and the ordered
+    # hole-path plan used by the layer-wide batched hole-path evaluation
+    # (ClusterContext.hole_plan(): one entry per path element, hole first,
+    # each tagged with the path child it absorbs).
     _local_plan: Optional[List[Any]] = field(
         default=None, init=False, repr=False, compare=False
     )
     _hole_path: Optional[frozenset] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _hole_plan: Optional[List[Any]] = field(
         default=None, init=False, repr=False, compare=False
     )
 

@@ -16,6 +16,7 @@ the benchmarks can regenerate the paper's round-complexity claims.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple, Union
 
@@ -29,7 +30,7 @@ from repro.dp.accumulation import (
     UpwardAccumulationSolver,
 )
 from repro.dp.engine import DPEngine, SolveResult
-from repro.dp.local_solver import FiniteStateClusterSolver
+from repro.dp.local_solver import FiniteStateClusterSolver, backend_ineligibility
 from repro.dp.problem import ClusterDP, FiniteStateDP
 from repro.mpc.config import MPCConfig
 from repro.mpc.simulator import MPCSimulator, RoundStats
@@ -236,11 +237,26 @@ def solve_many(
     """Solve several problems while reusing one clustering (paper §1.4).
 
     Beyond sharing the clustering, repeated solves amortize the per-cluster
-    element-tree traversal: children lists, absorption order and postorder
-    are computed once per cluster and cached on the
+    element-tree traversal: children lists, absorption order, postorder and
+    the hole-path plans are computed once per cluster and cached on the
     :class:`~repro.clustering.model.Cluster` objects, so every problem (and
     both DP passes) reuses them.
+
+    The whole batch is validated up front — unsupported problem types raise
+    *before* any solve runs, rather than crashing mid-batch with part of the
+    work done.  A batch-wide ``backend="numpy"`` request is validated per
+    problem: a problem that cannot run on the dense backend (no
+    ``acc_states``, exotic semiring) falls back to the scalar backend for
+    that problem only, with a :class:`RuntimeWarning`, instead of aborting
+    the batch.  The cached traversal plans are backend-independent, so the
+    fallback never mixes plan state between the two paths.
     """
+    problems = list(problems)
+    supported = (ClusterDP, FiniteStateDP, UpwardAccumulationDP, DownwardAccumulationDP)
+    bad = [type(p).__name__ for p in problems if not isinstance(p, supported)]
+    if bad:
+        raise TypeError(f"solve_many: unsupported problem type(s): {', '.join(bad)}")
+
     prepared = prepare(
         tree_or_representation,
         delta=delta,
@@ -251,7 +267,25 @@ def solve_many(
     out: Dict[str, PipelineResult] = {}
     for problem in problems:
         name = getattr(problem, "name", type(problem).__name__)
-        out[name] = solve_on(prepared, problem, backend=backend)
+        problem_backend = backend
+        if backend == "numpy" and isinstance(problem, FiniteStateDP):
+            why_not = backend_ineligibility(problem)
+            if why_not is not None:
+                warnings.warn(
+                    f"solve_many: {name} cannot use the numpy backend ({why_not}); "
+                    "falling back to the scalar backend for this problem",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                problem_backend = "python"
+        if name in out:
+            warnings.warn(
+                f"solve_many: duplicate problem name {name!r} — the earlier "
+                "result is overwritten",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        out[name] = solve_on(prepared, problem, backend=problem_backend)
     return out
 
 

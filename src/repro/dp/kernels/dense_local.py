@@ -23,6 +23,16 @@ element-tree walk, with four structural speedups:
   signature (transition/finalize cache keys), and each group is solved as
   one stacked array program — thousands of per-node table builds become a
   handful of broadcasts per layer.
+* **Layer-wide hole paths.**  The per-cluster hole-path walks are batched
+  the same way: the ``(H, S)`` hole tables of all indegree-one clusters in
+  a layer are stacked into one ``(C, H, S)`` tensor, path elements are
+  grouped by (depth along the path, rule signature) — depth plays the role
+  height plays off the paths — and each group runs through the semiring
+  kernels as one ``(C, H, ...)`` array program, with traces recorded per
+  cluster row so the top-down labeling pass is unchanged.  Affine rule
+  decompositions (finalize *and* transition) let nodes whose rules differ
+  only in a weight vector share one group: their tables are composed as
+  ``base + Σ_k w_k * mask_k`` from per-structural-key probe tensors.
 
 Summaries are ``{"kind": "vec"|"mat", "dense": ndarray}``; ``vec`` is a
 ``(S,)`` vector over top-node states, ``mat`` a ``(S, S)`` matrix over (top
@@ -86,6 +96,9 @@ class DenseClusterKernel:
         self.aspace = StateSpace(problem.acc_states)
         self.tensors = ProblemTensors(problem, kernel, self.sspace, self.aspace)
         self.selective = problem.semiring.selective
+        # Hoisted hook-override flags (hot in _node_signature).
+        self._trans_affine = self.tensors.has_transition_affine
+        self._fin_affine = self.tensors.has_finalize_affine
         # Hole pseudo-child tables: all hole states at once (batched summarize
         # of indegree-one clusters) resp. one row per fixed hole state.
         S = len(self.sspace)
@@ -202,7 +215,7 @@ class DenseClusterKernel:
             hole_path = ctx.hole_path() if ctx.is_indegree_one else frozenset()
             for kind, e, payload, h in ctx.local_plan():
                 if e in hole_path:
-                    continue  # hole-batched rows: per-cluster walk
+                    continue  # hole-batched rows: the depth scheduler below
                 if kind == "leaf":
                     tables[i][e] = self._dense_vec(ctx.summary_of(e)).reshape(1, -1)
                     traces[i][e] = None
@@ -215,11 +228,11 @@ class DenseClusterKernel:
                     level[0].append((i, ctx, e, payload))
                     continue
                 inp, children = payload
-                sig, w = self._node_signature(inp, children)
+                sig, aff = self._node_signature(inp, children)
                 if sig is None:
                     level[1].append((i, e, inp, children))  # uncacheable rules
                 else:
-                    level[2].setdefault(sig, []).append((i, e, inp, children, w))
+                    level[2].setdefault(sig, []).append((i, e, inp, children, aff))
 
         for h in sorted(levels):
             mats, singles, groups = levels[h]
@@ -235,38 +248,167 @@ class DenseClusterKernel:
                 if len(members) == 1:
                     # The stacked program has more fixed overhead than the
                     # per-node path; fragmented key spaces go straight there.
-                    i, e, inp, children, _w = members[0]
+                    i, e, inp, children, _aff = members[0]
                     tables[i][e], traces[i][e] = self._node_once(
                         inp, children, None, None, tables[i]
                     )
                 else:
                     self._solve_group(sig, members, tables, traces)
 
+        self._schedule_hole_paths(ctxs, tables, traces)
         return tables, traces
 
+    def _schedule_hole_paths(self, ctxs, tables, traces) -> None:
+        """Batch the hole-path elements of the layer's indegree-one clusters.
+
+        All off-path tables are already in place, so a path element only
+        waits for the previous element of its own path: entries of equal
+        *depth along the path* are mutually independent across the whole
+        layer and are grouped like the off-path levels — stacked mat solves
+        for sub-cluster elements, signature groups for node elements — with
+        every row of the stacked ``(C, H, ...)`` arrays carrying one
+        cluster's full hole batch.
+        """
+        paths = [
+            (i, ctx, ctx.hole_plan()) for i, ctx in enumerate(ctxs) if ctx.is_indegree_one
+        ]
+        if not paths:
+            return
+        for depth in range(max(len(plan) for _i, _ctx, plan in paths)):
+            mats: list = []
+            singles: list = []
+            groups: Dict[Any, list] = {}
+            for i, ctx, plan in paths:
+                if depth >= len(plan):
+                    continue
+                kind, e, payload, path_child = plan[depth]
+                if kind == "mat":
+                    # payload is the single child element; None when the hole
+                    # attaches here (then path_child is None too: depth 0).
+                    mats.append((i, ctx, e, payload))
+                    continue
+                inp, children = payload
+                if path_child is None:
+                    # The hole element: the hole pseudo-child is absorbed
+                    # last, through the incoming edge (as in _node_once).
+                    children = children + ((HOLE, ctx.in_edge),)
+                    path_idx = len(children) - 1
+                else:
+                    path_idx = next(
+                        j for j, (c, _edge) in enumerate(children) if c == path_child
+                    )
+                sig, aff = self._node_signature(inp, children)
+                if sig is None:
+                    singles.append((i, e, inp, children))
+                else:
+                    # path_idx keys which absorption step carries the (H, S)
+                    # hole rows, so stacked row shapes agree within a group.
+                    groups.setdefault((path_idx, sig), []).append(
+                        (i, e, inp, children, aff)
+                    )
+            if len(mats) == 1:
+                i, ctx, e, child = mats[0]
+                hole = self._hole_batch if child is None else None
+                tables[i][e], traces[i][e] = self._mat_once(ctx, e, child, hole, tables[i])
+            elif mats:
+                self._solve_mat_group(mats, tables, traces)
+            for i, e, inp, children in singles:
+                tables[i][e], traces[i][e] = self._node_with_hole(inp, children, tables[i])
+            for (_path_idx, sig), members in groups.items():
+                if len(members) == 1:
+                    i, e, inp, children, _aff = members[0]
+                    tables[i][e], traces[i][e] = self._node_with_hole(
+                        inp, children, tables[i]
+                    )
+                else:
+                    self._solve_group(sig, members, tables, traces)
+
+    def _node_with_hole(self, inp, children, tables):
+        """Per-element solve for a hole-path node (children may end in HOLE)."""
+        if children and children[-1][0] == HOLE:
+            return self._node_once(
+                inp, children[:-1], self._hole_batch, children[-1][1], tables
+            )
+        return self._node_once(inp, children, None, None, tables)
+
+    def _solve_mat_group(self, members, tables, traces) -> None:
+        """One stacked solve for a depth's indegree-one sub-cluster elements."""
+        kernel = self.kernel
+        mats = np.stack(
+            [self._dense_mat(ctx.summary_of(e)) for _i, ctx, e, _child in members]
+        )  # (n, S_top, S_below)
+        if members[0][3] is None:
+            below = self._hole_batch[None]  # depth 0: the shared hole batch
+        else:
+            below = np.stack([tables[i][child] for i, _ctx, _e, child in members])
+        cand = kernel.combine(mats[:, None, :, :], below[:, :, None, :])
+        vec = kernel.reduce(cand, axis=3)  # (n, H, S_top)
+        bp = kernel.argreduce(cand, axis=3) if self.selective else None
+        for j, (i, _ctx, e, child) in enumerate(members):
+            trace = None
+            if self.selective:
+                trace = _Trace("mat")
+                trace.child = HOLE if child is None else child
+                trace.bp = bp[j]
+                trace.vec = vec[j]
+            tables[i][e] = vec[j]
+            traces[i][e] = trace
+
     def _node_signature(self, inp, children) -> Tuple[Optional[Hashable], Any]:
-        """Structural signature grouping nodes with identical rule tensors."""
+        """Structural signature grouping nodes with identical rule tensors.
+
+        Returns ``(sig, (fin_w, trans_ws))``: nodes share a group iff their
+        ``sig`` is equal; the second component carries the per-node affine
+        weights (finalize weight(s) and one weight vector per child whose
+        transition is affine, ``None`` where the plain key cache applies)
+        that :meth:`_solve_group` composes into the group's stacked tensors.
+        """
         problem = self.problem
+        trans_affine = self._trans_affine
         init_key = problem.init_key(inp)
         if init_key is None:
             return None, None
-        tkeys = []
+        tparts = []
+        tws = []
         for _child, edge in children:
+            ta = (
+                problem.transition_affine_key(inp, edge)
+                if trans_affine and edge is not None
+                else None
+            )
+            if ta is not None:
+                tparts.append(("ta", ta[0]))
+                tws.append(tuple(ta[1]))
+                continue
             tk = problem.transition_key(inp, edge)
             if tk is None:
                 return None, None
-            tkeys.append(tk)
-        if self.tensors.affine_enabled:
+            tparts.append(("tk", tk))
+            tws.append(None)
+        if self._fin_affine:
             aff = problem.finalize_affine_key(inp)
             if aff is not None:
-                return ("a", aff[0], init_key, tuple(tkeys)), aff[1]
+                return ("a", aff[0], init_key, tuple(tparts)), (aff[1], tuple(tws))
         fin_key = problem.finalize_key(inp)
         if fin_key is None:
             return None, None
-        return ("e", fin_key, init_key, tuple(tkeys)), None
+        return ("e", fin_key, init_key, tuple(tparts)), (None, tuple(tws))
+
+    def _fallback_group(self, members, tables, traces) -> None:
+        """Per-node path for a group whose declared key was not affine."""
+        for i, e, inp, children, _aff in members:
+            tables[i][e], traces[i][e] = self._node_with_hole(inp, children, tables[i])
 
     def _solve_group(self, sig, members, tables, traces) -> None:
-        """One stacked solve for all ``members`` (same signature, same level)."""
+        """One stacked solve for all ``members`` (same signature, same level).
+
+        Handles both off-path groups (all child tables are broadcastable
+        ``(1, S)`` rows) and hole-path groups (one child position — possibly
+        the hole pseudo-child — carries ``(H, S)`` hole rows): every array
+        has layout ``(cluster, hole_row, ...)`` and degenerate axes broadcast,
+        so the two cases run the same program the per-cluster walk would,
+        just stacked.
+        """
         kernel = self.kernel
         tensors = self.tensors
         selective = self.selective
@@ -274,68 +416,68 @@ class DenseClusterKernel:
         A, S = len(self.aspace), len(self.sspace)
         AS = A * S
 
-        i0, e0, inp0, children0, _w0 = members[0]
+        _i0, _e0, inp0, children0, aff0 = members[0]
         n = len(members)
         d = len(children0)
-        shared_row = False
 
         if sig[0] == "a":
-            pair = tensors.affine_pair(sig[1], inp0)
+            pair = tensors.finalize_affine_pair(sig[1], inp0, aff0[0])
             if pair is None:
                 # Structural key turned out not to be affine: per-node path.
-                for i, e, inp, children, _w in members:
-                    tables[i][e], traces[i][e] = self._node_once(
-                        inp, children, None, None, tables[i]
-                    )
+                self._fallback_group(members, tables, traces)
                 return
-            base, mask = pair
-            w = np.array([m[4] for m in members], dtype=kernel.dtype)
-            fin = base[None, :, :] + w[:, None, None] * mask[None, :, :]  # (n, A, S)
+            base, masks = pair
+            # One scalar or one K-tuple per member; both shapes land as (n, K).
+            w = np.array([m[4][0] for m in members], dtype=kernel.dtype).reshape(n, -1)
+            fin = tensors.compose_affine(base, masks, w)  # (n, A, S)
         else:
             fin = tensors.finalize_mat(inp0)[None, :, :]  # (1, A, S), shared
-            shared_row = d == 0  # identical inputs end to end: share one row
 
-        acc = tensors.init_vec(inp0)  # (1, A), shared across the group
+        acc = tensors.init_vec(inp0)[None]  # (1, 1, A), shared across the group
         steps: List[np.ndarray] = []
         for j in range(d):
-            T = tensors.transition_tensor(inp0, children0[j][1])
-            if n == 1:
-                rows = tables[i0][children0[j][0]]
+            child0, edge0 = children0[j]
+            tw = aff0[1][j]
+            if tw is None:
+                T = tensors.transition_tensor(inp0, edge0)[None, None]  # (1, 1, A, S, A')
             else:
-                rows = np.concatenate(
-                    [tables[i][children[j][0]] for i, _e, _inp, children, _w in members],
-                    axis=0,
-                )  # (n, S)
-            b = combine(rows[:, None, :, None], T[None, :, :, :])
-            cand = combine(acc[:, :, None, None], b)
-            flat = cand.reshape(cand.shape[0], AS, A)
-            acc = reduce_(flat, axis=1)
+                pair = tensors.transition_affine_pair(sig[3][j][1], inp0, edge0, tw)
+                if pair is None:
+                    self._fallback_group(members, tables, traces)
+                    return
+                baseT, masksT = pair
+                wj = np.array(
+                    [m[4][1][j] for m in members], dtype=kernel.dtype
+                ).reshape(n, -1)
+                T = tensors.compose_affine(baseT, masksT, wj)[:, None]  # (n, 1, A, S, A')
+            if child0 == HOLE:
+                rows = self._hole_batch[None]  # (1, H, S), shared hole batch
+            else:
+                rows = np.stack(
+                    [tables[i][children[j][0]] for i, _e, _inp, children, _aff in members]
+                )  # (n, h_j, S)
+            b = combine(rows[:, :, None, :, None], T)
+            cand = combine(acc[:, :, :, None, None], b)
+            flat = cand.reshape(cand.shape[0], cand.shape[1], AS, A)
+            acc = reduce_(flat, axis=2)
             if selective:
-                steps.append(argreduce(flat, axis=1))
+                steps.append(argreduce(flat, axis=2))
 
-        cand = combine(acc[:, :, None], fin)  # (n or 1, A, S)
-        vec = reduce_(cand, axis=1)
-        fin_idx = argreduce(cand, axis=1) if selective else None
+        cand = combine(acc[:, :, :, None], fin[:, None, :, :])  # (n', h', A, S)
+        vec = reduce_(cand, axis=2)
+        fin_idx = argreduce(cand, axis=2) if selective else None
 
-        if shared_row and n > 1:
-            trace = None
-            if selective:
-                trace = _Trace("node")
-                trace.fin = fin_idx
-                trace.vec = vec
-            for i, e, _inp, _children, _w in members:
-                tables[i][e] = vec
-                traces[i][e] = trace
-            return
-
-        for j, (i, e, _inp, children, _w) in enumerate(members):
-            row = vec[j : j + 1]
+        # Leading axes may have stayed degenerate (all inputs shared): index
+        # row 0 then — the data is identical for every member.
+        for j, (i, e, _inp, children, _aff) in enumerate(members):
+            jj = j if vec.shape[0] > 1 else 0
+            row = vec[jj]
             trace = None
             if selective:
                 trace = _Trace("node")
                 trace.children = children
-                trace.steps = [s[j : j + 1] for s in steps]
-                trace.fin = fin_idx[j : j + 1]
+                trace.steps = [s[j if s.shape[0] > 1 else 0] for s in steps]
+                trace.fin = fin_idx[jj]
                 trace.vec = row
             tables[i][e] = row
             traces[i][e] = trace

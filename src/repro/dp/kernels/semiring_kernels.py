@@ -15,6 +15,11 @@ Bit-identical parity with the scalar path is part of the contract:
 * tropical kernels associate float additions as ``a ⊗ (b ⊗ c)`` exactly like
   the scalar solver's ``times(a, times(b, c))`` — callers must combine the
   *inner* pair first;
+* affine rule composition (``base + Σ_k w_k * mask_k``, see
+  :meth:`~repro.dp.kernels.tensors.ProblemTensors.compose_affine`) stays
+  bit-identical to the scalar path's per-term accumulation because the terms
+  are added left to right in the same order and the extra ``w * 0`` terms of
+  absent/unsatisfied entries are IEEE-754 identities (``x + ±0.0 == x``);
 * the counting kernel reduces int64 products with a single modulo after the
   sum, which is exact (values stay far below 2**63 for moduli up to ~3e9).
 

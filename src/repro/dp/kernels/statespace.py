@@ -56,18 +56,12 @@ def summary_as_dict(summary, space: StateSpace, zero) -> dict:
     if "table" in summary:
         return dict(summary["table"])
     dense = summary["dense"]
+    states = space.states
     if summary["kind"] == "vec":
-        return {
-            space.decode(i): dense[i].item()
-            for i in range(len(space))
-            if dense[i] != zero
-        }
-    table = {}
-    for a in range(dense.shape[0]):
-        for b in range(dense.shape[1]):
-            if dense[a, b] != zero:
-                table[(space.decode(a), space.decode(b))] = dense[a, b].item()
-    return table
+        (idx,) = np.nonzero(dense != zero)
+        return {states[i]: dense[i].item() for i in idx}
+    rows, cols = np.nonzero(dense != zero)
+    return {(states[a], states[b]): dense[a, b].item() for a, b in zip(rows, cols)}
 
 
 def encode_vec(table: dict, space: StateSpace, zero, dtype) -> np.ndarray:

@@ -61,11 +61,21 @@ class ProblemTensors:
         # Zero-filled templates: ndarray.copy() is several times cheaper than
         # np.full on the tiny arrays built here (hot on cache misses).
         self._templates: Dict[Tuple[int, ...], np.ndarray] = {}
-        # Affine finalize decompositions F(v) = base + w * mask, keyed by the
-        # problem's structural key; only sound for the tropical kernels
-        # (float cells, selective first-wins merges).
+        # Affine decompositions ``table = base + sum_k w_k * mask_k``, keyed
+        # by the problem's structural key; only sound for the tropical
+        # kernels (float cells, selective first-wins merges).
         self.affine_enabled: bool = kernel.selective and kernel.dtype.kind == "f"
+        # Problems that keep the base-class hooks pay no per-node dispatch.
+        self.has_transition_affine: bool = self.affine_enabled and (
+            type(problem).transition_affine_key is not FiniteStateDP.transition_affine_key
+        )
+        self.has_finalize_affine: bool = self.affine_enabled and (
+            type(problem).finalize_affine_key is not FiniteStateDP.finalize_affine_key
+        )
         self._affine_cache: Dict[Hashable, Optional[Tuple[np.ndarray, np.ndarray]]] = {}
+        self._trans_affine_cache: Dict[
+            Hashable, Optional[Tuple[np.ndarray, np.ndarray]]
+        ] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -134,12 +144,35 @@ class ProblemTensors:
         return vec
 
     def transition_tensor(self, v: NodeInput, edge: Optional[EdgeInfo]) -> np.ndarray:
-        """``T[acc, child_state, acc']`` — one child absorption step."""
+        """``T[acc, child_state, acc']`` — one child absorption step.
+
+        Cache lookup by :meth:`~repro.dp.problem.FiniteStateDP.transition_key`
+        comes first; on a miss the tensor is built from the affine
+        decomposition when the problem declares one (one fused compose per
+        distinct key instead of an ``O(A * S)`` scalar enumeration), else
+        enumerated, and stored under the key either way.
+        """
         key = self.problem.transition_key(v, edge)
         if key is not None:
             cached = self._trans_cache.get(key)
             if cached is not None:
                 return cached
+        tensor = None
+        if self.has_transition_affine and edge is not None:
+            aff = self.problem.transition_affine_key(v, edge)
+            if aff is not None:
+                pair = self.transition_affine_pair(aff[0], v, edge, aff[1])
+                if pair is not None:
+                    base, masks = pair
+                    w = np.asarray([aff[1]], dtype=self.kernel.dtype).reshape(1, -1)
+                    tensor = self.compose_affine(base, masks, w)[0]
+        if tensor is None:
+            tensor = self._enumerate_transition(v, edge)
+        if key is not None:
+            self._trans_cache[key] = tensor
+        return tensor
+
+    def _enumerate_transition(self, v: NodeInput, edge: Optional[EdgeInfo]) -> np.ndarray:
         A, S = len(self.aspace), len(self.sspace)
         transition = self.problem.transition
         cells: Dict[Any, Any] = {}
@@ -148,20 +181,20 @@ class ProblemTensors:
                 for new_acc, val in transition(v, acc, child_state, edge):
                     idx = self._acc_index(new_acc, "transition")
                     self._merge_cell(cells, (ai, si, idx), val)
-        tensor = self._fill((A, S, A), cells)
-        if key is not None:
-            self._trans_cache[key] = tensor
-        return tensor
+        return self._fill((A, S, A), cells)
 
     def finalize_mat(self, v: NodeInput) -> np.ndarray:
         """``F[acc, state]`` — the merged yields of ``finalize(v, acc)``."""
-        if self.affine_enabled:
+        if self.has_finalize_affine:
             aff = self.problem.finalize_affine_key(v)
             if aff is not None:
-                pair = self.affine_pair(aff[0], v)
+                pair = self.finalize_affine_pair(aff[0], v, aff[1])
                 if pair is not None:
-                    base, mask = pair
-                    return base + aff[1] * mask
+                    base, masks = pair
+                    w = np.asarray(
+                        [self._as_weights(aff[1])], dtype=self.kernel.dtype
+                    ).reshape(1, -1)
+                    return self.compose_affine(base, masks, w)[0]
         key = self.problem.finalize_key(v)
         if key is not None:
             cached = self._fin_cache.get(key)
@@ -180,30 +213,135 @@ class ProblemTensors:
                 self._merge_cell(cells, (ai, self._state_index(state, "finalize")), val)
         return self._fill((len(self.aspace), len(self.sspace)), cells)
 
-    def affine_pair(self, key: Hashable, v: NodeInput) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """``(base, mask)`` with ``F(v) = base + w * mask``, or ``None``.
+    @staticmethod
+    def _as_weights(w: Any) -> Tuple[float, ...]:
+        """Normalise a declared affine parameter (scalar or vector) to a tuple."""
+        if isinstance(w, tuple):
+            return w
+        return (float(w),)
 
-        Built once per structural ``key`` by enumerating the problem's two
-        probe nodes (``w = 0`` and ``w = 1``); ``None`` (cached) when the
-        probes' feasibility patterns disagree, i.e. the declared key is not
-        actually affine — callers then fall back to plain enumeration.
+    def _probe_masks(
+        self, enumerate_probe, arity: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(base, masks)`` from unit-weight probes, or ``None`` if not affine.
+
+        ``enumerate_probe(weights)`` must return the dense table of the rule
+        evaluated with the given weight vector.  The base is the all-zero
+        probe; ``masks[k]`` is the unit probe ``e_k`` minus the base on
+        feasible cells.  A probe whose feasibility (finite-cell) pattern
+        differs from the base's means the declared key is not actually affine
+        — the weights then change *which* cells are feasible, not just their
+        values — and ``None`` is returned so callers fall back to plain
+        enumeration.  Masks are zero on infeasible cells by construction, so
+        composing ``base + w * mask`` never multiplies an infinity
+        (``inf * 0 = nan`` cannot occur; :meth:`compose_affine` asserts it).
+        """
+        base = enumerate_probe((0.0,) * arity)
+        finite0 = np.isfinite(base)
+        masks = np.zeros((arity,) + base.shape, dtype=base.dtype)
+        for k in range(arity):
+            unit = tuple(1.0 if j == k else 0.0 for j in range(arity))
+            fk = enumerate_probe(unit)
+            if not bool((finite0 == np.isfinite(fk)).all()):
+                return None
+            np.subtract(fk, base, out=masks[k], where=finite0)  # inf cells stay 0
+        if not bool(np.isfinite(masks).all()):  # cannot happen given the above
+            raise FloatingPointError(
+                f"{self.problem.name}: affine probe produced a non-finite mask"
+            )
+        return base, masks
+
+    def finalize_affine_pair(
+        self, key: Hashable, v: NodeInput, w: Any
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(base, masks)`` with ``F(v) = base + Σ_k w_k * masks[k]``, or ``None``.
+
+        Built once per structural ``key`` by enumerating the problem's probe
+        nodes (the all-zero weight vector and each unit vector); scalar
+        parameters are probed with plain floats (``0.0`` / ``1.0``) for
+        backward compatibility with single-weight problems.  ``None``
+        (cached) when a probe's feasibility pattern disagrees with the
+        base's, i.e. the declared key is not actually affine — callers then
+        fall back to plain enumeration.
         """
         try:
             return self._affine_cache[key]
         except KeyError:
             pass
         probe = self.problem.finalize_affine_probe
-        f0 = self._enumerate_finalize(probe(v, 0.0))
-        f1 = self._enumerate_finalize(probe(v, 1.0))
-        finite0 = np.isfinite(f0)
-        if bool((finite0 == np.isfinite(f1)).all()):
-            mask = np.zeros_like(f0)
-            np.subtract(f1, f0, out=mask, where=finite0)  # inf cells stay 0
-            pair = (f0, mask)
-        else:
-            pair = None
+        scalar = not isinstance(w, tuple)
+        arity = 1 if scalar else len(w)
+
+        def enumerate_probe(weights: Tuple[float, ...]) -> np.ndarray:
+            w = weights[0] if scalar else weights
+            return self._enumerate_finalize(probe(v, w))
+
+        pair = self._probe_masks(enumerate_probe, arity)
         self._affine_cache[key] = pair
         return pair
+
+    def transition_affine_pair(
+        self, key: Hashable, v: NodeInput, edge: EdgeInfo, weights: Tuple[float, ...]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(base, masks)`` with ``T(v, edge) = base + Σ_k w_k * masks[k]``.
+
+        The transition analogue of :meth:`finalize_affine_pair`: built once
+        per structural ``key`` from the problem's
+        :meth:`~repro.dp.problem.FiniteStateDP.transition_affine_probe`
+        pairs, ``None`` (cached) when the probes show the key is not affine.
+        ``weights`` is the declaring edge's weight vector; its length fixes
+        the probe arity, and every other edge sharing ``key`` must declare
+        the same arity (checked in :meth:`compose_affine` by shape).
+        """
+        try:
+            return self._trans_affine_cache[key]
+        except KeyError:
+            pass
+        probe = self.problem.transition_affine_probe
+
+        def enumerate_probe(ws: Tuple[float, ...]) -> np.ndarray:
+            pv, pe = probe(v, edge, ws)
+            return self._enumerate_transition(pv, pe)
+
+        pair = self._probe_masks(enumerate_probe, len(weights))
+        self._trans_affine_cache[key] = pair
+        return pair
+
+    def compose_affine(
+        self, base: np.ndarray, masks: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """``out[i] = base + Σ_k weights[i, k] * masks[k]`` for a weight batch.
+
+        The sum is accumulated left to right (clause order), which together
+        with IEEE-754 ``x + ±0.0 == x`` makes the composed table bit-identical
+        to the scalar path's per-clause accumulation.
+
+        No NaN can flow out of the composition: semiring identity cells
+        (``±inf``, the unreachable states) only ever meet zero mask cells
+        (:meth:`_probe_masks` zeroes the masks there and raises on non-finite
+        masks), so ``inf * 0`` never occurs as long as the weights are
+        finite — which is asserted here, on the small ``(n, K)`` weight
+        array rather than the composed tables.
+        """
+        n, k = weights.shape
+        if masks.shape[0] != k:
+            raise ValueError(
+                f"{self.problem.name}: affine weight vector has {k} entries but the "
+                f"structural key was probed with arity {masks.shape[0]}; every rule "
+                "sharing one key must declare the same number of weights"
+            )
+        if k == 0:
+            return np.broadcast_to(base, (n,) + base.shape)
+        if not bool(np.isfinite(weights).all()):
+            raise FloatingPointError(
+                f"{self.problem.name}: non-finite affine weight — composing it "
+                "against a semiring identity cell would produce inf * 0 = nan"
+            )
+        wshape = (n,) + (1,) * base.ndim
+        out = base[None] + weights[:, 0].reshape(wshape) * masks[0][None]
+        for j in range(1, k):
+            out += weights[:, j].reshape(wshape) * masks[j][None]
+        return out
 
     def virtual_root_vec(self) -> np.ndarray:
         """``R[state]`` — virtual-root multipliers (cached, node-independent)."""

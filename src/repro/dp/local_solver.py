@@ -21,9 +21,12 @@ this against sequential and brute-force solvers.
 Two interchangeable local computations implement the per-cluster solve:
 
 * the **numpy backend** (:class:`~repro.dp.kernels.dense_local.DenseClusterKernel`)
-  keeps tables as dense arrays and batches all hole states of an
-  indegree-one cluster into one element-tree walk — this is the default
-  whenever the problem declares :attr:`~repro.dp.problem.FiniteStateDP.acc_states`
+  keeps tables as dense arrays, batches all hole states of an indegree-one
+  cluster into one element-tree walk, and — given a whole layer of clusters
+  at once — level-schedules the off-hole-path elements and depth-schedules
+  the hole-path elements into stacked cross-cluster array programs; this is
+  the default whenever the problem declares
+  :attr:`~repro.dp.problem.FiniteStateDP.acc_states`
   and its semiring has a dense kernel;
 * the **python backend** (this module) walks the element tree with
   dict-of-dicts tables and generator-based transitions — the fallback for
@@ -43,16 +46,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.clustering.model import Element
-from repro.dp.kernels.dense_local import DenseClusterKernel
+from repro.dp.kernels.dense_local import HOLE, DenseClusterKernel
 from repro.dp.kernels.semiring_kernels import kernel_for
 from repro.dp.problem import ClusterContext, ClusterDP, FiniteStateDP
 from repro.dp.semiring import Semiring
 
-__all__ = ["FiniteStateClusterSolver", "backend_ineligibility", "BACKENDS"]
-
-#: Sentinel element representing the hole (the part of the tree below an
-#: indegree-one cluster's incoming edge).
-HOLE: Element = ("hole", None)
+__all__ = ["FiniteStateClusterSolver", "backend_ineligibility", "BACKENDS", "HOLE"]
 
 #: Recognised backend choices.
 BACKENDS = ("auto", "numpy", "python")

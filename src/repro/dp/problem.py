@@ -205,6 +205,39 @@ class ClusterContext:
         self.cluster._local_plan = plan
         return plan
 
+    def hole_plan(self) -> List[Tuple[str, Element, Any, Optional[Element]]]:
+        """Ordered local-plan entries along the hole path, hole element first.
+
+        Each entry is ``(kind, e, payload, path_child)`` — the
+        :meth:`local_plan` entry of one hole-path element plus the previous
+        path element it absorbs (``None`` for the hole element itself, where
+        the hole pseudo-child attaches instead).  The position of an entry in
+        the list is its *depth along the path*, which is what the dense
+        solver's layer-wide hole-path scheduler groups by: entries of equal
+        depth across all clusters of a layer are mutually independent once
+        depth - 1 is done.  Empty for indegree-zero clusters.  Like the plan,
+        it depends only on the cluster and the tree, so it is cached on the
+        cluster and shared by every problem and backend.
+        """
+        plan = self.cluster._hole_plan
+        if plan is not None:
+            return plan
+        plan = []
+        if self.cluster.hole_element is not None:
+            by_element = {e: (kind, e, payload) for kind, e, payload, _h in self.local_plan()}
+            parent = self.cluster.element_parent()
+            e = self.cluster.hole_element
+            path_child: Optional[Element] = None
+            while True:
+                kind, _e, payload = by_element[e]
+                plan.append((kind, e, payload, path_child))
+                if e == self.cluster.top_element:
+                    break
+                path_child = e
+                e = parent[e]
+        self.cluster._hole_plan = plan
+        return plan
+
     def hole_path(self) -> frozenset:
         """Elements on the path from the hole element to the top (inclusive).
 
@@ -408,30 +441,70 @@ class FiniteStateDP(abc.ABC):
         """Cache key of ``finalize(v, ·)``'s dense matrix (``None``: no caching)."""
         return None
 
-    def finalize_affine_key(self, v: NodeInput) -> Optional[Tuple[Hashable, float]]:
+    def finalize_affine_key(self, v: NodeInput) -> Optional[Tuple[Hashable, Any]]:
         """Optional affine decomposition of ``finalize``'s node parameter.
 
         Returns ``(structural_key, w)`` when the finalize values depend on
-        the node only through one scalar ``w`` (typically the node weight)
-        *linearly*: ``F(v) = F(v|w=0) + w * (F(v|w=1) - F(v|w=0))`` cell by
-        cell.  The dense backend then enumerates the two probe matrices once
-        per structural key (see :meth:`finalize_affine_probe`) and builds
-        every node's matrix — or a whole batch of them — with one fused
-        array expression.  Return ``None`` when finalize is not affine (the
-        backend falls back to :meth:`finalize_key` caching / enumeration).
-        Only meaningful for the tropical (min-plus / max-plus) semirings.
+        the node only through ``w`` — a scalar (typically the node weight)
+        or a tuple of scalars (e.g. per-node clause weights) — *linearly*:
+        ``F(v) = F(v|w=0) + Σ_k w_k * M_k`` cell by cell, where ``M_k`` is
+        the unit-probe difference for the k-th weight.  The dense backend
+        then enumerates the probe matrices once per structural key (see
+        :meth:`finalize_affine_probe`) and builds every node's matrix — or a
+        whole batch of them — with one fused array expression.  All nodes
+        sharing one structural key must declare the same number of weights.
+        Return ``None`` when finalize is not affine (the backend falls back
+        to :meth:`finalize_key` caching / enumeration).  Only meaningful for
+        the tropical (min-plus / max-plus) semirings.
         """
         return None
 
-    def finalize_affine_probe(self, v: NodeInput, w: float) -> NodeInput:
-        """A copy of ``v`` whose scalar finalize parameter is ``w``.
+    def finalize_affine_probe(self, v: NodeInput, w: Any) -> NodeInput:
+        """A copy of ``v`` whose finalize parameter is ``w``.
 
         Required when :meth:`finalize_affine_key` is implemented; called
-        once per structural key with ``w = 0.0`` and ``w = 1.0``.
+        once per structural key with ``w = 0.0`` and ``w = 1.0`` when the
+        declared parameter is a scalar, or with the all-zero and unit weight
+        tuples when it is a tuple.
         """
         raise NotImplementedError(
             f"{self.name}: finalize_affine_key is declared but "
             "finalize_affine_probe is not implemented"
+        )
+
+    def transition_affine_key(
+        self, v: NodeInput, edge: EdgeInfo
+    ) -> Optional[Tuple[Hashable, Tuple[float, ...]]]:
+        """Optional affine decomposition of ``transition``'s edge parameter.
+
+        The transition analogue of :meth:`finalize_affine_key`: returns
+        ``(structural_key, weights)`` when the transition values depend on
+        ``(v, edge)`` only through the weight tuple, linearly —
+        ``T(v, edge) = T|w=0 + Σ_k w_k * M_k`` cell by cell — while the
+        *feasibility* pattern (which cells are the semiring zero) is fixed
+        by the structural key alone.  The dense backend enumerates the probe
+        tensors once per structural key (see
+        :meth:`transition_affine_probe`) and composes every edge's tensor —
+        or a whole batch of them — with one fused array expression, which is
+        what lets per-edge weighted rules (e.g. max-SAT clause weights) join
+        the grouped cross-cluster evaluation instead of defeating the tensor
+        caches.  Return ``None`` when the transition is not affine (the
+        backend falls back to :meth:`transition_key` caching / enumeration).
+        Only meaningful for the tropical (min-plus / max-plus) semirings.
+        """
+        return None
+
+    def transition_affine_probe(
+        self, v: NodeInput, edge: EdgeInfo, weights: Tuple[float, ...]
+    ) -> Tuple[NodeInput, "EdgeInfo"]:
+        """A ``(v, edge)`` copy whose transition weight vector is ``weights``.
+
+        Required when :meth:`transition_affine_key` is implemented; called
+        once per structural key with the all-zero tuple and each unit tuple.
+        """
+        raise NotImplementedError(
+            f"{self.name}: transition_affine_key is declared but "
+            "transition_affine_probe is not implemented"
         )
 
     @abc.abstractmethod

@@ -8,6 +8,7 @@ representation-normalisation code and by tests.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, List, Sequence, Tuple
 
 from repro.mpc.darray import DistributedArray
@@ -44,13 +45,64 @@ def mpc_count(sim: MPCSimulator, records: Sequence[Any]) -> int:
     return arr.count()
 
 
-def mpc_max(sim: MPCSimulator, records: Sequence[Any], value: Callable[[Any], float]) -> float:
-    """Distributed maximum of ``value`` over the records."""
-    arr = DistributedArray.from_records(sim, list(records))
-    return arr.reduce(value, lambda a, b: a if a >= b else b, float("-inf"))
+def _checked_values(
+    records: Sequence[Any], value: Callable[[Any], float], nan: str, op: str
+) -> List[float]:
+    """Extract and validate the fold inputs of :func:`mpc_min`/:func:`mpc_max`.
+
+    The extremum folds compare with ``<=`` / ``>=`` against the ``±inf``
+    identities, and every comparison against NaN is false — a NaN record
+    would therefore poison the fold in an order-dependent way (whatever was
+    accumulated so far survives or is replaced depending on the operand
+    side).  NaNs are handled *before* the fold instead: rejected
+    (``nan="raise"``, the default) or dropped (``nan="skip"``).
+    """
+    if nan not in ("raise", "skip"):
+        raise ValueError(f"{op}: nan must be 'raise' or 'skip', got {nan!r}")
+    vals: List[float] = []
+    for r in records:
+        x = float(value(r))
+        if math.isnan(x):
+            if nan == "raise":
+                raise ValueError(f"{op}: value of record {r!r} is NaN")
+            continue
+        vals.append(x)
+    if not vals:
+        reason = "all records were NaN" if len(records) else "empty record set"
+        raise ValueError(f"{op}: no values to reduce ({reason})")
+    return vals
 
 
-def mpc_min(sim: MPCSimulator, records: Sequence[Any], value: Callable[[Any], float]) -> float:
-    """Distributed minimum of ``value`` over the records."""
-    arr = DistributedArray.from_records(sim, list(records))
-    return arr.reduce(value, lambda a, b: a if a <= b else b, float("inf"))
+def mpc_max(
+    sim: MPCSimulator,
+    records: Sequence[Any],
+    value: Callable[[Any], float],
+    nan: str = "raise",
+) -> float:
+    """Distributed maximum of ``value`` over the records.
+
+    ``nan`` selects the NaN policy: ``"raise"`` (default) rejects NaN
+    values, ``"skip"`` ignores their records.  Empty record sets — and
+    all-NaN sets under ``"skip"`` — raise :class:`ValueError` instead of
+    silently returning the ``-inf`` fold identity.
+    """
+    vals = _checked_values(records, value, nan, "mpc_max")
+    arr = DistributedArray.from_records(sim, vals)
+    return arr.reduce(lambda x: x, lambda a, b: a if a >= b else b, float("-inf"))
+
+
+def mpc_min(
+    sim: MPCSimulator,
+    records: Sequence[Any],
+    value: Callable[[Any], float],
+    nan: str = "raise",
+) -> float:
+    """Distributed minimum of ``value`` over the records.
+
+    Same NaN/empty policy as :func:`mpc_max`: NaNs raise by default or are
+    skipped with ``nan="skip"``; an effectively empty reduction raises
+    instead of returning the ``+inf`` fold identity.
+    """
+    vals = _checked_values(records, value, nan, "mpc_min")
+    arr = DistributedArray.from_records(sim, vals)
+    return arr.reduce(lambda x: x, lambda a, b: a if a <= b else b, float("inf"))

@@ -14,6 +14,18 @@ The task is to maximise the total weight of satisfied clauses.  Because the
 clause graph is the tree itself, this is exactly the tree-structured max-SAT
 instance the paper refers to.  The accumulator carries the node's own chosen
 value so binary clauses can be scored as children are absorbed.
+
+A clause only enters the score through its *literal pattern* — ``(child_lit,
+parent_lit)`` for binary clauses (four possibilities), the literal alone for
+unit clauses (two) — and its weight.  The rules therefore aggregate each
+clause set into a weight vector over the fixed pattern basis and accumulate
+gains pattern-major (clause order within a pattern): the scored value is
+linear in that vector while the feasibility structure is constant, which is
+the clause-aware affine decomposition the dense backend exploits — every
+non-auxiliary edge (node) shares one structural key, so distinctly-weighted
+clause sets batch into one grouped array program instead of defeating the
+tensor caches.  Both backends use the same canonical accumulation order, so
+their values stay bit-identical.
 """
 
 from __future__ import annotations
@@ -29,6 +41,16 @@ __all__ = ["WeightedMaxSAT", "sequential_max_sat", "max_sat_value_of_assignment"
 TRUE = True
 FALSE = False
 
+#: Fixed pattern bases: (child_lit, parent_lit) for binary clauses, the
+#: literal for unit clauses.  Gains are accumulated in this order.
+EDGE_PATTERNS: Tuple[Tuple[bool, bool], ...] = (
+    (True, True),
+    (True, False),
+    (False, True),
+    (False, False),
+)
+UNIT_PATTERNS: Tuple[bool, ...] = (True, False)
+
 
 def _edge_clauses(edge: EdgeInfo) -> List[Tuple[bool, bool, float]]:
     if isinstance(edge.data, dict):
@@ -40,6 +62,22 @@ def _unit_clauses(v: NodeInput) -> List[Tuple[bool, float]]:
     if isinstance(v.data, dict):
         return list(v.data.get("clauses", []))
     return []
+
+
+def _edge_pattern_weights(edge: EdgeInfo) -> List[float]:
+    """Clause-weight sums per ``EDGE_PATTERNS`` entry (clause order within)."""
+    w = [0.0, 0.0, 0.0, 0.0]
+    for cl, pl, weight in _edge_clauses(edge):
+        w[(0 if pl else 1) if cl else (2 if pl else 3)] += weight
+    return w
+
+
+def _unit_pattern_weights(v: NodeInput) -> List[float]:
+    """Clause-weight sums per ``UNIT_PATTERNS`` entry (clause order within)."""
+    w = [0.0, 0.0]
+    for lit, weight in _unit_clauses(v):
+        w[0 if lit else 1] += weight
+    return w
 
 
 class WeightedMaxSAT(FiniteStateDP):
@@ -55,11 +93,39 @@ class WeightedMaxSAT(FiniteStateDP):
         return ()
 
     def transition_key(self, v: NodeInput, edge: EdgeInfo):
-        # Binary clauses live on the edge; the scored gain depends on them.
-        return True if edge.is_auxiliary else (False, tuple(_edge_clauses(edge)))
+        # Binary clauses live on the edge; the scored gain depends on them
+        # only through the per-pattern weight sums.
+        return True if edge.is_auxiliary else (False, tuple(_edge_pattern_weights(edge)))
 
     def finalize_key(self, v: NodeInput):
-        return True if v.is_auxiliary else (False, tuple(_unit_clauses(v)))
+        return True if v.is_auxiliary else (False, tuple(_unit_pattern_weights(v)))
+
+    # -- clause-aware affine decomposition --------------------------------- #
+    # The gain of a transition (finalize) is linear in the per-pattern
+    # clause-weight vector, and which (acc, child_state) cells are feasible
+    # does not depend on the clauses at all — so every non-auxiliary edge
+    # (node) shares one structural key over the fixed pattern basis and the
+    # per-edge/per-node data collapses to the weight vector.  Whole layers
+    # of distinctly-weighted max-SAT nodes then run as one grouped array
+    # program built from a single set of probe tensors.
+
+    def transition_affine_key(self, v: NodeInput, edge: EdgeInfo):
+        if edge.is_auxiliary:
+            return None  # the equality constraint has no weights; key-cached
+        return ("sat-edge",), tuple(_edge_pattern_weights(edge))
+
+    def transition_affine_probe(self, v: NodeInput, edge: EdgeInfo, weights):
+        data = {"clauses": [(cl, pl, w) for (cl, pl), w in zip(EDGE_PATTERNS, weights)]}
+        return v, EdgeInfo(edge=edge.edge, kind=edge.kind, data=data)
+
+    def finalize_affine_key(self, v: NodeInput):
+        if v.is_auxiliary:
+            return None  # zero gain; the plain finalize_key cache handles it
+        return ("sat-unit",), tuple(_unit_pattern_weights(v))
+
+    def finalize_affine_probe(self, v: NodeInput, weights) -> NodeInput:
+        data = {"clauses": [(lit, w) for lit, w in zip(UNIT_PATTERNS, weights)]}
+        return NodeInput(node=v.node, data=data, is_auxiliary=v.is_auxiliary)
 
     def node_init(self, v: NodeInput) -> Iterable[Tuple[Hashable, float]]:
         # The accumulator is the node's own truth value, chosen up front.
@@ -74,8 +140,12 @@ class WeightedMaxSAT(FiniteStateDP):
             if child_state == acc:
                 yield (acc, 0.0)
             return
+        # Canonical pattern-major accumulation (see module docstring): the
+        # same order the dense backend's affine composition uses.
         gained = 0.0
-        for child_lit, parent_lit, weight in _edge_clauses(edge):
+        for (child_lit, parent_lit), weight in zip(
+            EDGE_PATTERNS, _edge_pattern_weights(edge)
+        ):
             if child_state == child_lit or acc == parent_lit:
                 gained += weight
         yield (acc, gained)
@@ -83,7 +153,7 @@ class WeightedMaxSAT(FiniteStateDP):
     def finalize(self, v: NodeInput, acc: Hashable) -> Iterable[Tuple[Hashable, float]]:
         gained = 0.0
         if not v.is_auxiliary:
-            for lit, weight in _unit_clauses(v):
+            for lit, weight in zip(UNIT_PATTERNS, _unit_pattern_weights(v)):
                 if acc == lit:
                     gained += weight
         yield (acc, gained)
