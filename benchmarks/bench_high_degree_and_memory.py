@@ -8,6 +8,8 @@ reporting the peak per-machine load of the full pipeline as n grows.
 """
 
 from repro.core.pipeline import prepare, solve_on
+from repro.mpc.config import MPCConfig
+from repro.mpc.simulator import MPCSimulator
 from repro.problems.max_weight_independent_set import (
     MaxWeightIndependentSet,
     sequential_max_weight_independent_set,
@@ -70,7 +72,11 @@ def _memory_sweep():
     rows = []
     for n in scaled((250, 1000, 4000), (150, 400)):
         tree = gen.with_random_weights(gen.random_attachment_tree(n, seed=8), seed=8)
-        prepared = prepare(tree)
+        # Capacity study: the record-level treeops backend is the one that
+        # feeds mid-flight per-machine loads into the peak statistics (the
+        # array backend keeps its state driver-side and observes nothing).
+        sim = MPCSimulator(MPCConfig(n=n, treeops_backend="records"))
+        prepared = prepare(tree, sim=sim)
         solve_on(prepared, MaxWeightIndependentSet())
         stats = prepared.sim.stats
         cap = prepared.sim.machine_capacity

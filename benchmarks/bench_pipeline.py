@@ -1,0 +1,145 @@
+"""Experiment P — pipeline-phase profile: normalize / degree-reduce / cluster / DP.
+
+PRs 1–2 made the DP-solve phase fast; this experiment tracks the *other*
+phases so a `prepare()` regression is as visible as a kernel regression.  It
+profiles the full pipeline at the acceptance size (n >= 10^4, random
+attachment tree, seed 2):
+
+* ``prepare()`` — normalization, degree reduction and the hierarchical
+  clustering, measured per phase, under both treeops backends:
+  ``records`` (the record-level reference path on the simulated machines)
+  and ``array`` (the vectorized integer-array substrate, the default).
+* the DP-solve phase — the full finite-state Table-1 suite on the prepared
+  clustering, with the default (``auto`` → NumPy) backend.
+
+Besides the timings, the harness asserts that both treeops backends produce
+bit-identical clusterings and round statistics, and that the array path wins
+the clustering phase by at least the acceptance factor of 5x.  Results are
+written to ``BENCH_pipeline.json`` for the CI perf artifacts.
+
+Noise model: as in bench_kernels, the repeats of the two backends are
+interleaved (records, array, records, array, ...) so both sample the same
+wall-clock window, and the per-phase *minimum* over the repeats estimates the
+clean-machine time.
+"""
+
+import time
+
+from repro.core.pipeline import prepare, solve_on
+from repro.mpc.config import MPCConfig
+from repro.mpc.simulator import MPCSimulator
+from repro.trees import generators as gen
+
+from benchmarks.bench_kernels import PROBLEMS, _sat_payload
+from benchmarks.conftest import SMOKE, emit_json, print_table, run_once, scaled
+
+#: The acceptance regime: n >= 10^4 nodes (reduced in smoke mode).
+N = scaled(10_000, 500)
+SEED = 2
+
+BACKENDS = ("records", "array")
+PHASES = ("normalize", "degree_reduction", "clustering")
+
+
+def _clustering_fingerprint(prep):
+    hc = prep.clustering
+    return (
+        hc.layers,
+        hc.final_cluster_id,
+        {
+            cid: (
+                c.kind,
+                c.layer,
+                tuple(c.elements),
+                tuple(c.internal_edges),
+                c.top_element,
+                c.top_node,
+                c.out_edge,
+                c.in_edge,
+                c.hole_element,
+            )
+            for cid, c in hc.clusters.items()
+        },
+        prep.clustering_stats.rounds,
+        prep.clustering_stats.charged_rounds,
+        prep.clustering_stats.rounds_by_label,
+        prep.clustering_stats.charged_by_label,
+    )
+
+
+def _measure():
+    base = gen.random_attachment_tree(N, seed=SEED)
+    weighted = gen.with_random_weights(base, seed=SEED)
+    repeats = 1 if SMOKE else 7
+
+    phase_runs = {b: {p: [] for p in PHASES + ("prepare_total",)} for b in BACKENDS}
+    fingerprints = {}
+    for _ in range(repeats):
+        for backend in BACKENDS:
+            sim = MPCSimulator(MPCConfig(n=N, treeops_backend=backend))
+            t0 = time.perf_counter()
+            prep = prepare(weighted, sim=sim)
+            total = time.perf_counter() - t0
+            for p in PHASES:
+                phase_runs[backend][p].append(prep.timings[p])
+            phase_runs[backend]["prepare_total"].append(total)
+            fingerprints[backend] = _clustering_fingerprint(prep)
+
+    identical = fingerprints["records"] == fingerprints["array"]
+
+    # DP-solve phase: the full Table-1 suite on an array-backed preparation
+    # (the clustering is backend-independent — just asserted — and reused).
+    prepared = prepare(weighted)
+    prepared_sat = prepare(_sat_payload(base, SEED))
+    dp_runs = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for name, make in PROBLEMS:
+            target = prepared_sat if "SAT" in name else prepared
+            solve_on(target, make())
+        dp_runs.append(time.perf_counter() - t0)
+
+    mins = {b: {p: min(r) for p, r in phase_runs[b].items()} for b in BACKENDS}
+    return mins, min(dp_runs), identical
+
+
+def test_pipeline_phase_profile(benchmark):
+    mins, dp_s, identical = run_once(benchmark, _measure)
+    cluster_speedup = mins["records"]["clustering"] / mins["array"]["clustering"]
+    prepare_speedup = mins["records"]["prepare_total"] / mins["array"]["prepare_total"]
+
+    rows = []
+    for p in PHASES + ("prepare_total",):
+        rec_ms, arr_ms = mins["records"][p] * 1000, mins["array"][p] * 1000
+        ratio = rec_ms / arr_ms if arr_ms > 0 else float("inf")
+        rows.append((p, f"{rec_ms:.1f}", f"{arr_ms:.1f}", f"{ratio:.2f}x"))
+    rows.append(("dp suite (11 problems)", "-", f"{dp_s * 1000:.1f}", "-"))
+    print_table(
+        f"Pipeline phases — treeops records vs array backend (n={N}, random tree)",
+        ["phase", "records ms", "array ms", "speedup"],
+        rows,
+    )
+    print(f"clustering bit-identical across backends: {'yes' if identical else 'NO'}")
+
+    emit_json(
+        "pipeline",
+        {
+            "n": N,
+            "seed": SEED,
+            "phases_ms": {b: {p: mins[b][p] * 1000 for p in mins[b]} for b in BACKENDS},
+            "dp_suite_ms": dp_s * 1000,
+            "clustering_speedup": cluster_speedup,
+            "prepare_speedup": prepare_speedup,
+            "bit_identical": identical,
+        },
+    )
+
+    assert identical, "treeops backends disagree on the clustering"
+    if not SMOKE and N >= 10_000:
+        # Acceptance bar: the array substrate wins prepare()'s dominant phase
+        # by >= 5x (the PR 2 record-path baseline was 6.7 s for the whole
+        # prepare(); the array path must stay well under 1.5 s).
+        assert cluster_speedup >= 5.0, f"clustering speedup regressed to {cluster_speedup:.2f}x"
+        assert mins["array"]["prepare_total"] < 1.5, (
+            f"prepare() at n=10^4 took {mins['array']['prepare_total']:.2f}s"
+        )

@@ -32,6 +32,7 @@ which are charged under the label ``"clustering-bookkeeping"``.
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.clustering.model import (
@@ -121,6 +122,14 @@ class ClusteringBuilder:
             node_element(v): v for v in tree.nodes()
         }
         self.colored: Set[Element] = set()
+        # Incrementally maintained views of the contracted tree (kept in sync
+        # by _make_cluster): the uncolored element set, and the colored
+        # elements grouped by their uncolored parent, each group kept in
+        # repr-sorted order.  They replace the full rescans and the
+        # rebuild-and-sort of _colored_children_map() that earlier versions
+        # performed on every construction step.
+        self.uncolored: Set[Element] = set(self.elements)
+        self.colored_children: Dict[Element, List[Element]] = {}
 
         # --- outputs ------------------------------------------------------ #
         self.clusters: Dict[int, Cluster] = {}
@@ -137,8 +146,7 @@ class ClusteringBuilder:
         start = self.sim.snapshot()
         iterations = 0
         while True:
-            uncolored = [e for e in self.elements if e not in self.colored]
-            if len(uncolored) <= self.light_threshold:
+            if len(self.uncolored) <= self.light_threshold:
                 self._finalize()
                 break
             if iterations >= MAX_ITERATIONS:
@@ -147,9 +155,9 @@ class ClusteringBuilder:
                     f"within {MAX_ITERATIONS} iterations"
                 )
             iterations += 1
-            before = len(uncolored)
+            before = len(self.uncolored)
             self._indegree_zero_step()
-            mid = len([e for e in self.elements if e not in self.colored])
+            mid = len(self.uncolored)
             # Re-check the termination condition between the two half-steps.
             if mid <= self.light_threshold:
                 self._finalize()
@@ -158,7 +166,7 @@ class ClusteringBuilder:
                 )
                 break
             self._indegree_one_step()
-            after = len([e for e in self.elements if e not in self.colored])
+            after = len(self.uncolored)
             self.iteration_log.append(
                 {"iteration": iterations, "uncolored_before": before, "uncolored_after": after}
             )
@@ -190,7 +198,7 @@ class ClusteringBuilder:
         layer = len(self.layers)
         new_layer: List[int] = []
 
-        uncolored = [e for e in self.elements if e not in self.colored]
+        uncolored = list(self.uncolored)
         eid = {e: i for i, e in enumerate(uncolored)}
         # Contracted uncolored tree in integer ids for the distributed routine.
         parent_int: Dict[int, int] = {}
@@ -208,8 +216,11 @@ class ClusteringBuilder:
             self.sim, parent_int, children_int, root_int, cap=self.light_threshold
         )
 
-        # Colored children (in the full contracted tree) of each uncolored element.
-        colored_children = self._colored_children_map()
+        # Colored children (in the full contracted tree) of each uncolored
+        # element.  The incrementally maintained map is safe to read while
+        # clusters of this step are created: a new cluster element is colored
+        # under a *heavy* parent, and only light elements are absorbed here.
+        colored_children = self.colored_children
 
         # Maximal light subtrees: light element whose parent is heavy.  Select
         # them first (against the pre-step parent map), then create the
@@ -254,7 +265,7 @@ class ClusteringBuilder:
         layer = len(self.layers)
         new_layer: List[int] = []
 
-        uncolored = set(e for e in self.elements if e not in self.colored)
+        uncolored = self.uncolored
         uncolored_children: Dict[Element, List[Element]] = {e: [] for e in uncolored}
         for e in uncolored:
             if e == self.root_elem:
@@ -296,7 +307,9 @@ class ClusteringBuilder:
             up_t, up_d, dn_t, dn_d = positions[i]
             by_anchor.setdefault(dn_t, []).append((dn_d, i))
 
-        colored_children = self._colored_children_map()
+        # Safe to read live during fragment creation: indegree-one cluster
+        # elements stay uncolored, so the map only loses the absorbed entries.
+        colored_children = self.colored_children
         frag = self.light_threshold
 
         # When a fragment lower on the same path has already been contracted,
@@ -340,8 +353,8 @@ class ClusteringBuilder:
 
     def _finalize(self) -> None:
         layer = len(self.layers)
-        colored_children = self._colored_children_map()
-        uncolored_members = [e for e in self.elements if e not in self.colored]
+        colored_children = self.colored_children
+        uncolored_members = list(self.uncolored)
         # Order does not matter; make it deterministic.
         uncolored_members.sort(key=lambda e: repr(e))
         cid = self._make_cluster(
@@ -362,7 +375,12 @@ class ClusteringBuilder:
     # ------------------------------------------------------------------ #
 
     def _colored_children_map(self) -> Dict[Element, List[Element]]:
-        """Colored elements grouped by their (uncolored) parent element."""
+        """Colored elements grouped by their (uncolored) parent element.
+
+        Recomputed from scratch — the incremental ``self.colored_children``
+        is the view the construction uses; this method is kept as the
+        reference for the equivalence tests.
+        """
         out: Dict[Element, List[Element]] = {}
         for e in self.colored:
             p = self.parent_elem[e]
@@ -420,6 +438,10 @@ class ClusteringBuilder:
             del self.parent_elem[e]
             self.elements.discard(e)
             self.colored.discard(e)
+            self.uncolored.discard(e)
+        for u in uncolored_members:
+            # Every colored child of an absorbed element is absorbed with it.
+            self.colored_children.pop(u, None)
         self.elements.add(ce)
         self.top_node_of[ce] = cluster.top_node
         self.out_edge_of[ce] = cluster.out_edge
@@ -437,6 +459,12 @@ class ClusteringBuilder:
 
         if kind in (ClusterKind.INDEGREE_ZERO, ClusterKind.FINAL):
             self.colored.add(ce)
+            parent = self.parent_elem[ce]
+            if parent != ce:
+                siblings = self.colored_children.setdefault(parent, [])
+                bisect.insort(siblings, ce, key=repr)
+        else:
+            self.uncolored.add(ce)
         return cid
 
 

@@ -21,7 +21,13 @@ model:
 * :mod:`~repro.mpc.treeops` implements the distributed tree subroutines the
   clustering construction relies on (depth via pointer doubling, capped
   subtree gathering, degree-2 path positions), all converging in
-  ``O(log D)`` doubling iterations.
+  ``O(log D)`` doubling iterations.  Each has two backends selected by
+  ``MPCConfig.treeops_backend``: the record-level reference path and the
+  vectorized integer-array path of :mod:`~repro.mpc.treeops_array`
+  (bit-identical outputs and round accounting, evaluated driver-side).
+* :mod:`~repro.mpc.words` prices records in machine words; the
+  ``MPCConfig.accounting`` mode chooses between the exact reference walker,
+  the structural fast sizer (default) and no accounting.
 """
 
 from repro.mpc.config import MPCConfig

@@ -10,6 +10,7 @@ and machine-count floors; strictness of capacity enforcement is configurable
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 
@@ -48,6 +49,24 @@ class MPCConfig:
         ``"auto"`` (vectorized NumPy kernels whenever the problem is
         eligible, scalar fallback otherwise), ``"numpy"`` or ``"python"``.
         See :mod:`repro.dp.kernels`.
+    accounting:
+        Word-accounting mode for memory/bandwidth statistics:
+        ``"fast"`` (default) uses the structural sizer of
+        :mod:`repro.mpc.words` (O(1) fast paths for homogeneous scalar sets,
+        cached ``__mpc_words__`` sizes honoured), ``"exact"`` uses the
+        recursive reference walker, ``"off"`` disables word pricing entirely
+        (peak/violation statistics stay zero; round counting is unaffected).
+        Fast and exact observe identical peaks on every payload the substrate
+        ships — the equivalence test-suite asserts it.
+    treeops_backend:
+        Implementation of the distributed tree subroutines
+        (:mod:`repro.mpc.treeops`): ``"array"`` (default) runs the vectorized
+        integer-array backend, which computes bit-identical outputs and
+        charges bit-identical rounds while evaluating the supersteps on the
+        driver; ``"records"`` runs the record-level reference path on the
+        simulated machines.  The ``"records"`` path additionally feeds
+        mid-flight per-machine loads into the peak-memory statistics, so
+        capacity studies should use it.
     """
 
     n: int
@@ -58,6 +77,8 @@ class MPCConfig:
     strict_memory: bool = False
     strict_bandwidth: bool = False
     dp_backend: str = "auto"
+    accounting: str = "fast"
+    treeops_backend: str = "array"
 
     machine_capacity: int = field(init=False)
     num_machines: int = field(init=False)
@@ -70,6 +91,14 @@ class MPCConfig:
         if self.dp_backend not in ("auto", "numpy", "python"):
             raise ValueError(
                 f"dp_backend must be 'auto', 'numpy' or 'python', got {self.dp_backend!r}"
+            )
+        if self.accounting not in ("exact", "fast", "off"):
+            raise ValueError(
+                f"accounting must be 'exact', 'fast' or 'off', got {self.accounting!r}"
+            )
+        if self.treeops_backend not in ("array", "records"):
+            raise ValueError(
+                f"treeops_backend must be 'array' or 'records', got {self.treeops_backend!r}"
             )
         cap = int(math.ceil(self.capacity_factor * self.n ** self.delta))
         self.machine_capacity = max(self.min_capacity, cap)
@@ -103,14 +132,10 @@ class MPCConfig:
         return max(4, min(thr, self.machine_capacity))
 
     def scaled(self, n: int) -> "MPCConfig":
-        """Return a copy of this configuration re-sized for input size ``n``."""
-        return MPCConfig(
-            n=n,
-            delta=self.delta,
-            capacity_factor=self.capacity_factor,
-            min_capacity=self.min_capacity,
-            min_machines=self.min_machines,
-            strict_memory=self.strict_memory,
-            strict_bandwidth=self.strict_bandwidth,
-            dp_backend=self.dp_backend,
-        )
+        """Return a copy of this configuration re-sized for input size ``n``.
+
+        ``dataclasses.replace`` carries every init field over (so new
+        configuration knobs cannot be silently dropped) and re-runs
+        ``__post_init__`` to re-derive the capacity and machine count.
+        """
+        return dataclasses.replace(self, n=n)

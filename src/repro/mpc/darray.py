@@ -22,7 +22,16 @@ These match the classical results cited by the paper (Goodrich et al.):
 sorting and prefix sums are O(1)-round deterministic MPC primitives.
 
 The record payloads are arbitrary (hashable keys recommended for group/join);
-word-size accounting uses :mod:`repro.mpc.words`.
+word-size accounting uses :mod:`repro.mpc.words` through the sizer selected
+by :attr:`~repro.mpc.config.MPCConfig.accounting`.
+
+Memory accounting is **incremental**: every array carries its per-part word
+totals.  Internally built partitions (transform outputs, routed inboxes) are
+adopted without the defensive deep copy of the public constructor, and a
+primitive only sizes the records it *creates* — routed parts inherit the
+totals the simulator already priced on the wire, and partition-preserving
+steps (local sorts, rebalance framing) reuse the existing totals outright.
+Only the public ``__init__`` still copies and walks caller-supplied parts.
 """
 
 from __future__ import annotations
@@ -30,7 +39,6 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.mpc.simulator import MPCSimulator
-from repro.mpc.words import record_words
 
 __all__ = ["DistributedArray", "SORT_ROUNDS", "GROUP_ROUNDS", "JOIN_ROUNDS"]
 
@@ -50,11 +58,36 @@ class DistributedArray:
         if len(parts) != m:
             raise ValueError(f"expected {m} parts, got {len(parts)}")
         self.parts: List[List[Any]] = [list(p) for p in parts]
+        self.part_words: List[int] = [sim.record_words(p) for p in self.parts]
         self._observe()
 
     # ------------------------------------------------------------------ #
     # Construction and inspection
     # ------------------------------------------------------------------ #
+
+    @classmethod
+    def _from_owned(
+        cls,
+        sim: MPCSimulator,
+        parts: List[List[Any]],
+        part_words: Optional[List[int]] = None,
+    ) -> "DistributedArray":
+        """Adopt freshly built partition lists without copying them.
+
+        Trusted-ownership constructor for internal use: ``parts`` must be a
+        list of exactly ``sim.num_machines`` lists that the caller hands over
+        (no aliasing afterwards).  ``part_words`` carries per-part word totals
+        when the caller already knows them (e.g. from wire pricing); otherwise
+        the configured sizer walks each part once.
+        """
+        self = object.__new__(cls)
+        self.sim = sim
+        self.parts = parts
+        if part_words is None:
+            part_words = [sim.record_words(p) for p in parts]
+        self.part_words = part_words
+        self._observe()
+        return self
 
     @classmethod
     def from_records(cls, sim: MPCSimulator, records: Sequence[Any]) -> "DistributedArray":
@@ -66,7 +99,7 @@ class DistributedArray:
             per = max(1, (n + m - 1) // m)
             for i, rec in enumerate(records):
                 parts[min(i // per, m - 1)].append(rec)
-        return cls(sim, parts)
+        return cls._from_owned(sim, parts)
 
     def collect(self) -> List[Any]:
         """Gather all records to the driver (no rounds; output collection)."""
@@ -82,10 +115,12 @@ class DistributedArray:
         return len(self.parts)
 
     def _observe(self) -> None:
-        self.sim.observe_loads([record_words(p) for p in self.parts])
+        self.sim.observe_loads(self.part_words)
 
-    def _like(self, parts: List[List[Any]]) -> "DistributedArray":
-        return DistributedArray(self.sim, parts)
+    def _like(
+        self, parts: List[List[Any]], part_words: Optional[List[int]] = None
+    ) -> "DistributedArray":
+        return DistributedArray._from_owned(self.sim, parts, part_words)
 
     # ------------------------------------------------------------------ #
     # Local (zero-round) transformations
@@ -103,12 +138,32 @@ class DistributedArray:
     def map_partitions(self, fn: Callable[[List[Any]], List[Any]]) -> "DistributedArray":
         return self._like([list(fn(list(p))) for p in self.parts])
 
+    def concat(self, other: "DistributedArray") -> "DistributedArray":
+        """Partition-wise union with ``other`` (zero rounds, no data movement).
+
+        Records stay on the machine they already occupy, so the per-part word
+        totals of the operands simply add.
+        """
+        if other.sim is not self.sim:
+            raise ValueError("cannot concat arrays from different simulators")
+        m = self.sim.num_machines
+        parts = [list(self.parts[i]) + list(other.parts[i]) for i in range(m)]
+        words = [self.part_words[i] + other.part_words[i] for i in range(m)]
+        return self._like(parts, words)
+
     # ------------------------------------------------------------------ #
     # Internal routing helper
     # ------------------------------------------------------------------ #
 
-    def _route(self, destinations: List[List[Tuple[int, Any]]], label: str) -> List[List[Any]]:
-        """Send (dest, record) pairs through the simulator in one superstep."""
+    def _route(
+        self, destinations: List[List[Tuple[int, Any]]], label: str
+    ) -> Tuple[List[List[Any]], List[int]]:
+        """Send (dest, record) pairs through the simulator in one superstep.
+
+        Returns the received parts together with their word totals, which the
+        superstep already priced on the wire (send side) — the routed records
+        are the same objects, so no re-walk is needed.
+        """
         m = self.sim.num_machines
         out_parts: List[List[Any]] = [[] for _ in range(m)]
 
@@ -118,10 +173,12 @@ class DistributedArray:
             return plan[machine.mid]
 
         self.sim.superstep(compute, label=label)
+        recv_words = self.sim.last_recv_words
         for machine in self.sim.machines:
             out_parts[machine.mid] = list(machine.inbox)
             machine.clear_inbox()
-        return out_parts
+        out_words = [recv_words.get(i, 0) for i in range(m)]
+        return out_parts, out_words
 
     # ------------------------------------------------------------------ #
     # Data movement primitives
@@ -161,8 +218,8 @@ class DistributedArray:
                 global_idx = offsets[mid] + j
                 dest = min(global_idx // per, m - 1)
                 plan[mid].append((dest, rec))
-        parts = self._route(plan, label="rebalance")
-        return self._like(parts)
+        parts, words = self._route(plan, label="rebalance")
+        return self._like(parts, words)
 
     def sort_by(self, key: Callable[[Any], Any]) -> "DistributedArray":
         """Deterministic sample sort (4 rounds).
@@ -212,16 +269,17 @@ class DistributedArray:
                 k = key(rec)
                 dest = bisect.bisect_right(splitters, k) if splitters else 0
                 route_plan[mid].append((min(dest, m - 1), rec))
-        routed = self._route(route_plan, label="sort")
+        routed, routed_words = self._route(route_plan, label="sort")
 
         # Round 4 (local sort + acknowledgement round for synchronisation).
+        # Sorting permutes within parts, so the routed word totals carry over.
         sorted_parts = [sorted(p, key=key) for p in routed]
 
         def ack(machine):
             return []
 
         self.sim.superstep(ack, label="sort")
-        return self._like(sorted_parts)
+        return self._like(sorted_parts, routed_words)
 
     def group_by(self, key: Callable[[Any], Any]) -> "DistributedArray":
         """Group records by key; each group ends up whole on one machine.
@@ -240,7 +298,7 @@ class DistributedArray:
             for rec in p:
                 dest = _deterministic_partition(key(rec), m)
                 plan[mid].append((dest, rec))
-        routed = self._route(plan, label="group_by")
+        routed, _ = self._route(plan, label="group_by")
 
         def ack(machine):
             return []
@@ -258,6 +316,7 @@ class DistributedArray:
                     order.append(k)
                 buckets[k].append(rec)
             grouped_parts.append([(k, buckets[k]) for k in order])
+        # The (key, [records]) wrappers are new structure; size the output.
         return self._like(grouped_parts)
 
     def join(
@@ -271,13 +330,7 @@ class DistributedArray:
         Implemented by tagging both sides, grouping the tagged union by key and
         emitting the cross product within each group (5 rounds).
         """
-        tagged_self = self.map(lambda r: ("L", r))
-        tagged_other = other.map(lambda r: ("R", r))
-        m = self.sim.num_machines
-        union_parts = [
-            list(tagged_self.parts[i]) + list(tagged_other.parts[i]) for i in range(m)
-        ]
-        union = self._like(union_parts)
+        union = self.map(lambda r: ("L", r)).concat(other.map(lambda r: ("R", r)))
 
         def k(rec):
             tag, r = rec
@@ -340,7 +393,6 @@ class DistributedArray:
         self, value: Callable[[Any], Any], combine: Callable[[Any, Any], Any], init: Any
     ) -> Any:
         """Reduce all records to a single value on machine 0 (1 round)."""
-        m = self.sim.num_machines
         local = []
         for p in self.parts:
             acc = init

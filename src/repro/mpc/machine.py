@@ -9,7 +9,7 @@ the start of the round) and emits messages addressed to other machines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List
+from typing import Any, Callable, Iterable, List
 
 from repro.mpc.words import record_words
 
@@ -32,16 +32,22 @@ class Machine:
         impose structure.
     inbox:
         Messages delivered at the start of the current superstep.
+    sizer:
+        The record-iterable word sizer used for memory accounting; the
+        simulator injects the one selected by
+        :attr:`~repro.mpc.config.MPCConfig.accounting` (defaults to the exact
+        reference walker for directly constructed machines).
     """
 
     mid: int
     capacity: int
     store: List[Any] = field(default_factory=list)
     inbox: List[Any] = field(default_factory=list)
+    sizer: Callable[[Iterable[Any]], int] = record_words
 
     def load_words(self) -> int:
         """Current store size in words."""
-        return record_words(self.store)
+        return self.sizer(self.store)
 
     def load_records(self) -> int:
         """Current store size in number of records."""

@@ -27,7 +27,7 @@ from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.mpc.config import MPCConfig
 from repro.mpc.machine import Machine
-from repro.mpc.words import record_words
+from repro.mpc.words import record_sizer, scalar_sizer
 
 __all__ = ["MPCSimulator", "RoundStats", "CapacityViolation"]
 
@@ -75,6 +75,11 @@ class RoundStats:
 
     def diff(self, earlier: "RoundStats") -> "RoundStats":
         """Statistics accumulated since ``earlier`` (a snapshot)."""
+
+        def label_diff(now: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+            out = {k: v - before.get(k, 0) for k, v in now.items()}
+            return {k: v for k, v in out.items() if v}
+
         d = RoundStats(
             rounds=self.rounds - earlier.rounds,
             charged_rounds=self.charged_rounds - earlier.charged_rounds,
@@ -85,6 +90,8 @@ class RoundStats:
             peak_round_recv_words=self.peak_round_recv_words,
             memory_violations=self.memory_violations - earlier.memory_violations,
             bandwidth_violations=self.bandwidth_violations - earlier.bandwidth_violations,
+            charged_by_label=label_diff(self.charged_by_label, earlier.charged_by_label),
+            rounds_by_label=label_diff(self.rounds_by_label, earlier.rounds_by_label),
         )
         return d
 
@@ -99,11 +106,18 @@ class MPCSimulator:
 
     def __init__(self, config: MPCConfig):
         self.config = config
+        #: Per-object / per-iterable word sizers selected by config.accounting.
+        self.word_size = scalar_sizer(config.accounting)
+        self.record_words = record_sizer(config.accounting)
         self.machines: List[Machine] = [
-            Machine(mid=i, capacity=config.machine_capacity)
+            Machine(mid=i, capacity=config.machine_capacity, sizer=self.record_words)
             for i in range(config.num_machines)
         ]
         self.stats = RoundStats()
+        #: Words received per machine in the most recent superstep; consumers
+        #: that take ownership of the delivered messages (darray routing) use
+        #: it to carry the already-priced totals forward without a re-walk.
+        self.last_recv_words: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -165,6 +179,8 @@ class MPCSimulator:
         """
         outgoing: Dict[int, List[Any]] = defaultdict(list)
         send_words: Dict[int, int] = defaultdict(int)
+        recv_words: Dict[int, int] = defaultdict(int)
+        sizer = self.word_size
 
         for machine in self.machines:
             emitted = compute(machine) or []
@@ -174,18 +190,21 @@ class MPCSimulator:
                         f"machine {machine.mid} addressed invalid machine {dest}"
                     )
                 outgoing[dest].append(message)
-                w = record_words([message])
+                # Each message is priced once; the receive-side total is the
+                # sum of the same sizes (identical objects, deterministic
+                # sizer), so no second walk is needed on delivery.
+                w = sizer(message)
                 send_words[machine.mid] += w
+                recv_words[dest] += w
                 self.stats.total_messages += 1
                 self.stats.total_words_sent += w
 
-        # Deliver messages and account bandwidth on the receive side.
-        recv_words: Dict[int, int] = defaultdict(int)
+        # Deliver messages; bandwidth was accounted per message above.
         for machine in self.machines:
             machine.clear_inbox()
         for dest, msgs in outgoing.items():
             self.machines[dest].receive(msgs)
-            recv_words[dest] = record_words(msgs)
+        self.last_recv_words = dict(recv_words)
 
         max_send = max(send_words.values(), default=0)
         max_recv = max(recv_words.values(), default=0)
@@ -230,6 +249,34 @@ class MPCSimulator:
                 raise CapacityViolation(
                     f"memory cap {self.machine_capacity} exceeded (peak {peak})"
                 )
+
+    def tick_rounds(self, k: int, label: str = "superstep") -> None:
+        """Count ``k`` *measured* communication rounds evaluated by the driver.
+
+        Semantically these are genuine supersteps of the model — they advance
+        the round counter and the per-label round counts exactly like
+        :meth:`superstep` — but the local computation and the O(1)-word
+        per-machine traffic they carry are evaluated on the driver instead of
+        being routed through the machines.  Two users:
+
+        * the array-backed tree subroutines
+          (:mod:`repro.mpc.treeops_array`), which compute bit-identical
+          outputs to the record-level path and tick the identical round/label
+          sequence, and
+        * the short-circuited convergence convergecasts of the record-level
+          doubling loops, where the driver evaluates the "any machine still
+          active?" predicate directly but the one-round convergecast the
+          model needs for the machines to agree on termination is still
+          counted here.
+
+        No messages flow, so message/word statistics are unaffected; only
+        round counts move.
+        """
+        if k < 0:
+            raise ValueError("cannot tick a negative number of rounds")
+        self.stats.rounds += k
+        if k:
+            self.stats.rounds_by_label[label] = self.stats.rounds_by_label.get(label, 0) + k
 
     # ------------------------------------------------------------------ #
     # Charged rounds

@@ -29,6 +29,22 @@ These are faithful in round complexity and output to the paper's black-box
 lemmas even though they do not reproduce the [SODA'23] machinery line by
 line; see DESIGN.md §2.
 
+Each subroutine has two interchangeable backends, selected by
+:attr:`~repro.mpc.config.MPCConfig.treeops_backend`:
+
+* ``"records"`` — the reference path in this module: per-record state shipped
+  through the simulated machines with the distributed-array primitives.
+* ``"array"`` (default) — :mod:`repro.mpc.treeops_array`: the same doubling
+  schedules evaluated on flat NumPy integer arrays, with bit-identical
+  outputs and bit-identical round/label accounting (see that module's
+  fidelity contract).
+
+In both backends the per-iteration convergence test ("is any machine still
+active?") is a one-round convergecast in the model; the driver evaluates the
+predicate directly and counts the round via
+:meth:`~repro.mpc.simulator.MPCSimulator.tick_rounds` instead of routing a
+count through the machines — same rounds, none of the per-message pricing.
+
 Rooting of an *undirected* edge list is provided by
 :func:`orient_tree_charged`, which is a documented substitution: the
 orientation itself is computed by the driver and the O(log D) rounds the
@@ -53,6 +69,10 @@ __all__ = [
 ]
 
 
+def _use_array_backend(sim: MPCSimulator) -> bool:
+    return sim.config.treeops_backend == "array"
+
+
 # --------------------------------------------------------------------------- #
 # Depth computation by pointer doubling
 # --------------------------------------------------------------------------- #
@@ -71,6 +91,20 @@ def compute_depths(
     root) together with the distance to it, so ``ceil(log2 depth) + 1``
     iterations suffice — O(log D) rounds in total.
     """
+    if _use_array_backend(sim):
+        from repro.mpc.treeops_array import compute_depths_array
+
+        return compute_depths_array(sim, parent, root, max_iterations)
+    return _compute_depths_records(sim, parent, root, max_iterations)
+
+
+def _compute_depths_records(
+    sim: MPCSimulator,
+    parent: Dict[int, int],
+    root: int,
+    max_iterations: Optional[int] = None,
+) -> Dict[int, int]:
+    """Record-level reference implementation of :func:`compute_depths`."""
     if root not in parent or parent[root] != root:
         parent = dict(parent)
         parent[root] = root
@@ -100,12 +134,12 @@ def compute_depths(
             return (v, t_jump, dist + t_dist)
 
         new_arr = joined.map(advance)
-        # Convergence test: one convergecast round.
-        unfinished = new_arr.reduce(
-            lambda r: 0 if r[0] == r[1] or r[1] == root else 1,
-            lambda a, b: a + b,
-            0,
+        # Convergence test: one convergecast round, driver-evaluated (see the
+        # module docstring).
+        unfinished = sum(
+            1 for p in new_arr.parts for r in p if not (r[0] == r[1] or r[1] == root)
         )
+        sim.tick_rounds(1, label="reduce")
         arr = new_arr
         if unfinished == 0:
             break
@@ -146,6 +180,21 @@ def capped_subtree_gather(
     the full vertex set of its subtree; a *heavy* node only learns that it is
     heavy.  The frontier-doubling loop runs for O(log min(D, cap)) iterations.
     """
+    if _use_array_backend(sim):
+        from repro.mpc.treeops_array import capped_subtree_gather_array
+
+        return capped_subtree_gather_array(sim, parent, children, root, cap)
+    return _capped_subtree_gather_records(sim, parent, children, root, cap)
+
+
+def _capped_subtree_gather_records(
+    sim: MPCSimulator,
+    parent: Dict[int, int],
+    children: Dict[int, List[int]],
+    root: int,
+    cap: int,
+) -> Dict[int, SubtreeInfo]:
+    """Record-level reference implementation of :func:`capped_subtree_gather`."""
     nodes = list(parent.keys())
     if root not in children:
         children = dict(children)
@@ -167,10 +216,19 @@ def capped_subtree_gather(
     # The frontier depth doubles each iteration and a light subtree has depth
     # at most its size <= cap, so log2(cap)+2 iterations always suffice.
 
+    def is_active(s) -> bool:
+        return (not s[3]) and len(s[2]) > 0
+
     for _ in range(limit):
-        active = arr.filter(lambda s: (not s[3]) and len(s[2]) > 0)
-        if active.count() == 0:
+        # Convergence test: in the model this is a one-round convergecast
+        # ("does any machine still hold an active record?"); the driver
+        # evaluates the predicate over the partitions directly and counts the
+        # round, instead of routing a full count() through the machines.
+        any_active = any(is_active(s) for p in arr.parts for s in p)
+        sim.tick_rounds(1, label="reduce")
+        if not any_active:
             break
+        active = arr.filter(is_active)
 
         # Requests: (requester v, target u) keyed by target u.
         requests = active.flat_map(lambda s: [(s[0], u) for u in s[2]])
@@ -184,12 +242,7 @@ def capped_subtree_gather(
         # Merge the responses into each requester's state.
         tagged_states = arr.map(lambda s: ("state", s[0], s))
         tagged_resps = responses.map(lambda r: ("resp", r[0], r[1]))
-        union_parts = [
-            list(tagged_states.parts[i]) + list(tagged_resps.parts[i])
-            for i in range(sim.num_machines)
-        ]
-        union = DistributedArray(sim, union_parts)
-        merged = union.group_by(lambda rec: rec[1])
+        merged = tagged_states.concat(tagged_resps).group_by(lambda rec: rec[1])
 
         def combine(group):
             _, members = group
@@ -262,6 +315,19 @@ def degree2_path_positions(
         where the anchors are the endpoint path nodes of ``v``'s maximal
         degree-2 path.  Distances are counted in edges along the path.
     """
+    if _use_array_backend(sim):
+        from repro.mpc.treeops_array import degree2_path_positions_array
+
+        return degree2_path_positions_array(sim, path_parent, path_child)
+    return _degree2_path_positions_records(sim, path_parent, path_child)
+
+
+def _degree2_path_positions_records(
+    sim: MPCSimulator,
+    path_parent: Dict[int, Optional[int]],
+    path_child: Dict[int, Optional[int]],
+) -> Dict[int, Tuple[int, int, int, int]]:
+    """Record-level reference implementation of :func:`degree2_path_positions`."""
     nodes = list(path_parent.keys())
     if not nodes:
         return {}
@@ -284,9 +350,10 @@ def degree2_path_positions(
 
     limit = max(1, 2 + int(math.ceil(math.log2(max(2, len(nodes))))))
     for _ in range(limit):
-        unfinished = arr.reduce(
-            lambda r: 0 if (r[3] and r[6]) else 1, lambda a, b: a + b, 0
-        )
+        # Convergence test: one convergecast round, driver-evaluated (see the
+        # module docstring).
+        unfinished = sum(1 for p in arr.parts for r in p if not (r[3] and r[6]))
+        sim.tick_rounds(1, label="reduce")
         if unfinished == 0:
             break
 
