@@ -1,0 +1,153 @@
+"""Experiment U — incremental point updates vs. from-scratch re-solves.
+
+The serving-path claim of the incremental subsystem (:mod:`repro.dynamic`):
+after one ``prepare()`` + solve, a point update re-solves only the dirty
+cluster chain — O(log n) clusters instead of all of them — so repeated
+weight tweaks and payload edits are far cheaper than re-running the
+pipeline.  This experiment measures, at the acceptance size (n >= 10^4):
+
+* a from-scratch ``solve()`` (prepare + DP) of the updated tree, vs.
+* ``IncrementalSolver.apply_updates`` for the same single edit (including
+  the label re-derivation and the projected-result construction),
+
+for a single-edge weight update (maximum-weight matching), a single-node
+weight update (maximum-weight independent set) and a single-clause edit
+(weighted max-SAT).  Every timed update is also verified bit-identical —
+value *and* labels — against the from-scratch solve it is compared to, and
+the dirty-chain size is reported against the layer count.  Results land in
+``BENCH_updates.json`` for the CI perf artifacts.
+
+Noise model: as in bench_kernels, per-update minima over interleaved repeats
+(scratch, incremental, scratch, ...) estimate clean-machine times.
+"""
+
+import random
+import time
+
+from repro.core.pipeline import prepare, solve
+from repro.dynamic import IncrementalSolver, edge_update, node_update
+from repro.problems.max_weight_independent_set import MaxWeightIndependentSet
+from repro.problems.max_weight_matching import MaxWeightMatching
+from repro.problems.weighted_max_sat import WeightedMaxSAT
+from repro.trees import generators as gen
+
+from benchmarks.bench_kernels import _sat_payload
+from benchmarks.conftest import SMOKE, emit_json, print_table, run_once, scaled
+
+#: The acceptance regime: n >= 10^4 nodes (reduced in smoke mode).
+N = scaled(10_000, 500)
+SEED = 2
+UPDATES = 5  # distinct edits measured per scenario
+REPEATS = 1 if SMOKE else 3
+
+
+def _edge_weighted(tree, seed):
+    rng = random.Random(seed)
+    tree.edge_data = {e: round(rng.uniform(0, 5), 3) for e in tree.edges()}
+    return tree
+
+
+def _scenarios():
+    base = gen.random_attachment_tree(N, seed=SEED)
+    weighted = gen.with_random_weights(base, seed=SEED)
+    rng = random.Random(77)
+
+    def edge_weight_edit(tree):
+        return [edge_update(rng.choice(tree.edges()), round(rng.uniform(0, 5), 3))]
+
+    def node_weight_edit(tree):
+        return [node_update(rng.choice(tree.nodes()), round(rng.uniform(0, 10), 3))]
+
+    def clause_edit(tree):
+        e = rng.choice(tree.edges())
+        data = {"clauses": [(rng.random() < 0.5, rng.random() < 0.5, round(rng.uniform(0, 5), 2))]}
+        return [edge_update(e, data)]
+
+    return [
+        (
+            "single-edge weight (matching)",
+            _edge_weighted(gen.random_attachment_tree(N, seed=SEED), SEED),
+            MaxWeightMatching,
+            edge_weight_edit,
+        ),
+        ("single-node weight (MWIS)", weighted, MaxWeightIndependentSet, node_weight_edit),
+        ("single-clause edit (max-SAT)", _sat_payload(base, SEED), WeightedMaxSAT, clause_edit),
+    ]
+
+
+def _measure():
+    rows = []
+    for name, tree, make_problem, make_edit in _scenarios():
+        inc = IncrementalSolver(prepare(tree), make_problem())
+        chain = []
+        identical = True
+        scratch_runs, update_runs = [], []
+        for _ in range(UPDATES):
+            s_times, u_times = [], []
+            for _ in range(REPEATS):
+                # Interleave: one incremental application, one from-scratch
+                # solve of the same updated state.  Every repeat applies a
+                # *fresh* edit so each timed apply_updates is a genuine
+                # dirty-chain transition — an idempotent re-apply would
+                # prune after one cluster and overstate the speedup.
+                ups = make_edit(tree)
+                t0 = time.perf_counter()
+                report = inc.apply_updates(ups)
+                got = inc.as_pipeline_result()
+                u_times.append(time.perf_counter() - t0)
+                chain.append(report.clusters_resolved)
+                t0 = time.perf_counter()
+                ref = solve(tree, make_problem())
+                s_times.append(time.perf_counter() - t0)
+                identical = identical and (
+                    got.value == ref.value
+                    and got.root_label == ref.root_label
+                    and got.edge_labels == ref.edge_labels
+                    and got.node_labels == ref.node_labels
+                )
+            scratch_runs.append(min(s_times))
+            update_runs.append(min(u_times))
+        rows.append(
+            {
+                "scenario": name,
+                "scratch_ms": sum(scratch_runs) / len(scratch_runs) * 1000,
+                "update_ms": sum(update_runs) / len(update_runs) * 1000,
+                "speedup": sum(scratch_runs) / max(sum(update_runs), 1e-12),
+                "max_chain": max(chain),
+                "layers": inc.hc.num_layers,
+                "clusters": len(inc.hc.clusters),
+                "identical": identical,
+            }
+        )
+    return rows
+
+
+def test_incremental_update_speedup(benchmark):
+    rows = run_once(benchmark, _measure)
+    print_table(
+        f"Incremental updates vs from-scratch solve() (n={N}, random tree)",
+        ["scenario", "scratch ms", "update ms", "speedup", "chain", "layers", "identical"],
+        [
+            (
+                r["scenario"],
+                f"{r['scratch_ms']:.2f}",
+                f"{r['update_ms']:.3f}",
+                f"{r['speedup']:.1f}x",
+                f"{r['max_chain']}/{r['clusters']}",
+                r["layers"],
+                "yes" if r["identical"] else "NO",
+            )
+            for r in rows
+        ],
+    )
+    emit_json("updates", {"n": N, "seed": SEED, "rows": rows})
+
+    assert all(r["identical"] for r in rows), "incremental state diverged from from-scratch"
+    assert all(r["max_chain"] <= r["layers"] for r in rows), "dirty chain exceeded layer count"
+    if not SMOKE and N >= 10_000:
+        # Acceptance bar: a single-edge weight update re-solves >= 5x faster
+        # than a from-scratch solve() of the updated tree.
+        edge_row = rows[0]
+        assert edge_row["speedup"] >= 5.0, (
+            f"single-edge update speedup regressed to {edge_row['speedup']:.2f}x"
+        )

@@ -11,6 +11,8 @@ approach (Section 1.4):
   (degree reduction, indegree-zero/one construction, invariants);
 * :mod:`repro.dp` — the dynamic programming engine of Section 5 (finite-state
   problems, accumulations, raw cluster DPs);
+* :mod:`repro.dynamic` — incremental re-solves under point updates (the
+  serving path: only the dirty cluster chain is re-run);
 * :mod:`repro.problems` — the problem library of Table 1;
 * :mod:`repro.inference` — Gaussian belief propagation (Section 6.2);
 * :mod:`repro.baselines` — the O(log n) rake-and-compress comparator and
@@ -28,7 +30,16 @@ Quickstart::
     print(result.value, result.rounds)
 """
 
-from repro.core.pipeline import PipelineResult, PreparedTree, prepare, solve, solve_many, solve_on
+from repro.core.pipeline import (
+    PipelineResult,
+    PreparedTree,
+    prepare,
+    solve,
+    solve_incremental,
+    solve_many,
+    solve_on,
+)
+from repro.dynamic import IncrementalSolver, PointUpdate, edge_update, node_update
 from repro.mpc import MPCConfig, MPCSimulator
 from repro.trees.tree import RootedTree
 
@@ -38,9 +49,14 @@ __all__ = [
     "solve",
     "solve_on",
     "solve_many",
+    "solve_incremental",
     "prepare",
     "PipelineResult",
     "PreparedTree",
+    "IncrementalSolver",
+    "PointUpdate",
+    "node_update",
+    "edge_update",
     "MPCConfig",
     "MPCSimulator",
     "RootedTree",

@@ -39,7 +39,15 @@ from repro.representations.normalize import normalize_to_rooted_tree
 from repro.trees.properties import max_degree
 from repro.trees.tree import RootedTree
 
-__all__ = ["PipelineResult", "PreparedTree", "prepare", "solve", "solve_many", "as_cluster_dp"]
+__all__ = [
+    "PipelineResult",
+    "PreparedTree",
+    "prepare",
+    "solve",
+    "solve_many",
+    "solve_incremental",
+    "as_cluster_dp",
+]
 
 AnyProblem = Union[ClusterDP, FiniteStateDP, UpwardAccumulationDP, DownwardAccumulationDP]
 
@@ -90,6 +98,18 @@ class PreparedTree:
             aux_nodes=self.reduction.aux_nodes,
             original_parent=self.reduction.original_parent,
         )
+
+    def incremental(self, problem: AnyProblem, backend: Optional[str] = None, **kwargs):
+        """Solve ``problem`` once and return an update-accepting solver.
+
+        The returned :class:`~repro.dynamic.IncrementalSolver` keeps the
+        solved per-cluster state alive and applies batched point updates
+        (node/edge payload edits) by re-running only the dirty cluster
+        chain — see :mod:`repro.dynamic.incremental`.
+        """
+        from repro.dynamic import IncrementalSolver
+
+        return IncrementalSolver(self, problem, backend=backend, **kwargs)
 
 
 @dataclass
@@ -238,6 +258,36 @@ def solve(
         backend=backend,
     )
     return solve_on(prepared, problem, backend=backend)
+
+
+def solve_incremental(
+    tree_or_representation: Any,
+    problem: AnyProblem,
+    delta: float = 0.5,
+    root: Optional[Hashable] = None,
+    capacity_factor: float = 4.0,
+    degree_reduction: bool = True,
+    light_threshold: Optional[int] = None,
+    backend: Optional[str] = None,
+    **kwargs,
+):
+    """Prepare, solve once, and return an update-accepting incremental solver.
+
+    The serving-path convenience mirror of :func:`solve`: the returned
+    :class:`~repro.dynamic.IncrementalSolver` exposes the solved state
+    (``value``, labels, :meth:`~repro.dynamic.IncrementalSolver.as_pipeline_result`)
+    and accepts batched point updates without re-clustering.
+    """
+    prepared = prepare(
+        tree_or_representation,
+        delta=delta,
+        root=root,
+        capacity_factor=capacity_factor,
+        degree_reduction=degree_reduction,
+        light_threshold=light_threshold,
+        backend=backend,
+    )
+    return prepared.incremental(problem, backend=backend, **kwargs)
 
 
 def solve_many(

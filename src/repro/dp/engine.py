@@ -21,18 +21,24 @@ number of layers (which is O(1)), not on ``n``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.clustering.model import Cluster, HierarchicalClustering
 from repro.dp.problem import ClusterContext, ClusterDP
 from repro.mpc.simulator import MPCSimulator
 
-__all__ = ["DPEngine", "SolveResult", "ROUNDS_PER_LAYER"]
+__all__ = ["DPEngine", "SolveResult", "ROUNDS_PER_LAYER", "DP_PASS_LABEL", "DP_UPDATE_LABEL"]
 
 #: Rounds charged per layer and per pass: one sort to group every cluster's
 #: elements onto one machine, one routing step to send the summaries/labels
 #: back (Section 5.1/5.2).
 ROUNDS_PER_LAYER = 2
+
+#: Round/word label of the initial (full) solve's passes.
+DP_PASS_LABEL = "dp-pass"
+#: Round/word label of the incremental update path's partial passes — kept
+#: separate so benchmarks can compare an update's cost against a full solve.
+DP_UPDATE_LABEL = "dp-update"
 
 
 @dataclass
@@ -92,7 +98,8 @@ class DPEngine:
 
     # ------------------------------------------------------------------ #
 
-    def _context(self, cluster: Cluster, summaries: Dict[int, Any]) -> ClusterContext:
+    def context(self, cluster: Cluster, summaries: Dict[int, Any]) -> ClusterContext:
+        """A :class:`ClusterContext` for one cluster against ``summaries``."""
         return ClusterContext(
             cluster=cluster,
             tree=self.hc.tree,
@@ -103,32 +110,69 @@ class DPEngine:
             original_parent=self.original_parent,
         )
 
-    def _charge(self, rounds: int) -> None:
+    def _charge(self, rounds: int, label: str = DP_PASS_LABEL) -> None:
         if self.sim is not None:
-            self.sim.charge_rounds(rounds, label="dp-pass")
+            self.sim.charge_rounds(rounds, label=label)
+
+    def _charge_words(self, payloads: Sequence[Any], label: str = DP_PASS_LABEL) -> None:
+        """Charge the routed volume of one layer's summaries or labels."""
+        if self.sim is not None:
+            sizer = self.sim.word_size
+            self.sim.charge_words(sum(sizer(p) for p in payloads), label=label)
 
     # ------------------------------------------------------------------ #
+
+    def summarize_clusters(
+        self,
+        problem: ClusterDP,
+        summaries: Dict[int, Any],
+        clusters_by_layer: Dict[int, List[Cluster]],
+        label: str = DP_PASS_LABEL,
+    ) -> int:
+        """Bottom-up pass over the given clusters only (``summaries`` updated).
+
+        ``clusters_by_layer`` maps layer index → clusters of that layer to
+        (re-)summarize; every other cluster's entry in ``summaries`` is
+        reused as-is, which is what makes the incremental update path's
+        partial re-solve possible.  Layers are processed in ascending order
+        and each touched layer is handed to the solver as one batch (the
+        engine's parallel unit), exactly like the full pass; rounds and the
+        routed summary words are charged per listed layer under ``label``.
+        A listed layer with no clusters still charges its rounds (and zero
+        words) — the full solve lists every layer, including the empty ones
+        some trees produce, and its round count must stay identical to the
+        top-down pass's and to previous releases.  Returns the number of
+        rounds charged.
+        """
+        charged = 0
+        for layer in sorted(clusters_by_layer):
+            clusters = clusters_by_layer[layer]
+            if clusters:
+                ctxs = [self.context(cluster, summaries) for cluster in clusters]
+                for cluster, summary in zip(clusters, problem.summarize_layer(ctxs)):
+                    summaries[cluster.cid] = summary
+            self._charge(ROUNDS_PER_LAYER, label)
+            self._charge_words([summaries[c.cid] for c in clusters], label)
+            charged += ROUNDS_PER_LAYER
+        return charged
 
     def solve(self, problem: ClusterDP) -> SolveResult:
         """Run the bottom-up and top-down passes for ``problem``."""
         hc = self.hc
         summaries: Dict[int, Any] = {}
-        charged = 0
 
         # ---- bottom-up (Definition 8 / Figure 2) -------------------------- #
         # A layer's clusters are independent (they would be solved by
         # different machines in one round); they are handed to the solver as
         # one batch so vectorized solvers can share work across clusters.
-        for layer in range(1, hc.num_layers + 1):
-            clusters = hc.clusters_at_layer(layer)
-            ctxs = [self._context(cluster, summaries) for cluster in clusters]
-            for cluster, summary in zip(clusters, problem.summarize_layer(ctxs)):
-                summaries[cluster.cid] = summary
-            self._charge(ROUNDS_PER_LAYER)
-            charged += ROUNDS_PER_LAYER
+        charged = self.summarize_clusters(
+            problem,
+            summaries,
+            {layer: hc.clusters_at_layer(layer) for layer in range(1, hc.num_layers + 1)},
+        )
 
         final = hc.final_cluster
-        ctx_final = self._context(final, summaries)
+        ctx_final = self.context(final, summaries)
         root_label, value = problem.label_virtual_root(ctx_final, summaries[final.cid])
 
         edge_labels: Dict[Tuple[Hashable, Hashable], Any] = {}
@@ -138,6 +182,7 @@ class DPEngine:
         if problem.produces_labels:
             # The virtual root edge is labeled first.
             for layer in range(hc.num_layers, 0, -1):
+                layer_labels: List[Any] = []
                 for cluster in hc.clusters_at_layer(layer):
                     if cluster.cid == hc.final_cluster_id:
                         out_label = root_label
@@ -146,11 +191,13 @@ class DPEngine:
                     in_label = (
                         edge_labels[cluster.in_edge] if cluster.in_edge is not None else None
                     )
-                    ctx = self._context(cluster, summaries)
+                    ctx = self.context(cluster, summaries)
                     labels = problem.assign_internal_labels(ctx, out_label, in_label)
                     for child_e, parent_e, edge in cluster.internal_edges:
                         edge_labels[edge] = labels[child_e]
+                        layer_labels.append(labels[child_e])
                 self._charge(ROUNDS_PER_LAYER)
+                self._charge_words(layer_labels)
                 charged += ROUNDS_PER_LAYER
 
             for (child, _parent), lab in edge_labels.items():

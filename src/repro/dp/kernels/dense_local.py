@@ -108,6 +108,16 @@ class DenseClusterKernel:
         self._hole_rows = [eye[h : h + 1] for h in range(S)]
         #: Backpointers recorded by summarize, keyed by cluster id; consumed
         #: by assign_internal_labels during the top-down pass.
+        #:
+        #: This memo is deliberately *persistent* across solves: it is the
+        #: per-cluster bottom-up state the incremental update path
+        #: (:mod:`repro.dynamic`) relies on.  A partial re-solve overwrites
+        #: exactly the re-summarized clusters' traces, so a later top-down
+        #: visit of an *untouched* cluster (re-labeled only because a
+        #: boundary label changed) replays the traces of the solve that last
+        #: computed it — which is still consistent, because a cluster is only
+        #: skipped by the partial bottom-up when neither its payloads nor its
+        #: element summaries changed.  Droppable via :meth:`forget_traces`.
         self._traces: Dict[int, Dict[Element, Optional[_Trace]]] = {}
 
     # ------------------------------------------------------------------ #
@@ -116,6 +126,23 @@ class DenseClusterKernel:
 
     def summarize(self, ctx: ClusterContext) -> Any:
         return self._summarize_one(ctx, {}, {})
+
+    def has_trace(self, cid: int) -> bool:
+        """Whether the bottom-up memo still holds cluster ``cid``'s traces."""
+        return cid in self._traces
+
+    def forget_traces(self, cids=None) -> None:
+        """Drop the bottom-up trace memo (all clusters, or just ``cids``).
+
+        Frees the per-cluster backpointer arrays; a later
+        :meth:`assign_internal_labels` on a forgotten cluster transparently
+        re-runs its local solve against the current tree payloads.
+        """
+        if cids is None:
+            self._traces.clear()
+        else:
+            for cid in cids:
+                self._traces.pop(cid, None)
 
     def summarize_layer(self, ctxs: List[ClusterContext]) -> List[Any]:
         """Layer batch: level-schedule the node elements across all clusters.

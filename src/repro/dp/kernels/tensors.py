@@ -76,8 +76,32 @@ class ProblemTensors:
         self._trans_affine_cache: Dict[
             Hashable, Optional[Tuple[np.ndarray, np.ndarray]]
         ] = {}
+        #: Observability counters for the caching/recompose behaviour.  The
+        #: incremental update path's contract — a weight-only edit inside one
+        #: affine group re-*composes* tensors instead of re-*enumerating* the
+        #: problem's scalar rules — is asserted against these in the tests.
+        self.stats: Dict[str, int] = {
+            "transition_enumerations": 0,
+            "finalize_enumerations": 0,
+            "affine_composes": 0,
+        }
 
     # ------------------------------------------------------------------ #
+
+    def clear_value_caches(self) -> None:
+        """Drop the payload-value-keyed rule caches (init/transition/finalize).
+
+        Their keys embed payload values (a node's weight, an edge's clause
+        weight vector), so a long-lived solver fed a stream of distinct
+        weights — the incremental serving path — grows them without bound.
+        :meth:`~repro.dynamic.IncrementalSolver.refresh` calls this as its
+        memory release valve.  The affine probe caches are kept: they are
+        keyed by *structural* keys, whose count is bounded by the problem's
+        rule structure, and rebuilding them costs full rule enumerations.
+        """
+        self._init_cache.clear()
+        self._trans_cache.clear()
+        self._fin_cache.clear()
 
     def _fill(self, shape, cells: Dict[Any, Any]) -> np.ndarray:
         """Dense array from merged ``{index: value}`` cells."""
@@ -173,6 +197,7 @@ class ProblemTensors:
         return tensor
 
     def _enumerate_transition(self, v: NodeInput, edge: Optional[EdgeInfo]) -> np.ndarray:
+        self.stats["transition_enumerations"] += 1
         A, S = len(self.aspace), len(self.sspace)
         transition = self.problem.transition
         cells: Dict[Any, Any] = {}
@@ -206,6 +231,7 @@ class ProblemTensors:
         return mat
 
     def _enumerate_finalize(self, v: NodeInput) -> np.ndarray:
+        self.stats["finalize_enumerations"] += 1
         finalize = self.problem.finalize
         cells: Dict[Any, Any] = {}
         for ai, acc in enumerate(self.aspace.states):
@@ -323,6 +349,7 @@ class ProblemTensors:
         finite — which is asserted here, on the small ``(n, K)`` weight
         array rather than the composed tables.
         """
+        self.stats["affine_composes"] += 1
         n, k = weights.shape
         if masks.shape[0] != k:
             raise ValueError(

@@ -1,0 +1,20 @@
+"""Incremental re-solve subsystem: point updates over the cluster hierarchy.
+
+See :mod:`repro.dynamic.incremental` for the design notes.
+"""
+
+from repro.dynamic.incremental import (
+    IncrementalSolver,
+    PointUpdate,
+    UpdateReport,
+    edge_update,
+    node_update,
+)
+
+__all__ = [
+    "IncrementalSolver",
+    "PointUpdate",
+    "UpdateReport",
+    "node_update",
+    "edge_update",
+]

@@ -1,0 +1,567 @@
+"""Incremental re-solve of DP problems under point updates (serving path).
+
+After ``prepare()`` + one full solve, every weight tweak or payload edit used
+to pay a full bottom-up/top-down pass from scratch.  The cluster/layer
+decomposition localizes the effect of a *point* update: a node payload is
+read by exactly one cluster (the one absorbing its node element), an edge
+payload by at most the cluster it is internal to plus the nested
+indegree-one clusters it enters through — and a changed cluster summary can
+only affect the chain of clusters absorbing it, whose layers strictly
+increase.  A single-vertex update therefore dirties at most one cluster per
+layer (the paper's O(log n) chain; cf. Italiano & Mirrokni's dynamic-MPC
+framing), and the update path re-runs only those clusters' local solves.
+
+:class:`IncrementalSolver` wraps a prepared tree plus one solved problem and
+accepts batched point updates without re-clustering:
+
+* **Partial bottom-up.**  Updates seed the clusters that own the touched
+  payloads; each touched layer's dirty clusters are re-summarized as one
+  batch through the same :meth:`~repro.dp.engine.DPEngine.summarize_clusters`
+  path the full solve uses, so the vectorized kernels' grouped array
+  programs, cached cluster plans and affine tensor decompositions are all
+  reused (a weight-only edit inside one affine group re-*composes* tensors;
+  it never re-enumerates the problem's scalar rules).  A re-solved cluster
+  whose summary comes out bit-identical stops the chain — its parent's
+  inputs did not change.
+* **Partial top-down.**  Only re-solved clusters and clusters whose boundary
+  (out-edge / in-edge) label changed re-derive internal labels; label
+  changes propagate strictly downward through the hierarchy, so the pass
+  walks exactly the affected root-to-leaf label paths.  The dense backend's
+  persistent trace memo makes re-labeling an untouched cluster a pure
+  replay.
+* **Accounting.**  Rounds and routed words of the partial passes are
+  charged under the separate ``"dp-update"`` label
+  (:data:`~repro.dp.engine.DP_UPDATE_LABEL`), so benchmarks can compare an
+  update's cost against the initial solve's ``"dp-pass"`` charges.
+
+Supported updates are payload edits on existing nodes and edges
+(:func:`node_update` / :func:`edge_update`) — weight changes, clause-weight
+edits, tag/op/leaf-value swaps.  Structural edits (adding/removing nodes or
+edges) are *not* supported: they invalidate the clustering itself, so
+callers must re-run ``prepare()``.  A batch whose dirty closure covers most
+of the hierarchy falls back to a full re-solve of every cluster (still
+without re-clustering); :meth:`IncrementalSolver.refresh` forces that
+explicitly.
+
+Every state the solver maintains (summaries, labels, value) stays
+bit-identical to a from-scratch ``solve()`` on the updated tree — the
+differential fuzz suite asserts this after every step of randomized update
+sequences, across tree families, the problem registry and both kernel
+backends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.clustering.model import cluster_element
+from repro.core.pipeline import PipelineResult, PreparedTree, as_cluster_dp
+from repro.dp.engine import DP_UPDATE_LABEL, ROUNDS_PER_LAYER, SolveResult
+from repro.mpc.simulator import RoundStats
+
+__all__ = [
+    "PointUpdate",
+    "UpdateReport",
+    "IncrementalSolver",
+    "node_update",
+    "edge_update",
+    "summaries_equal",
+]
+
+#: Recognised update kinds.
+UPDATE_KINDS = ("node", "edge")
+
+
+@dataclass(frozen=True)
+class PointUpdate:
+    """One payload edit.
+
+    Attributes
+    ----------
+    kind:
+        ``"node"`` or ``"edge"``.
+    target:
+        The node id, or the ``(child, parent)`` edge of the *original*
+        (pre-degree-reduction) tree.
+    data:
+        The new payload (replaces the old one wholesale); ``None`` removes
+        the payload.
+    """
+
+    kind: str
+    target: Any
+    data: Any = None
+
+
+def node_update(v: Hashable, data: Any) -> PointUpdate:
+    """Replace node ``v``'s payload (weight, clause set, tag, leaf value...)."""
+    return PointUpdate("node", v, data)
+
+
+def edge_update(edge: Tuple[Hashable, Hashable], data: Any) -> PointUpdate:
+    """Replace edge ``(child, parent)``'s payload (weight, clause set, ...)."""
+    return PointUpdate("edge", tuple(edge), data)
+
+
+@dataclass
+class UpdateReport:
+    """What one :meth:`IncrementalSolver.apply_updates` call did.
+
+    ``clusters_resolved`` counts bottom-up local re-solves (for a
+    single-vertex update this is bounded by the number of layers),
+    ``clusters_relabeled`` the top-down label re-derivations, and
+    ``rounds_charged`` / ``words_charged`` the update's ``"dp-update"``
+    accounting.  ``full_resolve`` marks the bulk-update fallback where every
+    cluster was re-solved.
+    """
+
+    updates: int
+    clusters_resolved: int = 0
+    clusters_relabeled: int = 0
+    summaries_changed: int = 0
+    edges_relabeled: int = 0
+    layers_resolved: int = 0
+    layers_relabeled: int = 0
+    rounds_charged: int = 0
+    words_charged: int = 0
+    value: Any = None
+    value_changed: bool = False
+    root_label_changed: bool = False
+    full_resolve: bool = False
+    seconds: float = 0.0
+    dirty_seed_clusters: Tuple[int, ...] = field(default_factory=tuple)
+
+
+def summaries_equal(a: Any, b: Any) -> bool:
+    """Structural bit-equality of two cluster summaries.
+
+    Used to prune the dirty chain: a re-solved cluster whose summary equals
+    the previous one cannot change its parent.  The comparison is
+    conservative — anything it cannot prove equal (unknown types without
+    ``__eq__``) counts as changed, which costs extra re-solves but never
+    correctness.
+    """
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        if a.keys() != b.keys():
+            return False
+        return all(summaries_equal(a[k], b[k]) for k in a)
+    if isinstance(a, np.ndarray):
+        return a.shape == b.shape and a.dtype == b.dtype and bool(np.array_equal(a, b))
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(summaries_equal(x, y) for x, y in zip(a, b))
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+class IncrementalSolver:
+    """A solved DP problem on a prepared tree that accepts point updates.
+
+    Parameters
+    ----------
+    prepared:
+        The :class:`~repro.core.pipeline.PreparedTree` (clustering is reused
+        unchanged for the solver's whole lifetime).
+    problem:
+        Any problem type :func:`~repro.core.pipeline.as_cluster_dp` accepts.
+    backend:
+        Finite-state backend override (defaults to the deployment's
+        ``dp_backend``).
+    full_resolve_threshold:
+        When a batch's dirty closure covers at least this fraction of all
+        clusters, fall back to re-solving every cluster (skipping the
+        per-cluster change tracking, whose bookkeeping would only add
+        overhead).  ``1.0`` keeps the partial path always.
+
+    The constructor runs the initial full solve; its statistics are kept in
+    :attr:`initial_stats` for update-vs-full comparisons.
+    """
+
+    def __init__(
+        self,
+        prepared: PreparedTree,
+        problem: Any,
+        backend: Optional[str] = None,
+        full_resolve_threshold: float = 0.6,
+    ):
+        if not (0.0 < full_resolve_threshold <= 1.0):
+            raise ValueError("full_resolve_threshold must be in (0, 1]")
+        self.prepared = prepared
+        self.problem = problem
+        self.solver = as_cluster_dp(problem, backend=backend or prepared.sim.config.dp_backend)
+        self.engine = prepared.engine()
+        self.hc = prepared.clustering
+        self.full_resolve_threshold = full_resolve_threshold
+        self._owner = self.hc.parent_cluster_of_element()
+        self.updates_applied = 0
+        #: Dirty clusters of a batch whose solve phase raised mid-pass (a
+        #: payload the problem's rules reject, a strict-mode capacity
+        #: violation).  Payloads are written before the passes run, so on
+        #: such a failure the solved state no longer reflects the tree; the
+        #: pending set is folded into the next batch's seeds so repairing
+        #: the payload and re-applying restores consistency, and the result
+        #: views refuse to serve stale state in between.
+        self._pending_dirty: Set[int] = set()
+        self._solve_initial()
+
+    # ------------------------------------------------------------------ #
+    # Initial solve / full fallback
+    # ------------------------------------------------------------------ #
+
+    def _solve_initial(self) -> None:
+        sim = self.prepared.sim
+        snap = sim.snapshot()
+        t0 = time.perf_counter()
+        res = self.engine.solve(self.solver)
+        self.initial_solve_seconds = time.perf_counter() - t0
+        #: ``"dp-pass"`` rounds/words of the initial full solve.
+        self.initial_stats: RoundStats = sim.stats.diff(snap)
+        self.summaries: Dict[int, Any] = res.summaries
+        self.value = res.value
+        self.root_label = res.root_label
+        self.edge_labels: Dict[Tuple[Hashable, Hashable], Any] = res.edge_labels
+        self.node_labels: Dict[Hashable, Any] = res.node_labels
+        self.layers = res.layers
+
+    def refresh(self) -> UpdateReport:
+        """Full re-solve of every cluster against the current payloads.
+
+        The explicit fallback for callers who mutated tree payloads behind
+        the solver's back; clusterings never change, so this is still
+        cheaper than a new ``prepare()``.  Charged under ``"dp-update"``.
+        Every cluster's prefetched payload plan is dropped — out-of-band
+        mutations bypass the per-update invalidation — and so are the
+        solver's payload-value-keyed memos (the dense backend's trace memo
+        and rule-tensor caches), making ``refresh()`` the memory release
+        valve of a long-lived serving solver: the caches otherwise
+        accumulate one entry per *distinct* payload value ever seen.  The
+        full re-solve repopulates the traces; tensors rebuild on demand.
+        """
+        for cluster in self.hc.clusters.values():
+            cluster.invalidate_payload_plans()
+        dense = getattr(self.solver, "_dense", None)
+        if dense is not None:
+            dense.forget_traces()
+            dense.tensors.clear_value_caches()
+        return self._apply([], force_full=True)
+
+    # ------------------------------------------------------------------ #
+    # Update entry points
+    # ------------------------------------------------------------------ #
+
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> UpdateReport:
+        """Apply a batch of payload edits and restore the solved state."""
+        return self._apply(list(updates), force_full=False)
+
+    def update_node(self, v: Hashable, data: Any) -> UpdateReport:
+        """Convenience: one node payload edit."""
+        return self.apply_updates([node_update(v, data)])
+
+    def update_edge(self, edge: Tuple[Hashable, Hashable], data: Any) -> UpdateReport:
+        """Convenience: one edge payload edit."""
+        return self.apply_updates([edge_update(edge, data)])
+
+    # ------------------------------------------------------------------ #
+    # Payload application
+    # ------------------------------------------------------------------ #
+
+    def _set_payload(self, store: Dict[Any, Any], key: Any, data: Any) -> None:
+        if data is None:
+            store.pop(key, None)
+        else:
+            store[key] = data
+
+    def _validate(self, up: PointUpdate) -> None:
+        """Raise on an unsupported update *before* any payload is written.
+
+        The whole batch is validated up front so a bad descriptor can never
+        leave the solver half-updated (payloads written, state not re-solved).
+        """
+        original = self.prepared.original_tree
+        if up.kind == "node":
+            if up.target in self.prepared.reduction.aux_nodes:
+                raise KeyError(
+                    f"node {up.target!r} is an auxiliary degree-reduction node; only "
+                    "original tree nodes can carry payloads"
+                )
+            if up.target not in original.parent:
+                raise KeyError(f"node {up.target!r} is not a node of the prepared tree")
+        elif up.kind == "edge":
+            child, parent = up.target
+            if child == original.root or original.parent.get(child) != parent:
+                raise KeyError(
+                    f"edge {up.target!r} is not a (child, parent) edge of the "
+                    "prepared tree"
+                )
+        else:
+            raise ValueError(
+                f"unsupported update kind {up.kind!r}; supported kinds are "
+                f"{UPDATE_KINDS} (structural changes require a new prepare())"
+            )
+
+    def _apply_payload(self, up: PointUpdate) -> Set[int]:
+        """Write one (validated) update's payload; return the seed cids."""
+        hc = self.hc
+        reduced = self.prepared.tree
+        original = self.prepared.original_tree
+        if up.kind == "node":
+            v = up.target
+            self._set_payload(original.node_data, v, up.data)
+            self._set_payload(reduced.node_data, v, up.data)
+            owner = hc.node_owner(v)
+            hc.clusters[owner].invalidate_payload_plans()
+            seeds = {owner}
+            # Problems whose rules read a node's payload while evaluating its
+            # *children* (XML validation looks up the parent's tag) declare
+            # update_scope = "node+children"; the children's owner clusters
+            # are then dirty too.  Auxiliary nodes are transparent: a real
+            # child below an auxiliary chain still reads the original
+            # parent's payload.
+            if getattr(self.problem, "update_scope", "node") == "node+children":
+                aux = self.prepared.reduction.aux_nodes
+                stack = list(reduced.children(v))
+                while stack:
+                    c = stack.pop()
+                    if c in aux:
+                        stack.extend(reduced.children(c))
+                    else:
+                        cid = hc.node_owner(c)
+                        hc.clusters[cid].invalidate_payload_plans()
+                        seeds.add(cid)
+            return seeds
+        if up.kind == "edge":
+            child, parent = up.target
+            # Degree reduction may have rerouted the edge through an
+            # auxiliary parent; the payload lives on the reduced edge whose
+            # child endpoint is the original child.
+            red_edge = (child, reduced.parent[child])
+            self._set_payload(original.edge_data, (child, parent), up.data)
+            self._set_payload(reduced.edge_data, red_edge, up.data)
+            owner = hc.edge_internal_owner()[red_edge]
+            hc.clusters[owner].invalidate_payload_plans()
+            # Nested indegree-one clusters read the edge as their incoming
+            # edge (the innermost applies its transition constraint); they
+            # are dirty too.  Their plans never cache the in-edge payload.
+            return {owner, *hc.in_edge_owners().get(red_edge, ())}
+        raise AssertionError(f"update kind {up.kind!r} escaped _validate")
+
+    # ------------------------------------------------------------------ #
+    # The partial passes
+    # ------------------------------------------------------------------ #
+
+    def _apply(self, updates: List[PointUpdate], force_full: bool) -> UpdateReport:
+        sim = self.prepared.sim
+        hc = self.hc
+        t0 = time.perf_counter()
+
+        for up in updates:
+            self._validate(up)
+        seeds: Set[int] = set()
+        for up in updates:
+            seeds |= self._apply_payload(up)
+        self.updates_applied += len(updates)
+        # Payloads a failed earlier batch already wrote still need their
+        # chains re-solved; fold them in so repair-and-reapply heals.  The
+        # failed pass may have written some of its chain summaries before
+        # raising, so while healing the chain-pruning equality test is
+        # unsound — a re-solved summary can equal the *poisoned* baseline
+        # the failed pass stored while the ancestors above it still reflect
+        # the old payload.  Heal with pruning disabled: the pending chains
+        # re-solve all the way to the final cluster.
+        healing = bool(self._pending_dirty)
+        seeds |= self._pending_dirty
+        report = UpdateReport(updates=len(updates), dirty_seed_clusters=tuple(sorted(seeds)))
+
+        full = force_full
+        if not full and seeds:
+            closure = set(seeds)
+            for cid in seeds:
+                closure.update(hc.parent_chain(cid))
+            if len(closure) >= self.full_resolve_threshold * len(hc.clusters):
+                full = True
+        if full:
+            report.full_resolve = True
+            seeds = {cid for layer in hc.layers for cid in layer}
+        if not seeds:
+            report.value = self.value
+            report.seconds = time.perf_counter() - t0
+            return report
+
+        snap = sim.snapshot()
+        self._pending_dirty = set(seeds)
+        resolved = self._partial_bottom_up(seeds, skip_pruning=full or healing, report=report)
+        self._partial_top_down(resolved, report)
+        self._pending_dirty = set()
+        diff = sim.stats.diff(snap)
+        report.rounds_charged = diff.charged_by_label.get(DP_UPDATE_LABEL, 0)
+        report.words_charged = diff.charged_words_by_label.get(DP_UPDATE_LABEL, 0)
+        report.value = self.value
+        report.seconds = time.perf_counter() - t0
+        return report
+
+    def _partial_bottom_up(
+        self, seeds: Set[int], skip_pruning: bool, report: UpdateReport
+    ) -> Set[int]:
+        """Re-summarize the dirty chain; return the set of re-solved cids."""
+        hc = self.hc
+        owner = self._owner
+        pending: Dict[int, Set[int]] = {}
+        for cid in seeds:
+            pending.setdefault(hc.clusters[cid].layer, set()).add(cid)
+
+        resolved: Set[int] = set()
+        for layer in range(1, hc.num_layers + 1):
+            cids = pending.pop(layer, None)
+            if not cids:
+                continue
+            clusters = [hc.clusters[cid] for cid in sorted(cids)]
+            old = None if skip_pruning else {c.cid: self.summaries[c.cid] for c in clusters}
+            # Rounds/words are charged on the simulator under "dp-update";
+            # _apply reads the per-label diff back into the report.
+            self.engine.summarize_clusters(
+                self.solver, self.summaries, {layer: clusters}, label=DP_UPDATE_LABEL
+            )
+            report.layers_resolved += 1
+            resolved.update(c.cid for c in clusters)
+            for c in clusters:
+                if c.cid == hc.final_cluster_id:
+                    report.summaries_changed += 1
+                    continue
+                if old is not None and summaries_equal(old[c.cid], self.summaries[c.cid]):
+                    continue  # chain pruned: the parent's inputs are unchanged
+                report.summaries_changed += 1
+                parent = owner[cluster_element(c.cid)]
+                pending.setdefault(hc.clusters[parent].layer, set()).add(parent)
+        report.clusters_resolved = len(resolved)
+        return resolved
+
+    def _partial_top_down(self, resolved: Set[int], report: UpdateReport) -> None:
+        hc = self.hc
+        sim = self.prepared.sim
+        final_cid = hc.final_cluster_id
+
+        if final_cid in resolved:
+            ctx = self.engine.context(hc.final_cluster, self.summaries)
+            new_root_label, new_value = self.solver.label_virtual_root(
+                ctx, self.summaries[final_cid]
+            )
+            report.value_changed = not summaries_equal(new_value, self.value)
+            report.root_label_changed = not summaries_equal(new_root_label, self.root_label)
+            self.value = new_value
+            self.root_label = new_root_label
+
+        if not self.solver.produces_labels:
+            return
+        if report.root_label_changed:
+            self.node_labels[hc.tree.root] = self.root_label
+
+        deps = hc.boundary_dependents()
+        relabel: Dict[int, Set[int]] = {}
+        for cid in resolved:
+            relabel.setdefault(hc.clusters[cid].layer, set()).add(cid)
+
+        sizer = sim.word_size
+        for layer in range(hc.num_layers, 0, -1):
+            cids = relabel.pop(layer, None)
+            if not cids:
+                continue
+            layer_words = 0
+            for cid in sorted(cids):
+                cluster = hc.clusters[cid]
+                out_label = (
+                    self.root_label if cid == final_cid else self.edge_labels[cluster.out_edge]
+                )
+                in_label = (
+                    self.edge_labels[cluster.in_edge] if cluster.in_edge is not None else None
+                )
+                ctx = self.engine.context(cluster, self.summaries)
+                labels = self.solver.assign_internal_labels(ctx, out_label, in_label)
+                report.clusters_relabeled += 1
+                for child_e, _parent_e, edge in cluster.internal_edges:
+                    lab = labels[child_e]
+                    layer_words += sizer(lab)
+                    if summaries_equal(self.edge_labels[edge], lab):
+                        continue
+                    self.edge_labels[edge] = lab
+                    self.node_labels[edge[0]] = lab
+                    report.edges_relabeled += 1
+                    # Boundary dependents sit at strictly lower layers, so
+                    # the descending sweep picks them up later this pass.
+                    for dep in deps.get(edge, ()):
+                        relabel.setdefault(hc.clusters[dep].layer, set()).add(dep)
+            sim.charge_rounds(ROUNDS_PER_LAYER, label=DP_UPDATE_LABEL)
+            sim.charge_words(layer_words, label=DP_UPDATE_LABEL)
+            report.layers_relabeled += 1
+
+    # ------------------------------------------------------------------ #
+    # Result views
+    # ------------------------------------------------------------------ #
+
+    def solve_result(self) -> SolveResult:
+        """The current solved state as a :class:`~repro.dp.engine.SolveResult`.
+
+        The label dicts are *snapshots*: results stay valid after further
+        updates, and caller-side mutation cannot corrupt the solver.
+        Raises when a failed update batch left the state stale.
+        """
+        if self._pending_dirty:
+            raise RuntimeError(
+                "IncrementalSolver state is stale: a previous update batch "
+                "failed after writing payloads.  Repair the offending payload "
+                "and re-apply, or call refresh()."
+            )
+        edge_labels = dict(self.edge_labels)
+        output = self.solver.extract(self.hc.tree, edge_labels, self.root_label, self.value)
+        return SolveResult(
+            value=self.value,
+            root_label=self.root_label,
+            edge_labels=edge_labels,
+            node_labels=dict(self.node_labels),
+            output=output,
+            summaries=dict(self.summaries),
+            rounds=self.initial_stats.charged_rounds,
+            layers=self.layers,
+        )
+
+    def as_pipeline_result(self) -> PipelineResult:
+        """The current solved state, shaped exactly like ``solve()``'s result.
+
+        Labels of the degree-reduced tree are projected back to original
+        edges the same way :func:`~repro.core.pipeline.solve_on` does, so a
+        result obtained through any number of updates compares field by
+        field against a from-scratch solve of the updated tree.
+        """
+        prepared = self.prepared
+        res = self.solve_result()
+        edge_labels = res.edge_labels
+        node_labels = res.node_labels
+        if not prepared.reduction.is_identity and res.edge_labels:
+            edge_labels = prepared.reduction.project_labels(res.edge_labels)
+            node_labels = {c: lab for (c, _p), lab in edge_labels.items()}
+            node_labels[prepared.original_tree.root] = res.root_label
+        stats = prepared.sim.stats
+        rounds = {
+            "normalization": prepared.normalization_stats.total_rounds,
+            "clustering": prepared.clustering_stats.total_rounds,
+            "dp": self.initial_stats.total_rounds,
+            "dp-update": stats.charged_by_label.get(DP_UPDATE_LABEL, 0),
+        }
+        return PipelineResult(
+            value=res.value,
+            output=res.output,
+            root_label=res.root_label,
+            edge_labels=edge_labels,
+            node_labels=node_labels,
+            solve_result=res,
+            prepared=prepared,
+            rounds=rounds,
+        )

@@ -67,6 +67,19 @@ class MPCConfig:
         simulated machines.  The ``"records"`` path additionally feeds
         mid-flight per-machine loads into the peak-memory statistics, so
         capacity studies should use it.
+    treeops_load_model:
+        Peak-memory observability of the array backend: ``"none"`` (default)
+        keeps the array path's driver-side state unobserved (peak statistics
+        for the tree subroutines stay zero); ``"records"`` additionally
+        replays each subroutine on a silent records-backend shadow
+        deployment — identical capacity/machine layout, rounds and outputs
+        discarded — and feeds the shadow's peak per-machine load into this
+        deployment's statistics, so ``peak_machine_words`` matches the
+        records backend exactly.  The replay re-runs the record-level path
+        for sizing only, so it costs records-path time; it is meant for
+        capacity studies and the equivalence tests, not the perf path.
+        Ignored when ``treeops_backend="records"`` (loads are observed
+        natively there).
     """
 
     n: int
@@ -79,6 +92,7 @@ class MPCConfig:
     dp_backend: str = "auto"
     accounting: str = "fast"
     treeops_backend: str = "array"
+    treeops_load_model: str = "none"
 
     machine_capacity: int = field(init=False)
     num_machines: int = field(init=False)
@@ -99,6 +113,11 @@ class MPCConfig:
         if self.treeops_backend not in ("array", "records"):
             raise ValueError(
                 f"treeops_backend must be 'array' or 'records', got {self.treeops_backend!r}"
+            )
+        if self.treeops_load_model not in ("none", "records"):
+            raise ValueError(
+                f"treeops_load_model must be 'none' or 'records', "
+                f"got {self.treeops_load_model!r}"
             )
         cap = int(math.ceil(self.capacity_factor * self.n ** self.delta))
         self.machine_capacity = max(self.min_capacity, cap)

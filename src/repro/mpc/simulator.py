@@ -44,6 +44,7 @@ class RoundStats:
     charged_rounds: int = 0
     total_messages: int = 0
     total_words_sent: int = 0
+    charged_words: int = 0
     peak_machine_words: int = 0
     peak_round_send_words: int = 0
     peak_round_recv_words: int = 0
@@ -51,6 +52,7 @@ class RoundStats:
     bandwidth_violations: int = 0
     charged_by_label: Dict[str, int] = field(default_factory=dict)
     rounds_by_label: Dict[str, int] = field(default_factory=dict)
+    charged_words_by_label: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_rounds(self) -> int:
@@ -64,6 +66,7 @@ class RoundStats:
             charged_rounds=self.charged_rounds,
             total_messages=self.total_messages,
             total_words_sent=self.total_words_sent,
+            charged_words=self.charged_words,
             peak_machine_words=self.peak_machine_words,
             peak_round_send_words=self.peak_round_send_words,
             peak_round_recv_words=self.peak_round_recv_words,
@@ -71,6 +74,7 @@ class RoundStats:
             bandwidth_violations=self.bandwidth_violations,
             charged_by_label=dict(self.charged_by_label),
             rounds_by_label=dict(self.rounds_by_label),
+            charged_words_by_label=dict(self.charged_words_by_label),
         )
 
     def diff(self, earlier: "RoundStats") -> "RoundStats":
@@ -85,6 +89,7 @@ class RoundStats:
             charged_rounds=self.charged_rounds - earlier.charged_rounds,
             total_messages=self.total_messages - earlier.total_messages,
             total_words_sent=self.total_words_sent - earlier.total_words_sent,
+            charged_words=self.charged_words - earlier.charged_words,
             peak_machine_words=self.peak_machine_words,
             peak_round_send_words=self.peak_round_send_words,
             peak_round_recv_words=self.peak_round_recv_words,
@@ -92,6 +97,9 @@ class RoundStats:
             bandwidth_violations=self.bandwidth_violations - earlier.bandwidth_violations,
             charged_by_label=label_diff(self.charged_by_label, earlier.charged_by_label),
             rounds_by_label=label_diff(self.rounds_by_label, earlier.rounds_by_label),
+            charged_words_by_label=label_diff(
+                self.charged_words_by_label, earlier.charged_words_by_label
+            ),
         )
         return d
 
@@ -293,6 +301,27 @@ class MPCSimulator:
             raise ValueError("cannot charge a negative number of rounds")
         self.stats.charged_rounds += k
         self.stats.charged_by_label[label] = self.stats.charged_by_label.get(label, 0) + k
+
+    def charge_words(self, words: int, label: str = "charged") -> None:
+        """Charge ``words`` machine words of driver-evaluated communication.
+
+        The companion of :meth:`charge_rounds` for data volume: orchestration
+        steps executed on the driver (the DP engine's per-layer summary and
+        label routing, the incremental update path's partial re-solves)
+        declare here how many words the corresponding sort/route rounds would
+        move.  Keeping the channel separate from the *measured*
+        ``total_words_sent`` lets benchmarks compare e.g. a full solve's
+        charged volume against an incremental update's without the two
+        polluting each other — and without pretending driver-evaluated
+        traffic went over the simulated wire.
+        """
+        if words < 0:
+            raise ValueError("cannot charge a negative number of words")
+        if words:
+            self.stats.charged_words += words
+            self.stats.charged_words_by_label[label] = (
+                self.stats.charged_words_by_label.get(label, 0) + words
+            )
 
     # ------------------------------------------------------------------ #
     # Convenience

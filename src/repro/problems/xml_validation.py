@@ -69,6 +69,10 @@ class XMLStructureValidation(UpwardAccumulationDP):
     """
 
     name = "XML structure verification"
+    #: A node's tag is read while evaluating its children (the per-edge
+    #: schema check looks up the parent's tag), so the incremental update
+    #: path must dirty the children's clusters too when a tag changes.
+    update_scope = "node+children"
 
     def __init__(self, schema: Optional[XMLSchema] = None, tree: Optional[RootedTree] = None):
         self.schema = schema or XMLSchema()

@@ -129,7 +129,7 @@ def test_hole_plan_is_ordered_and_cached():
     seen = 0
     for layer in range(1, hc.num_layers + 1):
         for cluster in hc.clusters_at_layer(layer):
-            ctx = engine._context(cluster, {})
+            ctx = engine.context(cluster, {})
             plan = ctx.hole_plan()
             if cluster.in_edge is None:
                 assert plan == []
