@@ -23,11 +23,13 @@ wall-clock window, and the per-phase *minimum* over the repeats estimates the
 clean-machine time.
 """
 
+import os
 import time
 
 from repro.core.pipeline import prepare, solve_on
 from repro.mpc.config import MPCConfig
 from repro.mpc.simulator import MPCSimulator
+from repro.problems.max_weight_independent_set import MaxWeightIndependentSet
 from repro.trees import generators as gen
 
 from benchmarks.bench_kernels import PROBLEMS, _sat_payload
@@ -143,3 +145,192 @@ def test_pipeline_phase_profile(benchmark):
         assert mins["array"]["prepare_total"] < 1.5, (
             f"prepare() at n=10^4 took {mins['array']['prepare_total']:.2f}s"
         )
+
+
+# --------------------------------------------------------------------------- #
+# Experiment P2 — inline vs process execution backend
+# --------------------------------------------------------------------------- #
+
+#: Sizes for the exec-backend comparison (the acceptance regime is 10^4–10^5).
+EXEC_NS = (scaled(10_000, 300), scaled(100_000, 600))
+EXEC_SEED = 3
+WORKER_COUNTS = (1, 2, 4)
+EXEC_PHASES = PHASES + ("prepare_total", "dp_solve")
+
+
+def _run_exec_pipeline(n: int, backend: str, workers=None):
+    """One full pipeline run; returns (per-phase seconds, solve value)."""
+    base = gen.random_attachment_tree(n, seed=EXEC_SEED)
+    weighted = gen.with_random_weights(base, seed=EXEC_SEED)
+    sim = MPCSimulator(MPCConfig(n=n, exec_backend=backend, exec_workers=workers))
+    t0 = time.perf_counter()
+    prep = prepare(weighted, sim=sim)
+    prep_total = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    res = solve_on(prep, MaxWeightIndependentSet())
+    dp_s = time.perf_counter() - t0
+    timings = {p: prep.timings[p] for p in PHASES}
+    timings["prepare_total"] = prep_total
+    timings["dp_solve"] = dp_s
+    return timings, res.value
+
+
+def _op_fraction(n: int):
+    """Fraction of the inline run spent inside exec ops / DP layer batches.
+
+    This is the parallelizable share: everything else — scatter/bookkeeping,
+    convergence predicates, copy-backs, round accounting, clustering-layer
+    construction — runs on the driver under *every* backend.  Amdahl's bound
+    ``1 / (1 - f + f/W)`` on this fraction is the ceiling any worker count
+    can reach, which is what makes a "driver-bound" verdict quantitative.
+    """
+    from repro.dp.local_solver import FiniteStateClusterSolver
+    from repro.mpc.exec import base as exec_base
+
+    counters = {"ops": 0.0, "dp": 0.0}
+    real_run = exec_base.InlineArraySession.run
+    real_layer = FiniteStateClusterSolver.summarize_layer
+
+    def timed_run(self, op, **extra):
+        t0 = time.perf_counter()
+        real_run(self, op, **extra)
+        counters["ops"] += time.perf_counter() - t0
+
+    def timed_layer(self, ctxs):
+        t0 = time.perf_counter()
+        out = real_layer(self, ctxs)
+        counters["dp"] += time.perf_counter() - t0
+        return out
+
+    exec_base.InlineArraySession.run = timed_run
+    FiniteStateClusterSolver.summarize_layer = timed_layer
+    try:
+        timings, _ = _run_exec_pipeline(n, "inline")
+    finally:
+        exec_base.InlineArraySession.run = real_run
+        FiniteStateClusterSolver.summarize_layer = real_layer
+    total = timings["prepare_total"] + timings["dp_solve"]
+    parallel_s = counters["ops"] + counters["dp"]
+    return parallel_s / total if total > 0 else 0.0, counters, timings
+
+
+def _measure_exec():
+    from repro.mpc.exec.pool import ProcessBackend
+
+    repeats = 1 if SMOKE else 3
+    sizes = {}
+    values_ok = True
+    for n in EXEC_NS:
+        runs = {"inline": []}
+        inline_value = None
+        for _ in range(repeats):
+            timings, value = _run_exec_pipeline(n, "inline")
+            runs["inline"].append(timings)
+            inline_value = value
+        for w in WORKER_COUNTS:
+            runs[f"process-{w}"] = []
+            for _ in range(repeats):
+                timings, value = _run_exec_pipeline(n, "process", workers=w)
+                runs[f"process-{w}"].append(timings)
+                values_ok = values_ok and (value == inline_value)
+        mins = {
+            cfg: {p: min(t[p] for t in trials) for p in EXEC_PHASES}
+            for cfg, trials in runs.items()
+        }
+        frac, parallel_s, inline_timings = _op_fraction(n)
+        sizes[n] = {"phases_s": mins, "op_fraction": frac, "op_seconds": parallel_s}
+    # The pools are process-global; stop them so later benchmark modules
+    # (and the harness exit) see a quiet machine.
+    for backend in list(ProcessBackend._shared.values()):
+        backend.close()
+    return sizes, values_ok
+
+
+def test_parallel_exec_backend(benchmark):
+    """Inline vs process execution across worker counts (BENCH_parallel.json).
+
+    Acceptance: >= 1.5x end-to-end speedup at n=10^5 with >= 4 workers *or*
+    a per-phase breakdown documenting why the workload is driver-bound.  The
+    emitted JSON always carries the breakdown, the parallelizable op
+    fraction, the Amdahl ceiling it implies, and the machine's core count,
+    so the verdict is auditable either way.
+    """
+    sizes, values_ok = run_once(benchmark, _measure_exec)
+    cpus = os.cpu_count() or 1
+
+    report = {}
+    for n, data in sizes.items():
+        mins = data["phases_s"]
+        inline_total = mins["inline"]["prepare_total"] + mins["inline"]["dp_solve"]
+        rows = []
+        speedups = {}
+        for cfg in mins:
+            total = mins[cfg]["prepare_total"] + mins[cfg]["dp_solve"]
+            speedups[cfg] = inline_total / total if total > 0 else float("inf")
+            rows.append(
+                (cfg,)
+                + tuple(f"{mins[cfg][p] * 1000:.1f}" for p in EXEC_PHASES)
+                + (f"{speedups[cfg]:.2f}x",)
+            )
+        print_table(
+            f"Exec backends — inline vs process pool (n={n}, {cpus} cores)",
+            ["config"] + [f"{p} ms" for p in EXEC_PHASES] + ["speedup"],
+            rows,
+        )
+        frac = data["op_fraction"]
+        best_workers = max(WORKER_COUNTS)
+        amdahl = 1.0 / ((1.0 - frac) + frac / min(best_workers, cpus))
+        print(
+            f"parallelizable op fraction: {frac:.1%}; Amdahl ceiling with "
+            f"{best_workers} workers on {cpus} core(s): {amdahl:.2f}x"
+        )
+        report[str(n)] = {
+            "phases_ms": {
+                cfg: {p: mins[cfg][p] * 1000 for p in EXEC_PHASES} for cfg in mins
+            },
+            "speedup_vs_inline": speedups,
+            "op_fraction": frac,
+            "op_seconds": data["op_seconds"],
+            "amdahl_ceiling": amdahl,
+        }
+
+    n_big = max(sizes)
+    best = max(
+        v for k, v in report[str(n_big)]["speedup_vs_inline"].items() if k != "inline"
+    )
+    driver_bound = report[str(n_big)]["op_fraction"] < 0.75
+    if cpus >= 4 and not SMOKE:
+        assert best >= 1.5 or driver_bound, (
+            f"expected >=1.5x with {max(WORKER_COUNTS)} workers or a "
+            f"driver-bound breakdown; got {best:.2f}x at op fraction "
+            f"{report[str(n_big)]['op_fraction']:.1%}"
+        )
+        note = (
+            "acceptance met by speedup"
+            if best >= 1.5
+            else "driver-bound: see op_fraction / amdahl_ceiling per size"
+        )
+    else:
+        note = (
+            f"hardware-bound: this machine exposes {cpus} CPU core(s), so the "
+            f"worker pool time-shares the same core(s) as the driver and no "
+            f"wall-clock speedup is attainable regardless of the op fraction; "
+            f"the per-phase breakdown and Amdahl ceiling above quantify what a "
+            f"multi-core machine would gain. The equivalence contract (bit-"
+            f"identical values, labels and RoundStats) is asserted separately "
+            f"by the test-suite."
+        )
+    print(f"verdict: {note}")
+
+    emit_json(
+        "parallel",
+        {
+            "cpu_count": cpus,
+            "worker_counts": list(WORKER_COUNTS),
+            "seed": EXEC_SEED,
+            "sizes": report,
+            "values_bit_identical": values_ok,
+            "note": note,
+        },
+    )
+    assert values_ok, "process backend value diverged from inline"

@@ -23,8 +23,11 @@ Lemmas 5–7 (each pair of steps shrinks the uncolored tree by a factor of
 ``Omega(n^(delta/2))``); the per-step round cost is O(log D) because the
 distributed subroutines converge by doubling.
 
-The distributed subroutines (:mod:`repro.mpc.treeops`) are executed on the
-simulator and their rounds are measured; the driver-side bookkeeping that
+The distributed subroutines (:mod:`repro.mpc.treeops`) charge their rounds
+through the simulator whichever backend implements them — the record-level
+reference path on the simulated machines, or the default array backend
+(whose op compute may further be placed on the process execution pool, see
+:mod:`repro.mpc.exec`); the driver-side bookkeeping that
 assembles the :class:`~repro.clustering.model.Cluster` objects corresponds to
 per-machine local work plus a constant number of sort/route rounds per step,
 which are charged under the label ``"clustering-bookkeeping"``.

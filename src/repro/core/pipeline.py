@@ -72,7 +72,31 @@ def as_cluster_dp(problem: AnyProblem, backend: str = "auto") -> ClusterDP:
 
 @dataclass
 class PreparedTree:
-    """A tree together with its (reusable) hierarchical clustering."""
+    """A tree together with its (reusable) hierarchical clustering.
+
+    Produced by :func:`prepare`; consumed by :func:`solve_on`,
+    :func:`solve_many` and :meth:`incremental`.  The clustering is
+    immutable and reusable for any number of solves.
+
+    Attributes
+    ----------
+    sim:
+        The deployment everything was (and will be) accounted on.
+    original_tree:
+        The normalized input tree, before degree reduction.
+    reduction:
+        The degree-reduction result (auxiliary nodes, edge kinds, and the
+        projection back to original edges).  Identity when no node exceeded
+        the light threshold.
+    clustering:
+        The hierarchical clustering of the (reduced) tree — paper §4.2.
+    normalization_stats, clustering_stats:
+        Round statistics of the two distributed preparation phases.
+    timings:
+        Wall-clock seconds per phase (``"normalize"``,
+        ``"degree_reduction"``, ``"clustering"``) — the benchmark harness
+        reports them (see ``benchmarks/bench_pipeline.py``).
+    """
 
     sim: MPCSimulator
     original_tree: RootedTree
@@ -145,7 +169,46 @@ def prepare(
     light_threshold: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> PreparedTree:
-    """Normalise the input and build the reusable hierarchical clustering."""
+    """Normalise the input and build the reusable hierarchical clustering.
+
+    This is the O(log D)-round half of the pipeline (paper §3 + §4.2):
+    normalization, degree reduction and the hierarchical clustering.  The
+    result is reusable for any number of :func:`solve_on` /
+    :meth:`PreparedTree.incremental` calls.
+
+    Parameters
+    ----------
+    tree_or_representation:
+        A :class:`~repro.trees.tree.RootedTree` or any representation
+        :func:`~repro.representations.normalize.normalize_to_rooted_tree`
+        accepts (edge list, parent array, parenthesis string, traversal
+        pair, ...).
+    delta:
+        Memory exponent of the auto-built deployment (ignored when ``sim``
+        is given).  See :class:`~repro.mpc.config.MPCConfig`.
+    root:
+        Root hint for representations that need one.
+    capacity_factor:
+        Machine-capacity constant of the auto-built deployment.
+    degree_reduction:
+        When ``True`` (default), split nodes whose degree exceeds the light
+        threshold with auxiliary chains before clustering.
+    sim:
+        An existing :class:`~repro.mpc.simulator.MPCSimulator` to run on
+        (its :class:`~repro.mpc.config.MPCConfig` then controls every knob,
+        including ``exec_backend``).  Mutually exclusive with ``backend``.
+    light_threshold:
+        Override of the n^(delta/2) light/heavy threshold.
+    backend:
+        Default finite-state DP backend of the auto-built deployment
+        (``"auto"``/``"numpy"``/``"python"``).
+
+    Returns
+    -------
+    PreparedTree
+        The tree, its degree reduction, the clustering, and the per-phase
+        round statistics and wall-clock timings.
+    """
     if sim is not None and backend is not None:
         raise ValueError(
             "prepare() received both an explicit sim and a backend; set "
@@ -247,7 +310,29 @@ def solve(
     light_threshold: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> PipelineResult:
-    """One-shot convenience API: prepare the tree and solve one problem."""
+    """One-shot convenience API: prepare the tree and solve one problem.
+
+    Equivalent to ``solve_on(prepare(...), problem)``; see :func:`prepare`
+    for the shared parameters.  Use :func:`prepare` + :func:`solve_on` when
+    solving several problems on one tree (the clustering is reusable), and
+    :func:`solve_many` to also amortize the per-cluster traversal plans.
+
+    Parameters
+    ----------
+    tree_or_representation:
+        See :func:`prepare`.
+    problem:
+        Any supported problem description (:class:`~repro.dp.problem.ClusterDP`,
+        :class:`~repro.dp.problem.FiniteStateDP`, or an accumulation DP).
+    backend:
+        Finite-state backend for both preparation default and this solve.
+
+    Returns
+    -------
+    PipelineResult
+        Objective value, labels, problem-specific output, and per-phase
+        round statistics (``result.rounds``/``result.total_rounds``).
+    """
     prepared = prepare(
         tree_or_representation,
         delta=delta,
@@ -277,6 +362,23 @@ def solve_incremental(
     :class:`~repro.dynamic.IncrementalSolver` exposes the solved state
     (``value``, labels, :meth:`~repro.dynamic.IncrementalSolver.as_pipeline_result`)
     and accepts batched point updates without re-clustering.
+
+    Parameters
+    ----------
+    tree_or_representation, delta, root, capacity_factor, degree_reduction, \
+light_threshold, backend:
+        See :func:`prepare`.
+    problem:
+        The problem to keep solved under updates.
+    **kwargs:
+        Forwarded to :class:`~repro.dynamic.IncrementalSolver` (e.g.
+        ``full_resolve_threshold``).
+
+    Returns
+    -------
+    IncrementalSolver
+        Already holding the initial full solve; apply updates with
+        :meth:`~repro.dynamic.IncrementalSolver.apply_updates`.
     """
     prepared = prepare(
         tree_or_representation,
@@ -314,6 +416,19 @@ def solve_many(
     that problem only, with a :class:`RuntimeWarning`, instead of aborting
     the batch.  The cached traversal plans are backend-independent, so the
     fallback never mixes plan state between the two paths.
+
+    Parameters
+    ----------
+    tree_or_representation, delta, root, degree_reduction, backend:
+        See :func:`prepare`.
+    problems:
+        The problems to solve, in order.
+
+    Returns
+    -------
+    dict
+        ``problem.name`` (or type name) -> :class:`PipelineResult`.  A
+        duplicate name overwrites the earlier entry, with a warning.
     """
     problems = list(problems)
     supported = (ClusterDP, FiniteStateDP, UpwardAccumulationDP, DownwardAccumulationDP)

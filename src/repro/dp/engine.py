@@ -95,6 +95,12 @@ class DPEngine:
         self.edge_kinds = edge_kinds or {}
         self.aux_nodes = aux_nodes or set()
         self.original_parent = original_parent or {}
+        #: When False, :meth:`solve` never opens an exec-backend DP session
+        #: (everything runs inline on the driver).  The incremental subsystem
+        #: clears this: its long-lived solver's memo state (trace memos,
+        #: rule-tensor caches) must be populated on the driver by the full
+        #: solve, because every subsequent point update re-reads it there.
+        self.exec_enabled = True
 
     # ------------------------------------------------------------------ #
 
@@ -122,12 +128,34 @@ class DPEngine:
 
     # ------------------------------------------------------------------ #
 
+    def _exec_session(self, problem: ClusterDP):
+        """A DP execution session for one full solve, or ``None`` (inline).
+
+        Only the full solve distributes its layer batches: the incremental
+        update path re-solves small cluster subsets where pool round-trips
+        cannot pay off, and its driver-side solver state (trace memos) must
+        stay authoritative.  The returned session, if any, must be closed.
+        """
+        if self.sim is None or not self.exec_enabled:
+            return None
+        backend = self.sim.executor
+        return backend.dp_session(
+            {
+                "clustering": self.hc,
+                "edge_kinds": self.edge_kinds,
+                "aux_nodes": self.aux_nodes,
+                "original_parent": self.original_parent,
+            },
+            problem,
+        )
+
     def summarize_clusters(
         self,
         problem: ClusterDP,
         summaries: Dict[int, Any],
         clusters_by_layer: Dict[int, List[Cluster]],
         label: str = DP_PASS_LABEL,
+        session=None,
     ) -> int:
         """Bottom-up pass over the given clusters only (``summaries`` updated).
 
@@ -143,13 +171,23 @@ class DPEngine:
         some trees produce, and its round count must stay identical to the
         top-down pass's and to previous releases.  Returns the number of
         rounds charged.
+
+        ``session`` is an open exec-backend DP session (see
+        :meth:`_exec_session`): when given, each layer batch is evaluated on
+        the worker pool instead of the driver; the summaries land in
+        ``summaries`` either way, so the round/word charging below is shared
+        verbatim between the placements.
         """
         charged = 0
         for layer in sorted(clusters_by_layer):
             clusters = clusters_by_layer[layer]
             if clusters:
-                ctxs = [self.context(cluster, summaries) for cluster in clusters]
-                for cluster, summary in zip(clusters, problem.summarize_layer(ctxs)):
+                if session is not None:
+                    results = session.solve_layer(clusters, summaries)
+                else:
+                    ctxs = [self.context(cluster, summaries) for cluster in clusters]
+                    results = problem.summarize_layer(ctxs)
+                for cluster, summary in zip(clusters, results):
                     summaries[cluster.cid] = summary
             self._charge(ROUNDS_PER_LAYER, label)
             self._charge_words([summaries[c.cid] for c in clusters], label)
@@ -160,6 +198,15 @@ class DPEngine:
         """Run the bottom-up and top-down passes for ``problem``."""
         hc = self.hc
         summaries: Dict[int, Any] = {}
+        session = self._exec_session(problem)
+        try:
+            return self._solve(problem, summaries, session)
+        finally:
+            if session is not None:
+                session.close()
+
+    def _solve(self, problem: ClusterDP, summaries: Dict[int, Any], session) -> SolveResult:
+        hc = self.hc
 
         # ---- bottom-up (Definition 8 / Figure 2) -------------------------- #
         # A layer's clusters are independent (they would be solved by
@@ -169,6 +216,7 @@ class DPEngine:
             problem,
             summaries,
             {layer: hc.clusters_at_layer(layer) for layer in range(1, hc.num_layers + 1)},
+            session=session,
         )
 
         final = hc.final_cluster
@@ -180,9 +228,13 @@ class DPEngine:
 
         # ---- top-down (Definition 9 / Figure 3) --------------------------- #
         if problem.produces_labels:
-            # The virtual root edge is labeled first.
+            # The virtual root edge is labeled first.  A cluster's boundary
+            # labels are written by strictly higher layers, so each layer is
+            # one independent batch — inline it runs cluster by cluster; under
+            # an exec session the batch is labelled on the workers that
+            # summarised the clusters (their trace memos are local).
             for layer in range(hc.num_layers, 0, -1):
-                layer_labels: List[Any] = []
+                items: List[Tuple[Cluster, Any, Any]] = []
                 for cluster in hc.clusters_at_layer(layer):
                     if cluster.cid == hc.final_cluster_id:
                         out_label = root_label
@@ -191,9 +243,18 @@ class DPEngine:
                     in_label = (
                         edge_labels[cluster.in_edge] if cluster.in_edge is not None else None
                     )
-                    ctx = self.context(cluster, summaries)
-                    labels = problem.assign_internal_labels(ctx, out_label, in_label)
-                    for child_e, parent_e, edge in cluster.internal_edges:
+                    items.append((cluster, out_label, in_label))
+                labels_by_cid = (
+                    session.label_layer(items) if session is not None and items else None
+                )
+                layer_labels: List[Any] = []
+                for cluster, out_label, in_label in items:
+                    if labels_by_cid is not None:
+                        labels = labels_by_cid[cluster.cid]
+                    else:
+                        ctx = self.context(cluster, summaries)
+                        labels = problem.assign_internal_labels(ctx, out_label, in_label)
+                    for child_e, _parent_e, edge in cluster.internal_edges:
                         edge_labels[edge] = labels[child_e]
                         layer_labels.append(labels[child_e])
                 self._charge(ROUNDS_PER_LAYER)

@@ -184,6 +184,15 @@ class IncrementalSolver:
 
     The constructor runs the initial full solve; its statistics are kept in
     :attr:`initial_stats` for update-vs-full comparisons.
+
+    Notes
+    -----
+    All of this solver's passes — the initial solve, partial re-solves and
+    :meth:`refresh` — run inline even when the deployment selects
+    ``exec_backend="process"``: the update path re-reads the solver's
+    driver-side memo state (bottom-up traces, rule-tensor caches), which a
+    worker-side solve would not populate.  Full solves through
+    :func:`~repro.core.pipeline.solve_on` are unaffected.
     """
 
     def __init__(
@@ -199,6 +208,10 @@ class IncrementalSolver:
         self.problem = problem
         self.solver = as_cluster_dp(problem, backend=backend or prepared.sim.config.dp_backend)
         self.engine = prepared.engine()
+        # The full solves run inline even under exec_backend="process": the
+        # update path re-reads this solver's driver-side memos (traces,
+        # rule-tensor caches), which a worker-side solve would not populate.
+        self.engine.exec_enabled = False
         self.hc = prepared.clustering
         self.full_resolve_threshold = full_resolve_threshold
         self._owner = self.hc.parent_cluster_of_element()
@@ -252,7 +265,19 @@ class IncrementalSolver:
         if dense is not None:
             dense.forget_traces()
             dense.tensors.clear_value_caches()
+        self._bump_exec_epoch()
         return self._apply([], force_full=True)
+
+    def _bump_exec_epoch(self) -> None:
+        """Invalidate exec-worker caches of this clustering's tree payloads.
+
+        The process execution backend (:mod:`repro.mpc.exec`) caches the
+        pickled clustering+payload state in its workers keyed by a payload
+        epoch; any payload write must advance it so a later full solve
+        re-ships fresh state instead of solving against stale payloads.
+        """
+        hc = self.hc
+        hc._exec_payload_epoch = getattr(hc, "_exec_payload_epoch", 0) + 1
 
     # ------------------------------------------------------------------ #
     # Update entry points
@@ -368,6 +393,8 @@ class IncrementalSolver:
         seeds: Set[int] = set()
         for up in updates:
             seeds |= self._apply_payload(up)
+        if updates:
+            self._bump_exec_epoch()
         self.updates_applied += len(updates)
         # Payloads a failed earlier batch already wrote still need their
         # chains re-solved; fold them in so repair-and-reapply heals.  The

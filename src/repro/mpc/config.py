@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
 from dataclasses import dataclass, field
+from typing import Optional
 
 __all__ = ["MPCConfig"]
 
@@ -80,6 +82,22 @@ class MPCConfig:
         capacity studies and the equivalence tests, not the perf path.
         Ignored when ``treeops_backend="records"`` (loads are observed
         natively there).
+    exec_backend:
+        Where driver-evaluated superstep compute runs (see
+        :mod:`repro.mpc.exec`): ``"inline"`` evaluates everything in the
+        driver process (the default and the reference behaviour);
+        ``"process"`` fans the array supersteps of the tree subroutines and
+        the DP engine's per-layer batches out to a persistent
+        shared-memory ``multiprocessing`` worker pool, one worker per
+        simulated machine group.  Both backends produce bit-identical
+        values, labels and :class:`~repro.mpc.simulator.RoundStats` — the
+        simulator stays the accounting oracle either way.  Left ``None``,
+        the value is read from the ``REPRO_EXEC_BACKEND`` environment
+        variable (default ``"inline"``).
+    exec_workers:
+        Worker count of the ``"process"`` pool.  Left ``None``, the value
+        is read from ``REPRO_EXEC_WORKERS``, else a small multiple of the
+        visible CPU cores is used.  Ignored by the inline backend.
     """
 
     n: int
@@ -93,6 +111,8 @@ class MPCConfig:
     accounting: str = "fast"
     treeops_backend: str = "array"
     treeops_load_model: str = "none"
+    exec_backend: Optional[str] = None
+    exec_workers: Optional[int] = None
 
     machine_capacity: int = field(init=False)
     num_machines: int = field(init=False)
@@ -119,6 +139,18 @@ class MPCConfig:
                 f"treeops_load_model must be 'none' or 'records', "
                 f"got {self.treeops_load_model!r}"
             )
+        if self.exec_backend is None:
+            self.exec_backend = os.environ.get("REPRO_EXEC_BACKEND") or "inline"
+        if self.exec_backend not in ("inline", "process"):
+            raise ValueError(
+                f"exec_backend must be 'inline' or 'process', got {self.exec_backend!r}"
+            )
+        if self.exec_workers is None:
+            env_workers = os.environ.get("REPRO_EXEC_WORKERS")
+            if env_workers:
+                self.exec_workers = int(env_workers)
+        if self.exec_workers is not None and self.exec_workers < 1:
+            raise ValueError(f"exec_workers must be >= 1, got {self.exec_workers}")
         cap = int(math.ceil(self.capacity_factor * self.n ** self.delta))
         self.machine_capacity = max(self.min_capacity, cap)
         machines = int(math.ceil(self.n / max(1, self.machine_capacity))) + 1

@@ -48,7 +48,34 @@ JOIN_ROUNDS = 5
 
 
 class DistributedArray:
-    """A partitioned collection of records living on a simulated MPC cluster."""
+    """A partitioned collection of records living on a simulated MPC cluster.
+
+    Parameters
+    ----------
+    sim:
+        The deployment whose machines hold the parts; all rounds and words
+        the primitives cost are charged to ``sim.stats``.
+    parts:
+        One list of records per machine (``sim.num_machines`` lists), or
+        ``None`` for an empty array.  The public constructor deep-copies
+        and sizes caller-supplied parts; internal construction goes through
+        the trusted no-copy :meth:`_from_owned` path.
+
+    Attributes
+    ----------
+    parts:
+        The per-machine record lists (index = machine id).
+    part_words:
+        Incrementally maintained word total of each part, per the sizer
+        selected by :attr:`~repro.mpc.config.MPCConfig.accounting`.
+
+    Notes
+    -----
+    Transformations (``map``/``filter``/``flat_map``) are local and free;
+    the movement primitives (``sort_by``, ``group_by``, ``join``,
+    ``rebalance``, ``prefix_sum``, ``reduce``, ``broadcast``) are genuine
+    supersteps with the round costs listed in the module docstring.
+    """
 
     def __init__(self, sim: MPCSimulator, parts: Optional[List[List[Any]]] = None):
         self.sim = sim

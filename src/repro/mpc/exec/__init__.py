@@ -1,0 +1,36 @@
+"""Pluggable execution backends for the MPC substrate.
+
+``MPCConfig.exec_backend`` selects where the driver-evaluated superstep
+compute runs: ``"inline"`` (in-process, the default and reference) or
+``"process"`` (a persistent shared-memory multiprocessing pool, one worker
+per simulated machine group).  Accounting always stays with
+:class:`~repro.mpc.simulator.MPCSimulator`; the backends must be — and are
+tested to be — bit-identical in outputs, labels and
+:class:`~repro.mpc.simulator.RoundStats`.
+
+See :mod:`repro.mpc.exec.base` for the interface, :mod:`repro.mpc.exec.pool`
+for the process pool and :mod:`repro.mpc.exec.shm` for the shared-memory
+part registry.
+"""
+
+from repro.mpc.exec.base import (
+    INLINE,
+    ArraySession,
+    ExecBackend,
+    ExecBackendError,
+    InlineBackend,
+    default_workers,
+    resolve_backend,
+)
+from repro.mpc.exec.ops import OPS
+
+__all__ = [
+    "ExecBackend",
+    "ExecBackendError",
+    "InlineBackend",
+    "INLINE",
+    "ArraySession",
+    "resolve_backend",
+    "default_workers",
+    "OPS",
+]

@@ -1,0 +1,197 @@
+"""Execution-backend interface and the inline (in-driver) backend.
+
+The MPC substrate separates *accounting* from *execution*:
+:class:`~repro.mpc.simulator.MPCSimulator` prices rounds and words — it is
+the model oracle — while an :class:`ExecBackend` decides where the machine
+compute of the driver-evaluated supersteps actually runs.  Two backends:
+
+* ``"inline"`` (:class:`InlineBackend`, the default) evaluates every op in
+  the driver process, byte-for-byte today's behaviour;
+* ``"process"`` (:class:`~repro.mpc.exec.pool.ProcessBackend`) fans the row
+  slices of the flat superstep arrays and the per-layer DP batches out to a
+  persistent ``multiprocessing`` worker pool over shared memory.
+
+The contract both must satisfy: identical outputs, labels and
+:class:`~repro.mpc.simulator.RoundStats` for every pipeline — the substrate
+equivalence suite runs under both.
+
+Two units of work exist:
+
+* an **array session** (:meth:`ExecBackend.array_session`) holds the flat
+  NumPy arrays of one treeops subroutine for the duration of its doubling
+  loop and executes named ops from :data:`~repro.mpc.exec.ops.OPS` over the
+  machine-group row partition;
+* a **DP session** (:meth:`ExecBackend.dp_session`) pins one solver and one
+  clustering for the duration of one engine solve and executes the per-layer
+  summary/label batches.  Backends may return ``None`` to decline (the
+  engine then runs the layer batches inline), which is also the graceful
+  fallback when a problem cannot be shipped to workers.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mpc.exec.ops import OPS
+
+__all__ = [
+    "ExecBackendError",
+    "ArraySession",
+    "InlineArraySession",
+    "ExecBackend",
+    "InlineBackend",
+    "INLINE",
+    "resolve_backend",
+    "default_workers",
+]
+
+
+class ExecBackendError(RuntimeError):
+    """A process-backend worker failed (died, hung past the deadline, or
+    raised); the driver's pool is torn down and rebuilt lazily on next use."""
+
+
+class ArraySession:
+    """Handle on the arrays of one treeops subroutine invocation.
+
+    Attributes
+    ----------
+    arrays:
+        Logical name -> live NumPy array.  For the inline backend these are
+        the caller's arrays; for the process backend they are shared-memory
+        views that both the driver and the workers address.  The driver is
+        free to read and mutate them between :meth:`run` calls (that is how
+        copy-backs and reduce applications are expressed).
+    """
+
+    arrays: Dict[str, np.ndarray]
+
+    def run(self, op: str, **extra: Any) -> None:
+        """Execute one named op over the full row range (all machine groups)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release session resources (always safe to call, idempotent)."""
+        raise NotImplementedError
+
+
+class InlineArraySession(ArraySession):
+    """Driver-evaluated array session: one slot covering every row."""
+
+    def __init__(
+        self,
+        arrays: Dict[str, np.ndarray],
+        rows: int,
+        scratch: Optional[Dict[str, Tuple[Tuple[int, ...], Any]]] = None,
+    ):
+        self.arrays = dict(arrays)
+        self.rows = rows
+        for name, (shape, dtype) in (scratch or {}).items():
+            self.arrays[name] = np.zeros((1,) + tuple(shape), dtype=dtype)
+
+    def run(self, op: str, **extra: Any) -> None:
+        OPS[op](self.arrays, 0, self.rows, 0, **extra)
+
+    def close(self) -> None:
+        pass
+
+
+class ExecBackend:
+    """Where driver-evaluated superstep compute runs (see module docstring)."""
+
+    name: str = "abstract"
+
+    def array_session(
+        self,
+        arrays: Dict[str, np.ndarray],
+        rows: int,
+        num_machines: int,
+        scratch: Optional[Dict[str, Tuple[Tuple[int, ...], Any]]] = None,
+    ) -> ArraySession:
+        """Open a session over ``arrays`` partitioned into machine groups.
+
+        ``scratch`` maps extra array names to ``(shape, dtype)``; each is
+        allocated with a leading per-slot axis (``(slots, *shape)``) for
+        reduce-style partial results.
+        """
+        raise NotImplementedError
+
+    def dp_session(self, engine_state: Dict[str, Any], solver: Any):
+        """Open a DP session for one engine solve, or ``None`` to decline."""
+        return None
+
+    def close(self) -> None:
+        """Shut the backend down (workers, segments). Idempotent."""
+
+
+class InlineBackend(ExecBackend):
+    """Everything runs in the driver process — the reference behaviour."""
+
+    name = "inline"
+
+    def array_session(self, arrays, rows, num_machines, scratch=None) -> InlineArraySession:
+        return InlineArraySession(arrays, rows, scratch)
+
+
+#: Shared inline backend instance (stateless).
+INLINE = InlineBackend()
+
+
+def default_workers() -> int:
+    """Default process-pool size: a small multiple of the visible cores."""
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+_FALLBACK_WARNED = False
+
+
+def resolve_backend(config) -> ExecBackend:
+    """The :class:`ExecBackend` selected by ``config.exec_backend``.
+
+    ``"process"`` on a platform without working POSIX shared memory falls
+    back to the inline backend with a :class:`RuntimeWarning` (once per
+    process) instead of failing: execution placement is a performance
+    choice, never a correctness requirement.
+    """
+    backend = getattr(config, "exec_backend", "inline")
+    if backend != "process":
+        return INLINE
+    from repro.mpc.exec import shm
+
+    if not shm.shm_available():
+        global _FALLBACK_WARNED
+        if not _FALLBACK_WARNED:
+            _FALLBACK_WARNED = True
+            warnings.warn(
+                "exec_backend='process' requires multiprocessing.shared_memory, "
+                "which is unavailable on this platform; falling back to the "
+                "inline execution backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return INLINE
+    from repro.mpc.exec.pool import ProcessBackend
+
+    workers = getattr(config, "exec_workers", None) or default_workers()
+    return ProcessBackend.shared(workers)
+
+
+def machine_group_bounds(rows: int, num_machines: int, slots: int) -> List[Tuple[int, int]]:
+    """Contiguous row ranges of each worker slot's machine group.
+
+    Mirrors :meth:`MPCSimulator.scatter`'s even placement: ``per =
+    ceil(rows / num_machines)`` records per machine, machines split into
+    ``slots`` contiguous groups.  ``per * num_machines >= rows`` always, so
+    the last group ends exactly at ``rows``.
+    """
+    per = max(1, -(-rows // max(1, num_machines)))
+    bounds: List[Tuple[int, int]] = []
+    for w in range(slots):
+        m_lo = (w * num_machines) // slots
+        m_hi = ((w + 1) * num_machines) // slots
+        bounds.append((min(m_lo * per, rows), min(m_hi * per, rows)))
+    return bounds

@@ -1,0 +1,92 @@
+"""Superstep op kernels shared by the inline and process execution backends.
+
+Each op is one machine-local compute step of a §4.2 treeops superstep,
+expressed over a *row slice* ``[lo, hi)`` of the flat driver arrays: the op
+reads whole input arrays (fancy indexing may reach any row, exactly like a
+machine reading the messages routed to it) but writes only its own slice of
+the output arrays — plus, for reduce-style partial sums, its own slot row of
+a scratch array.  Because every op is a pure function of the *previous*
+iteration's arrays (double-buffered as ``new_*``), the result is bit-identical
+however the rows are partitioned across workers; the driver performs the
+barrier (copy-back, convergence predicates, ``tick_rounds``) between ops,
+exactly where :class:`~repro.mpc.simulator.MPCSimulator` charges the rounds.
+
+The integer-exactness argument for the partitioned ``bincount`` in
+``gather_step``: the weights are integer-valued floats far below 2^53, so
+each slice's float64 partial sum is exact, and the int64 sum of partials
+equals the unpartitioned bincount.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["OPS"]
+
+
+def _depths_step(arrays: Dict[str, np.ndarray], lo: int, hi: int, slot: int) -> None:
+    """One parent-pointer doubling step of ``compute_depths_array``."""
+    jump = arrays["jump"]
+    dist = arrays["dist"]
+    j = jump[lo:hi]
+    d = dist[lo:hi]
+    ids = np.arange(lo, hi, dtype=np.int64)
+    at_self = j == ids
+    arrays["new_dist"][lo:hi] = np.where(at_self, d, d + dist[j])
+    arrays["new_jump"][lo:hi] = np.where(at_self, j, jump[j])
+
+
+def _gather_step(arrays: Dict[str, np.ndarray], lo: int, hi: int, slot: int, n: int) -> None:
+    """One binary-lifting step of ``capped_subtree_gather_array``.
+
+    Writes the slice's ancestor advance into ``new_anc`` and its partial
+    size-contribution histogram into row ``slot`` of the ``contrib`` scratch
+    array; the driver sums the rows (the model's reduce) before applying
+    ``s += contrib``.
+    """
+    anc = arrays["anc"]
+    s = arrays["s"]
+    a = anc[lo:hi]
+    valid = a >= 0
+    tgt = a[valid]
+    arrays["contrib"][slot] = np.bincount(
+        tgt, weights=(s[lo:hi][valid] - 1).astype(np.float64), minlength=n
+    ).astype(np.int64)
+    nxt = np.full(hi - lo, -1, dtype=np.int64)
+    nxt[valid] = anc[tgt]
+    arrays["new_anc"][lo:hi] = nxt
+
+
+def _degree2_advance(
+    arrays: Dict[str, np.ndarray], lo: int, hi: int, slot: int, prefix: str
+) -> None:
+    """One doubling step of one direction of ``degree2_path_positions_array``.
+
+    ``prefix`` is ``"up"`` or ``"dn"``; the advance rule transcribes the
+    record path's ``advance_up``/``advance_dn`` element-wise (see
+    :mod:`repro.mpc.treeops_array`).
+    """
+    t_arr = arrays[prefix + "_t"]
+    d_arr = arrays[prefix + "_d"]
+    done = arrays[prefix + "_done"]
+    t = t_arr[lo:hi]
+    t_done = done[t]
+    t_d = d_arr[t]
+    t_t = t_arr[t]
+    anchored = np.where(t_d == 0, t, t_t)
+    arrays["new_" + prefix + "_t"][lo:hi] = np.where(
+        done[lo:hi], t, np.where(t_done, anchored, t_t)
+    )
+    arrays["new_" + prefix + "_d"][lo:hi] = np.where(done[lo:hi], d_arr[lo:hi], d_arr[lo:hi] + t_d)
+    arrays["new_" + prefix + "_done"][lo:hi] = done[lo:hi] | t_done
+
+
+#: Registry of op name -> kernel; both backends dispatch through it, so an
+#: op behaves identically inline and in a worker by construction.
+OPS: Dict[str, Callable] = {
+    "depths_step": _depths_step,
+    "gather_step": _gather_step,
+    "degree2_advance": _degree2_advance,
+}

@@ -1,0 +1,584 @@
+"""Persistent multiprocessing worker pool — the ``"process"`` exec backend.
+
+One worker per simulated *machine group*: the pool holds ``W`` long-lived
+processes, each connected to the driver by a duplex pipe, and each owning a
+contiguous block of the simulated machines.  Treeops superstep state is
+shipped once per subroutine as shared-memory NumPy views (never pickled);
+per-layer DP batches ship their deltas (new summaries in, new summaries /
+labels out) over the pipes.  The driver remains the synchronisation barrier:
+it applies copy-backs, evaluates convergence predicates and charges rounds
+through :class:`~repro.mpc.simulator.MPCSimulator` exactly as the inline
+backend does, which is what keeps the two backends' `RoundStats`
+bit-identical.
+
+Failure model: a worker that dies (killed, OOM, segfault) or exceeds the
+call deadline surfaces as :class:`~repro.mpc.exec.base.ExecBackendError`; the
+pool is torn down immediately and rebuilt lazily on the next session, so a
+killed worker never hangs the driver and never poisons later solves.  A
+worker that raises a Python exception reports its traceback and stays alive.
+
+Lifetime: pools are process-global singletons keyed by worker count (the
+substrate creates many short-lived simulators; respawning per simulator
+would dominate).  ``atexit`` stops every pool; workers are daemonic as a
+backstop.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import time
+import traceback
+import warnings
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mpc.exec.base import (
+    ArraySession,
+    ExecBackend,
+    ExecBackendError,
+    InlineArraySession,
+    machine_group_bounds,
+)
+from repro.mpc.exec.ops import OPS
+from repro.mpc.exec.shm import SharedArrayRegistry, attach_view, detach_view
+
+__all__ = ["ProcessBackend", "ProcessArraySession", "ProcessDPSession"]
+
+_PICKLE_PROTO = pickle.HIGHEST_PROTOCOL
+
+#: Per-call deadline in seconds (generous; the kill test relies on liveness
+#: polling, not on this timeout).
+_CALL_TIMEOUT = float(os.environ.get("REPRO_EXEC_TIMEOUT", "300"))
+
+#: Most recently shipped clusterings kept per worker (driver mirrors this).
+_TREE_CACHE_SLOTS = 4
+
+
+# --------------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------------- #
+
+
+def _build_solver(spec: Tuple[str, Any, Any]):
+    if spec[0] == "finite":
+        from repro.dp.local_solver import FiniteStateClusterSolver
+
+        return FiniteStateClusterSolver(spec[1], backend=spec[2])
+    return spec[1]
+
+
+def _worker_context(state: Dict[str, Any], summaries: Dict[int, Any], cid: int):
+    from repro.dp.problem import ClusterContext
+
+    hc = state["clustering"]
+    return ClusterContext(
+        cluster=hc.clusters[cid],
+        tree=hc.tree,
+        summaries=summaries,
+        clusters=hc.clusters,
+        edge_kinds=state["edge_kinds"],
+        aux_nodes=state["aux_nodes"],
+        original_parent=state["original_parent"],
+    )
+
+
+def _worker_main(conn, slot: int, inherited) -> None:  # pragma: no cover - runs in child
+    """Command loop of one pool worker (see module docstring for protocol)."""
+    # Fork inherits every pipe end created before this worker started; close
+    # them so a dead driver reliably surfaces as EOF on our own pipe (a
+    # sibling holding a copy of the driver end would otherwise keep it open
+    # and orphan the pool).
+    for other in inherited:
+        if other is not conn:
+            try:
+                other.close()
+            except Exception:
+                pass
+    parent = os.getppid()
+    arrays: Dict[str, np.ndarray] = {}
+    segments: Dict[str, Any] = {}
+    tree_states: Dict[Any, Dict[str, Any]] = {}
+    dp_sessions: Dict[Any, Dict[str, Any]] = {}
+    running = True
+    while running:
+        try:
+            # Poll so a re-parented (orphaned) worker notices and exits even
+            # if its pipe was leaked into another process.
+            while not conn.poll(1.0):
+                if os.getppid() != parent:
+                    return
+            cmd, payload = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        try:
+            result: Any = None
+            if cmd == "op":
+                op, lo, hi, extra = payload
+                OPS[op](arrays, lo, hi, slot, **extra)
+            elif cmd == "attach":
+                for logical, shm_name, shape, dtype_str in payload:
+                    seg, view = attach_view(shm_name, shape, dtype_str)
+                    segments[logical] = seg
+                    arrays[logical] = view
+            elif cmd == "detach":
+                for logical in payload:
+                    arrays.pop(logical, None)
+                    seg = segments.pop(logical, None)
+                    if seg is not None:
+                        detach_view(seg)
+            elif cmd == "tree_state":
+                key, blob = payload
+                tree_states[key] = pickle.loads(blob)
+            elif cmd == "tree_drop":
+                tree_states.pop(payload, None)
+            elif cmd == "dp_open":
+                skey, tree_key, solver_blob = payload
+                dp_sessions[skey] = {
+                    "solver": _build_solver(pickle.loads(solver_blob)),
+                    "tree_key": tree_key,
+                    "summaries": {},
+                }
+            elif cmd == "dp_solve":
+                skey, cids, extra_summaries = payload
+                sess = dp_sessions[skey]
+                state = tree_states[sess["tree_key"]]
+                summaries = sess["summaries"]
+                summaries.update(extra_summaries)
+                ctxs = [_worker_context(state, summaries, cid) for cid in cids]
+                out = sess["solver"].summarize_layer(ctxs)
+                for cid, summary in zip(cids, out):
+                    summaries[cid] = summary
+                result = list(zip(cids, out))
+            elif cmd == "dp_labels":
+                skey, items = payload
+                sess = dp_sessions[skey]
+                state = tree_states[sess["tree_key"]]
+                solver = sess["solver"]
+                result = [
+                    (
+                        cid,
+                        solver.assign_internal_labels(
+                            _worker_context(state, sess["summaries"], cid),
+                            out_label,
+                            in_label,
+                        ),
+                    )
+                    for cid, out_label, in_label in items
+                ]
+            elif cmd == "dp_close":
+                dp_sessions.pop(payload, None)
+            elif cmd == "ping":
+                result = slot
+            elif cmd == "stop":
+                running = False
+            else:
+                raise ValueError(f"unknown pool command {cmd!r}")
+            conn.send(("ok", result))
+        except BaseException:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except Exception:
+                break
+    for seg in segments.values():
+        detach_view(seg)
+    try:
+        conn.close()
+    except Exception:
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# Driver side
+# --------------------------------------------------------------------------- #
+
+
+class _Worker:
+    """Driver handle on one pool worker: process + pipe + liveness checks."""
+
+    def __init__(self, ctx, slot: int, conn, child_conn, inherited):
+        self.slot = slot
+        self.conn = conn
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, slot, inherited),
+            daemon=True,
+            name=f"repro-exec-{slot}",
+        )
+        self.proc.start()
+        child_conn.close()
+
+    def send(self, cmd: str, payload: Any) -> None:
+        try:
+            self.conn.send((cmd, payload))
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise ExecBackendError(
+                f"exec worker {self.slot} (pid {self.proc.pid}) is gone: {exc}"
+            ) from exc
+
+    def recv(self, timeout: float = _CALL_TIMEOUT) -> Any:
+        deadline = time.monotonic() + timeout
+        try:
+            while not self.conn.poll(0.02):
+                if not self.proc.is_alive():
+                    raise ExecBackendError(
+                        f"exec worker {self.slot} (pid {self.proc.pid}) died "
+                        f"mid-superstep (exitcode {self.proc.exitcode})"
+                    )
+                if time.monotonic() > deadline:
+                    raise ExecBackendError(
+                        f"exec worker {self.slot} (pid {self.proc.pid}) did not "
+                        f"answer within {timeout:.0f}s"
+                    )
+            status, result = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ExecBackendError(
+                f"exec worker {self.slot} (pid {self.proc.pid}) closed its pipe"
+            ) from exc
+        if status == "error":
+            raise ExecBackendError(f"exec worker {self.slot} raised:\n{result}")
+        return result
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop", None))
+        except Exception:
+            pass
+        self.proc.join(timeout=1.0)
+        if self.proc.is_alive():  # pragma: no cover - stuck worker
+            self.proc.terminate()
+            self.proc.join(timeout=1.0)
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+
+
+def _mp_context():
+    import multiprocessing as mp
+
+    method = os.environ.get("REPRO_EXEC_START_METHOD")
+    if method:
+        return mp.get_context(method)
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return mp.get_context("spawn")
+
+
+_UNSHIPPABLE_WARNED: set = set()
+
+
+class ProcessBackend(ExecBackend):
+    """The ``"process"`` execution backend (see module docstring)."""
+
+    name = "process"
+
+    _shared: Dict[int, "ProcessBackend"] = {}
+
+    def __init__(self, workers: int):
+        self.num_slots = max(1, int(workers))
+        self._workers: List[_Worker] = []
+        self._generation = 0
+        #: Worker-side tree-state cache mirror: key -> None (ordered LRU).
+        self._tree_mirror: "OrderedDict[Any, None]" = OrderedDict()
+        self._live_tree_keys: set = set()
+        self._session_ids = itertools.count()
+        self._tree_tokens = itertools.count()
+
+    @classmethod
+    def shared(cls, workers: int) -> "ProcessBackend":
+        backend = cls._shared.get(workers)
+        if backend is None:
+            backend = cls._shared[workers] = cls(workers)
+        return backend
+
+    # -- pool lifecycle ------------------------------------------------- #
+
+    def _ensure_pool(self) -> List[_Worker]:
+        if not self._workers:
+            ctx = _mp_context()
+            self._generation += 1
+            self._tree_mirror.clear()
+            self._live_tree_keys.clear()
+            # All pipes are created before any fork so every child can close
+            # the ends it inherited from its siblings (see _worker_main).
+            pipes = [ctx.Pipe(duplex=True) for _ in range(self.num_slots)]
+            # Spawned children inherit nothing; shipping the list would dup
+            # the handles into them instead.
+            fork = ctx.get_start_method() == "fork"
+            inherited = [end for pair in pipes for end in pair] if fork else []
+            self._workers = [
+                _Worker(ctx, slot, conn, child_conn, inherited)
+                for slot, (conn, child_conn) in enumerate(pipes)
+            ]
+        return self._workers
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live pool (starts the pool if needed); for tests."""
+        return [w.proc.pid for w in self._ensure_pool()]
+
+    def _teardown(self) -> None:
+        workers, self._workers = self._workers, []
+        for w in workers:
+            try:
+                w.proc.terminate()
+            except Exception:
+                pass
+        for w in workers:
+            try:
+                w.proc.join(timeout=1.0)
+            except Exception:
+                pass
+            try:
+                w.conn.close()
+            except Exception:
+                pass
+        self._tree_mirror.clear()
+        self._live_tree_keys.clear()
+
+    def close(self) -> None:
+        workers, self._workers = self._workers, []
+        for w in workers:
+            w.stop()
+        self._tree_mirror.clear()
+        self._live_tree_keys.clear()
+
+    # -- calls ----------------------------------------------------------- #
+
+    def _call_each(self, messages: Sequence[Optional[Tuple[str, Any]]]) -> List[Any]:
+        """Send one message per worker (None = skip), then collect replies.
+
+        Sends complete before any receive, so workers genuinely overlap; any
+        failure tears the pool down before re-raising.
+        """
+        workers = self._ensure_pool()
+        try:
+            active: List[_Worker] = []
+            for worker, message in zip(workers, messages):
+                if message is None:
+                    continue
+                worker.send(message[0], message[1])
+                active.append(worker)
+            return [worker.recv() for worker in active]
+        except ExecBackendError:
+            self._teardown()
+            raise
+
+    def _call_all(self, cmd: str, payload: Any) -> List[Any]:
+        return self._call_each([(cmd, payload)] * len(self._ensure_pool()))
+
+    # -- array sessions --------------------------------------------------- #
+
+    def array_session(self, arrays, rows, num_machines, scratch=None) -> ArraySession:
+        if rows <= 0:
+            return InlineArraySession(arrays, rows, scratch)
+        return ProcessArraySession(self, arrays, rows, num_machines, scratch)
+
+    # -- DP sessions ------------------------------------------------------ #
+
+    def _solver_spec(self, solver: Any) -> Tuple[str, Any, Any]:
+        from repro.dp.local_solver import FiniteStateClusterSolver
+
+        if isinstance(solver, FiniteStateClusterSolver):
+            return ("finite", solver.problem, solver.backend)
+        return ("raw", solver, None)
+
+    def _tree_key(self, engine_state: Dict[str, Any]) -> Any:
+        hc = engine_state["clustering"]
+        token = getattr(hc, "_exec_token", None)
+        if token is None:
+            token = next(self._tree_tokens)
+            try:
+                hc._exec_token = token
+            except Exception:  # pragma: no cover - slotted clustering
+                token = id(hc)
+        epoch = getattr(hc, "_exec_payload_epoch", 0)
+        return (self._generation, token, epoch)
+
+    def _ship_tree_state(self, engine_state: Dict[str, Any]) -> Any:
+        key = self._tree_key(engine_state)
+        if key in self._tree_mirror:
+            self._tree_mirror.move_to_end(key)
+            return key
+        while len(self._tree_mirror) >= _TREE_CACHE_SLOTS:
+            stale = next(
+                (k for k in self._tree_mirror if k not in self._live_tree_keys), None
+            )
+            if stale is None:  # pragma: no cover - all slots pinned
+                break
+            del self._tree_mirror[stale]
+            self._call_all("tree_drop", stale)
+        blob = pickle.dumps(
+            {
+                "clustering": engine_state["clustering"],
+                "edge_kinds": engine_state["edge_kinds"],
+                "aux_nodes": engine_state["aux_nodes"],
+                "original_parent": engine_state["original_parent"],
+            },
+            protocol=_PICKLE_PROTO,
+        )
+        self._call_all("tree_state", (key, blob))
+        self._tree_mirror[key] = None
+        return key
+
+    def dp_session(self, engine_state: Dict[str, Any], solver: Any):
+        """Open a :class:`ProcessDPSession`, or ``None`` if unshippable.
+
+        A solver/problem that cannot be pickled (e.g. defined in a local
+        scope) degrades to inline layer execution with a one-time
+        :class:`RuntimeWarning` per type — results are identical either way.
+        """
+        spec = self._solver_spec(solver)
+        try:
+            solver_blob = pickle.dumps(spec, protocol=_PICKLE_PROTO)
+            self._ensure_pool()
+            tree_key = self._ship_tree_state(engine_state)
+        except ExecBackendError:
+            raise
+        except Exception as exc:
+            tag = type(getattr(solver, "problem", solver)).__name__
+            if tag not in _UNSHIPPABLE_WARNED:
+                _UNSHIPPABLE_WARNED.add(tag)
+                warnings.warn(
+                    f"DP problem {tag} cannot be shipped to exec workers "
+                    f"({exc!r}); running its layer batches inline",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+        skey = next(self._session_ids)
+        self._call_all("dp_open", (skey, tree_key, solver_blob))
+        self._live_tree_keys.add(tree_key)
+        return ProcessDPSession(self, skey, tree_key)
+
+
+class ProcessArraySession(ArraySession):
+    """Shared-memory array session over the worker pool."""
+
+    def __init__(self, backend: ProcessBackend, arrays, rows, num_machines, scratch=None):
+        self.backend = backend
+        self.rows = rows
+        self.registry = SharedArrayRegistry()
+        self.arrays: Dict[str, np.ndarray] = {}
+        self._attached = False
+        workers = backend._ensure_pool()
+        slots = len(workers)
+        self.bounds = machine_group_bounds(rows, num_machines, slots)
+        try:
+            for name, arr in arrays.items():
+                self.arrays[name] = self.registry.create(name, like=np.ascontiguousarray(arr))
+            for name, (shape, dtype) in (scratch or {}).items():
+                self.arrays[name] = self.registry.create(
+                    name, shape=(slots,) + tuple(shape), dtype=dtype
+                )
+            backend._call_all("attach", self.registry.specs())
+            self._attached = True
+        except BaseException:
+            self.close()
+            raise
+
+    def run(self, op: str, **extra: Any) -> None:
+        self.backend._call_each(
+            [("op", (op, lo, hi, extra)) for lo, hi in self.bounds]
+        )
+
+    def close(self) -> None:
+        if self._attached:
+            self._attached = False
+            try:
+                self.backend._call_all("detach", [s[0] for s in self.registry.specs()])
+            except ExecBackendError:
+                pass  # pool already torn down; unlink below still runs
+        self.registry.destroy()
+
+
+class ProcessDPSession:
+    """Per-solve DP session: layer batches fanned out by cluster ownership.
+
+    A cluster is owned by worker ``cid % slots`` for the whole solve, so the
+    worker that summarised a cluster bottom-up also labels it top-down (its
+    solver's trace memo is local).  Summaries a worker needs but does not
+    own are shipped as deltas with the batch; the driver keeps the complete
+    summary map, so the engine's word accounting is untouched.
+    """
+
+    def __init__(self, backend: ProcessBackend, skey: Any, tree_key: Any):
+        self.backend = backend
+        self.skey = skey
+        self.tree_key = tree_key
+        self._known: List[set] = [set() for _ in range(backend.num_slots)]
+        self._closed = False
+
+    def _owner(self, cid: int) -> int:
+        return cid % self.backend.num_slots
+
+    def solve_layer(self, clusters: Sequence[Any], summaries: Dict[int, Any]) -> List[Any]:
+        """Summaries of one layer's clusters, aligned with ``clusters``."""
+        slots = self.backend.num_slots
+        batches: List[List[int]] = [[] for _ in range(slots)]
+        for cluster in clusters:
+            batches[self._owner(cluster.cid)].append(cluster.cid)
+        by_cid = {c.cid: c for c in clusters}
+        messages: List[Optional[Tuple[str, Any]]] = []
+        for slot in range(slots):
+            cids = batches[slot]
+            if not cids:
+                messages.append(None)
+                continue
+            known = self._known[slot]
+            extra: Dict[int, Any] = {}
+            for cid in cids:
+                for element in by_cid[cid].elements:
+                    if element[0] == "cluster" and element[1] not in known:
+                        extra[element[1]] = summaries[element[1]]
+            known.update(extra)
+            known.update(cids)
+            messages.append(("dp_solve", (self.skey, cids, extra)))
+        replies = self.backend._call_each(messages)
+        out: Dict[int, Any] = {}
+        for reply in replies:
+            for cid, summary in reply:
+                out[cid] = summary
+        return [out[c.cid] for c in clusters]
+
+    def label_layer(self, items: Sequence[Tuple[Any, Any, Any]]) -> Dict[int, Dict]:
+        """Internal labels of one layer: ``{cid: {element: label}}``.
+
+        ``items`` is ``(cluster, out_label, in_label)`` per cluster; each is
+        labelled on its owning worker, where the bottom-up traces live.
+        """
+        slots = self.backend.num_slots
+        batches: List[List[Tuple[int, Any, Any]]] = [[] for _ in range(slots)]
+        for cluster, out_label, in_label in items:
+            batches[self._owner(cluster.cid)].append((cluster.cid, out_label, in_label))
+        messages = [
+            ("dp_labels", (self.skey, batch)) if batch else None for batch in batches
+        ]
+        replies = self.backend._call_each(messages)
+        labels: Dict[int, Dict] = {}
+        for reply in replies:
+            for cid, cluster_labels in reply:
+                labels[cid] = cluster_labels
+        return labels
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.backend._live_tree_keys.discard(self.tree_key)
+        if self.backend._workers:
+            try:
+                self.backend._call_all("dp_close", self.skey)
+            except ExecBackendError:
+                pass
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter exit
+    for backend in list(ProcessBackend._shared.values()):
+        backend.close()

@@ -1,0 +1,194 @@
+"""Shared-memory part registry for the process execution backend.
+
+The process backend ships :class:`~repro.mpc.darray.DistributedArray`-style
+flat NumPy state to its workers as ``multiprocessing.shared_memory`` segments
+instead of pickling: the driver creates one segment per logical array, the
+workers attach zero-copy views, and both sides read/write the same pages.
+
+Leak discipline is the whole point of this module.  Every segment created
+here is tracked in a module-global table; :meth:`SharedArrayRegistry.destroy`
+unlinks the segment the moment its session ends, and an ``atexit`` sweep
+unlinks anything that survives (e.g. after a test failure mid-session).  The
+test-suite asserts that :func:`leaked_segments` is empty after the run.
+
+A subtlety worth recording: NumPy releases its buffer handle on the mapping
+at array construction, so ``SharedMemory.close()`` typically succeeds — and
+unmaps the pages — even while ndarray views are alive; dereferencing a view
+after :meth:`SharedArrayRegistry.destroy` is a segfault, not an exception.
+Sessions therefore copy results out *before* closing, and the registry still
+treats a ``BufferError`` on close as benign for the cases where a buffer
+export is genuinely held.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from multiprocessing import shared_memory
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SharedArrayRegistry",
+    "attach_view",
+    "detach_view",
+    "leaked_segments",
+    "shm_available",
+    "segment_prefix",
+]
+
+#: Spec of one shared array: (logical name, shm name, shape, dtype string).
+ArraySpec = Tuple[str, str, Tuple[int, ...], str]
+
+# Segment names are namespaced per driver process so a leak check can scan
+# /dev/shm for this process's segments without seeing other runs'.
+_PREFIX = f"rex{os.getpid():x}_"
+
+#: Driver-side segments that have been created but not yet unlinked.
+_LIVE: Dict[str, shared_memory.SharedMemory] = {}
+
+_COUNTER = 0
+
+
+def segment_prefix() -> str:
+    """The shm name prefix used by this driver process."""
+    return _PREFIX
+
+
+def _new_name() -> str:
+    global _COUNTER
+    _COUNTER += 1
+    return f"{_PREFIX}{_COUNTER}"
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory works on this platform (probed once)."""
+    global _SHM_OK
+    if _SHM_OK is None:
+        try:
+            seg = shared_memory.SharedMemory(create=True, size=8, name=_new_name())
+            seg.close()
+            seg.unlink()
+            _SHM_OK = True
+        except Exception:
+            _SHM_OK = False
+    return _SHM_OK
+
+
+_SHM_OK = None
+
+
+class SharedArrayRegistry:
+    """Owns the shared-memory segments of one execution session.
+
+    ``create`` allocates a segment sized for the given array (or shape) and
+    returns a NumPy view backed by it; ``specs`` describes every segment so
+    workers can attach; ``destroy`` unlinks everything.  Instances are
+    cheap — one per array session.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._specs: List[ArraySpec] = []
+
+    def create(
+        self,
+        logical: str,
+        like: np.ndarray = None,
+        shape: Tuple[int, ...] = None,
+        dtype=None,
+    ) -> np.ndarray:
+        """Allocate a segment and return its view; copy ``like`` in if given."""
+        if like is not None:
+            shape = like.shape
+            dtype = like.dtype
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes, name=_new_name())
+        self._segments[logical] = seg
+        _LIVE[seg.name] = seg
+        self._specs.append((logical, seg.name, tuple(shape), dtype.str))
+        view = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+        if like is not None:
+            view[...] = like
+        else:
+            view.fill(0)
+        return view
+
+    def specs(self) -> List[ArraySpec]:
+        """Attachment specs for the workers."""
+        return list(self._specs)
+
+    def destroy(self) -> None:
+        """Unlink every segment of this session (idempotent)."""
+        for seg in self._segments.values():
+            _unlink_segment(seg)
+        self._segments.clear()
+        self._specs.clear()
+
+
+def _unlink_segment(seg: shared_memory.SharedMemory) -> None:
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    except Exception:  # pragma: no cover - platform-specific unlink quirks
+        pass
+    try:
+        seg.close()
+    except BufferError:
+        # NumPy views of the mapping are still alive; the mapping is freed
+        # when they are collected.  The /dev/shm entry is already gone.
+        pass
+    _LIVE.pop(seg.name, None)
+
+
+def attach_view(shm_name: str, shape: Tuple[int, ...], dtype_str: str):
+    """Worker-side attach: return ``(segment, view)`` for a driver segment.
+
+    The segment is opened without resource-tracker registration (Python's
+    tracker would otherwise try to unlink the driver's segment again when the
+    worker exits and print spurious leak warnings).
+    """
+    try:
+        seg = shared_memory.SharedMemory(name=shm_name, track=False)
+    except TypeError:
+        # Python < 3.13 has no track flag: attaching re-registers the name
+        # with the (shared) resource tracker.  That is harmless here — the
+        # tracker's cache is a set, every attach completes before the driver
+        # unlinks, and the driver's unlink unregisters the name once.
+        seg = shared_memory.SharedMemory(name=shm_name)
+    view = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str), buffer=seg.buf)
+    return seg, view
+
+
+def detach_view(seg: shared_memory.SharedMemory) -> None:
+    """Worker-side detach (unlink stays with the driver)."""
+    try:
+        seg.close()
+    except BufferError:  # pragma: no cover - view still referenced
+        pass
+
+
+def leaked_segments() -> List[str]:
+    """Shm segments created by this process and not yet unlinked.
+
+    Combines the in-process live table with a ``/dev/shm`` scan for this
+    process's name prefix (when the platform exposes one), so the post-suite
+    leak assertion catches both lost registry entries and lost unlinks.
+    """
+    names = set(_LIVE)
+    try:
+        for entry in os.listdir("/dev/shm"):
+            if entry.startswith(_PREFIX):
+                names.add(entry)
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    return sorted(names)
+
+
+@atexit.register
+def _sweep() -> None:  # pragma: no cover - exercised at interpreter exit
+    for seg in list(_LIVE.values()):
+        _unlink_segment(seg)

@@ -126,6 +126,23 @@ class MPCSimulator:
         #: that take ownership of the delivered messages (darray routing) use
         #: it to carry the already-priced totals forward without a re-walk.
         self.last_recv_words: Dict[int, int] = {}
+        self._executor = None
+
+    @property
+    def executor(self):
+        """The execution backend selected by ``config.exec_backend`` (lazy).
+
+        Execution placement (inline vs. the shared process pool, see
+        :mod:`repro.mpc.exec`) is orthogonal to accounting: whichever
+        backend evaluates a superstep's compute, rounds and words are
+        charged here, and both backends are bit-identical in outputs and
+        statistics.
+        """
+        if self._executor is None:
+            from repro.mpc.exec import resolve_backend
+
+            self._executor = resolve_backend(self.config)
+        return self._executor
 
     # ------------------------------------------------------------------ #
     # Basic properties

@@ -16,9 +16,19 @@ Python objects shipped through the simulated machines.
 
 The equivalence test-suite asserts both properties across all tree families.
 What the array backend does *not* reproduce is the mid-flight per-machine
-memory observations of the record path (its state lives in driver-side
-arrays, not in simulated partitions); capacity studies therefore use
+memory observations of the record path (its state lives in flat arrays, not
+in simulated partitions); capacity studies therefore use
 ``treeops_backend="records"``.
+
+**Execution placement.**  Each doubling step's machine-local compute is one
+named op of :mod:`repro.mpc.exec.ops`, executed through the simulator's
+:attr:`~repro.mpc.simulator.MPCSimulator.executor` backend: inline on the
+driver (default), or sliced over the shared-memory worker pool when
+``MPCConfig.exec_backend="process"`` — one contiguous machine group of rows
+per worker.  The ops are pure functions of the previous iteration's arrays
+(double-buffered as ``new_*``), so the partitioning cannot change a single
+bit; the driver stays the barrier, performing the copy-backs, the
+convergence predicates and the ``tick_rounds`` charging between ops.
 
 The vectorization follows the structure of the doubling proofs themselves:
 
@@ -80,21 +90,36 @@ def compute_depths_array(
     else:
         limit = max(1, 2 + int(math.ceil(math.log2(max(2, n)))))
 
-    for _ in range(limit):
-        # One doubling step = the reference path's self-join (2 group_by
-        # rounds) followed by its convergence convergecast (1 reduce round).
-        at_self = jump == ids
-        t_dist = dist[jump]
-        t_jump = jump[jump]
-        dist = np.where(at_self, dist, dist + t_dist)
-        jump = np.where(at_self, jump, t_jump)
-        sim.tick_rounds(2, label="group_by")
-        unfinished = int(np.count_nonzero((jump != ids) & (jump != ridx)))
-        sim.tick_rounds(1, label="reduce")
-        if unfinished == 0:
-            break
+    session = sim.executor.array_session(
+        {
+            "jump": jump,
+            "dist": dist,
+            "new_jump": np.empty_like(jump),
+            "new_dist": np.empty_like(dist),
+        },
+        rows=n,
+        num_machines=sim.num_machines,
+    )
+    try:
+        jump = session.arrays["jump"]
+        dist = session.arrays["dist"]
+        for _ in range(limit):
+            # One doubling step = the reference path's self-join (2 group_by
+            # rounds) followed by its convergence convergecast (1 reduce round).
+            session.run("depths_step")
+            jump[...] = session.arrays["new_jump"]
+            dist[...] = session.arrays["new_dist"]
+            sim.tick_rounds(2, label="group_by")
+            unfinished = int(np.count_nonzero((jump != ids) & (jump != ridx)))
+            sim.tick_rounds(1, label="reduce")
+            if unfinished == 0:
+                break
+        # Copy out before close: closing unmaps the backing segment, so the
+        # session's views must not be dereferenced afterwards.
+        dist_list = dist.tolist()
+    finally:
+        session.close()
 
-    dist_list = dist.tolist()
     depths = {v: dist_list[i] for i, v in enumerate(nodes)}
     depths[root] = 0
     return depths
@@ -129,24 +154,36 @@ def capped_subtree_gather_array(
 
     limit = max(1, 2 + int(math.ceil(math.log2(max(2, cap + 2)))))
 
-    for _ in range(limit):
-        valid = anc >= 0
-        has_frontier = np.zeros(n, dtype=bool)
-        has_frontier[anc[valid]] = True
-        any_active = bool(np.any((s <= cap) & has_frontier))
-        # Convergence convergecast ("is any machine still growing a set?").
-        sim.tick_rounds(1, label="reduce")
-        if not any_active:
-            break
-        # Request/response join (2 rounds) + state/response co-group (2).
-        sim.tick_rounds(4, label="group_by")
-        contrib = np.bincount(
-            anc[valid], weights=(s[valid] - 1).astype(np.float64), minlength=n
-        ).astype(np.int64)
-        s = s + contrib
-        nxt = np.full(n, -1, dtype=np.int64)
-        nxt[valid] = anc[anc[valid]]
-        anc = nxt
+    session = sim.executor.array_session(
+        {"anc": anc, "s": s, "new_anc": np.empty_like(anc)},
+        rows=n,
+        num_machines=sim.num_machines,
+        scratch={"contrib": ((n,), np.int64)},
+    )
+    try:
+        anc = session.arrays["anc"]
+        s = session.arrays["s"]
+        contrib = session.arrays["contrib"]
+        for _ in range(limit):
+            valid = anc >= 0
+            has_frontier = np.zeros(n, dtype=bool)
+            has_frontier[anc[valid]] = True
+            any_active = bool(np.any((s <= cap) & has_frontier))
+            # Convergence convergecast ("is any machine still growing a set?").
+            sim.tick_rounds(1, label="reduce")
+            if not any_active:
+                break
+            # Request/response join (2 rounds) + state/response co-group (2).
+            sim.tick_rounds(4, label="group_by")
+            session.run("gather_step", n=n)
+            s[...] = s + contrib.sum(axis=0)
+            anc[...] = session.arrays["new_anc"]
+        # Copy out before close: closing unmaps the backing segment, so the
+        # session's views must not be dereferenced afterwards.
+        anc = anc.copy()
+        s = s.copy()
+    finally:
+        session.close()
 
     valid = anc >= 0
     has_frontier = np.zeros(n, dtype=bool)
@@ -221,38 +258,42 @@ def degree2_path_positions_array(
         else:
             dn_t[i], dn_d[i], dn_done[i] = idx[down], 1, False
 
-    def advance(t_arr, d_arr, done_arr):
-        """One doubling step of the (target, dist, done) triples.
-
-        Transcribes the record path's advance rule: a finished record keeps
-        its state; one whose target is finished anchors at the target itself
-        when the target sits at distance 0 from its anchor, else at the
-        target's anchor; otherwise it jumps to the target's target.
-        """
-        t = t_arr
-        t_done = done_arr[t]
-        t_d = d_arr[t]
-        t_t = t_arr[t]
-        anchored = np.where(t_d == 0, t, t_t)
-        new_t = np.where(done_arr, t_arr, np.where(t_done, anchored, t_t))
-        new_d = np.where(done_arr, d_arr, d_arr + t_d)
-        return new_t, new_d, done_arr | t_done
+    arrays = {
+        "up_t": up_t,
+        "up_d": up_d,
+        "up_done": up_done,
+        "dn_t": dn_t,
+        "dn_d": dn_d,
+        "dn_done": dn_done,
+    }
+    arrays.update({"new_" + k: np.empty_like(a) for k, a in list(arrays.items())})
 
     limit = max(1, 2 + int(math.ceil(math.log2(max(2, n)))))
-    for _ in range(limit):
-        unfinished = int(np.count_nonzero(~(up_done & dn_done)))
-        sim.tick_rounds(1, label="reduce")
-        if unfinished == 0:
-            break
+    session = sim.executor.array_session(arrays, rows=n, num_machines=sim.num_machines)
+    try:
+        A = session.arrays
+        for _ in range(limit):
+            unfinished = int(np.count_nonzero(~(A["up_done"] & A["dn_done"])))
+            sim.tick_rounds(1, label="reduce")
+            if unfinished == 0:
+                break
 
-        # Upward then downward doubling (each a self-join: 2 group_by rounds).
-        up_t, up_d, up_done = advance(up_t, up_d, up_done)
-        sim.tick_rounds(2, label="group_by")
-        dn_t, dn_d, dn_done = advance(dn_t, dn_d, dn_done)
-        sim.tick_rounds(2, label="group_by")
+            # Upward then downward doubling (each a self-join: 2 group_by
+            # rounds); the advance rule lives in
+            # :func:`repro.mpc.exec.ops._degree2_advance`.
+            session.run("degree2_advance", prefix="up")
+            for k in ("up_t", "up_d", "up_done"):
+                A[k][...] = A["new_" + k]
+            sim.tick_rounds(2, label="group_by")
+            session.run("degree2_advance", prefix="dn")
+            for k in ("dn_t", "dn_d", "dn_done"):
+                A[k][...] = A["new_" + k]
+            sim.tick_rounds(2, label="group_by")
+        up_t_l, up_d_l = A["up_t"].tolist(), A["up_d"].tolist()
+        dn_t_l, dn_d_l = A["dn_t"].tolist(), A["dn_d"].tolist()
+    finally:
+        session.close()
 
-    up_t_l, up_d_l = up_t.tolist(), up_d.tolist()
-    dn_t_l, dn_d_l = dn_t.tolist(), dn_d.tolist()
     out: Dict[Hashable, Tuple[Hashable, int, Hashable, int]] = {}
     for i, v in enumerate(nodes):
         out[v] = (nodes[up_t_l[i]], up_d_l[i], nodes[dn_t_l[i]], dn_d_l[i])

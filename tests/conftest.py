@@ -28,5 +28,21 @@ def simulator():
     return MPCSimulator(MPCConfig(n=512, delta=0.5))
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _no_shm_leaks():
+    """Suite-wide invariant: every shared-memory segment is unlinked.
+
+    The process exec backend creates one POSIX shm segment per superstep
+    array; a leak would accumulate in /dev/shm across runs.  Sessions must
+    unlink on every path (success, worker death, driver exception), so after
+    the whole suite — whichever backends it exercised — nothing may remain.
+    """
+    yield
+    from repro.mpc.exec import shm
+
+    leaked = shm.leaked_segments()
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
 def make_sim(n: int, delta: float = 0.5, **kw) -> MPCSimulator:
     return MPCSimulator(MPCConfig(n=max(4, n), delta=delta, **kw))

@@ -1,0 +1,268 @@
+"""Process execution backend: equivalence, failure modes and shm hygiene.
+
+The tentpole contract — inline and process backends are bit-identical in
+values, labels and :class:`~repro.mpc.simulator.RoundStats` — is exercised
+end-to-end here (the full substrate-equivalence suite additionally runs
+under ``REPRO_EXEC_BACKEND=process`` in CI).  On top of that, this module
+pins down the failure model:
+
+* a worker killed mid-superstep surfaces as a clean
+  :class:`~repro.mpc.exec.ExecBackendError` (never a hang) and the pool is
+  rebuilt on next use;
+* shared-memory segments are always unlinked, even on the error paths (a
+  session-scoped fixture in :mod:`tests.conftest` asserts no segment leaks
+  the whole suite);
+* a platform without POSIX shared memory degrades to the inline backend
+  with a one-time :class:`RuntimeWarning`;
+* a problem that cannot be pickled degrades to inline layer batches with a
+  one-time :class:`RuntimeWarning`, with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import prepare, solve_on
+from repro.dynamic import node_update
+from repro.mpc.config import MPCConfig
+from repro.mpc.exec import ExecBackendError, resolve_backend
+from repro.mpc.exec import base as exec_base
+from repro.mpc.exec import shm
+from repro.mpc.exec.base import INLINE, machine_group_bounds
+from repro.mpc.exec.pool import ProcessBackend
+from repro.mpc.simulator import MPCSimulator
+from repro.mpc.treeops_array import compute_depths_array
+from repro.problems.max_weight_independent_set import MaxWeightIndependentSet
+from repro.trees import generators as gen
+
+#: Every stat channel the equivalence contract covers.
+_STAT_FIELDS = (
+    "rounds",
+    "charged_rounds",
+    "rounds_by_label",
+    "charged_by_label",
+    "charged_words_by_label",
+    "charged_words",
+)
+
+
+def _solve_with(tree, backend: str, workers: int = 3):
+    """(result fields, stats fields) of one full pipeline run."""
+    cfg = MPCConfig(n=max(4, len(tree.nodes())), exec_backend=backend, exec_workers=workers)
+    sim = MPCSimulator(cfg)
+    res = solve_on(prepare(tree, sim=sim), MaxWeightIndependentSet())
+    outcome = (res.value, res.root_label, dict(res.node_labels), dict(res.edge_labels))
+    stats = tuple(
+        dict(v) if isinstance(v := getattr(sim.stats, f), dict) else v for f in _STAT_FIELDS
+    )
+    return outcome, stats
+
+
+@pytest.mark.parametrize(
+    "make_tree",
+    [
+        lambda: gen.with_random_weights(gen.random_attachment_tree(300, seed=5), seed=5),
+        lambda: gen.with_random_weights(gen.caterpillar_tree(40, 3), seed=6),
+        lambda: gen.with_random_weights(gen.balanced_kary_tree(3, 5), seed=7),
+    ],
+    ids=["random", "caterpillar", "3-ary"],
+)
+def test_process_backend_bit_identical_pipeline(make_tree):
+    """Full pipeline (treeops + clustering + DP): same outputs, same stats."""
+    inline_out, inline_stats = _solve_with(make_tree(), "inline")
+    process_out, process_stats = _solve_with(make_tree(), "process")
+    assert process_out == inline_out
+    for field, a, b in zip(_STAT_FIELDS, inline_stats, process_stats):
+        assert a == b, f"stats field {field} diverged"
+
+
+def test_process_backend_worker_count_invariance():
+    """The row partition cannot change a bit: 1..5 workers, same everything."""
+    tree = gen.with_random_weights(gen.random_attachment_tree(200, seed=9), seed=9)
+    reference = _solve_with(tree, "inline")
+    for workers in (1, 2, 5):
+        assert _solve_with(tree, "process", workers=workers) == reference
+
+
+def test_incremental_updates_after_process_solve():
+    """Point updates on a process-config deployment match an inline one.
+
+    The incremental solver always runs inline (its driver-side memos are
+    authoritative), but it must compose with a deployment whose full solves
+    went through the worker pool.
+    """
+    results = {}
+    for backend in ("inline", "process"):
+        tree = gen.with_random_weights(gen.random_attachment_tree(150, seed=4), seed=4)
+        cfg = MPCConfig(n=len(tree.nodes()), exec_backend=backend, exec_workers=2)
+        prepared = prepare(tree, sim=MPCSimulator(cfg))
+        solve_on(prepared, MaxWeightIndependentSet())  # warm a (possibly pooled) solve
+        inc = prepared.incremental(MaxWeightIndependentSet())
+        trace = []
+        for step, node in enumerate(tree.nodes()[:10]):
+            inc.apply_updates([node_update(node, float(step) + 0.5)])
+            res = inc.solve_result()
+            trace.append((res.value, dict(res.node_labels)))
+        inc.refresh()
+        final = inc.solve_result()
+        trace.append((final.value, dict(final.node_labels)))
+        results[backend] = trace
+    assert results["process"] == results["inline"]
+
+
+# --------------------------------------------------------------------------- #
+# Failure modes
+# --------------------------------------------------------------------------- #
+
+
+def _depths_inputs(n: int, seed: int):
+    tree = gen.random_attachment_tree(n, seed=seed)
+    parent = {v: tree.parent[v] for v in tree.nodes() if v != tree.root}
+    parent[tree.root] = tree.root
+    return parent, tree.root
+
+
+def test_killed_worker_raises_cleanly_and_pool_rebuilds():
+    """SIGKILL mid-session → ExecBackendError promptly; next use respawns."""
+    backend = ProcessBackend(2)
+    try:
+        pids = backend.worker_pids()
+        assert len(pids) == 2 and all(p > 0 for p in pids)
+
+        arr = np.arange(64, dtype=np.int64)
+        session = backend.array_session(
+            {"jump": arr, "dist": arr.copy(), "new_jump": arr.copy(), "new_dist": arr.copy()},
+            rows=64,
+            num_machines=8,
+        )
+        os.kill(pids[0], signal.SIGKILL)
+        t0 = time.monotonic()
+        with pytest.raises(ExecBackendError):
+            # The dead worker can never answer; liveness polling must turn
+            # this into an error long before the call deadline.
+            session.run("depths_step")
+        assert time.monotonic() - t0 < 30.0
+        # close() after a pool teardown must still unlink every segment.
+        session.close()
+        assert shm.leaked_segments() == []
+
+        # The pool is rebuilt lazily with fresh workers and works again.
+        new_pids = backend.worker_pids()
+        assert new_pids != pids
+        assert all(_alive(p) for p in new_pids)
+        sim = MPCSimulator(MPCConfig(n=128))
+        sim._executor = backend
+        parent, root = _depths_inputs(128, seed=3)
+        depths = compute_depths_array(sim, dict(parent), root)
+
+        sim2 = MPCSimulator(MPCConfig(n=128))
+        assert depths == compute_depths_array(sim2, dict(parent), root)
+    finally:
+        backend.close()
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def test_worker_exception_surfaces_traceback():
+    """A worker-side Python error arrives as ExecBackendError with context."""
+    backend = ProcessBackend(2)
+    try:
+        backend.worker_pids()
+        with pytest.raises(ExecBackendError, match="no-such-op"):
+            backend._call_all("op", ("no-such-op", 0, 0, {}))
+    finally:
+        backend.close()
+
+
+def test_sessions_unlink_segments_on_success():
+    """The normal path leaves nothing behind in /dev/shm."""
+    cfg = MPCConfig(n=256, exec_backend="process", exec_workers=2)
+    sim = MPCSimulator(cfg)
+    parent, root = _depths_inputs(256, seed=8)
+    compute_depths_array(sim, parent, root)
+    assert shm.leaked_segments() == []
+
+
+def test_no_shm_platform_falls_back_inline_with_warning(monkeypatch):
+    """shm probe failure → inline backend + one RuntimeWarning per process."""
+    monkeypatch.setattr(shm, "_SHM_OK", False)
+    monkeypatch.setattr(exec_base, "_FALLBACK_WARNED", False)
+    cfg = MPCConfig(n=64, exec_backend="process")
+    with pytest.warns(RuntimeWarning, match="falling back to the inline"):
+        assert resolve_backend(cfg) is INLINE
+    # Warned once; later resolutions stay silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_backend(cfg) is INLINE
+
+
+def test_unshippable_problem_runs_inline_with_warning():
+    """A non-picklable problem degrades per-solve, with identical results."""
+
+    class LocalMWIS(MaxWeightIndependentSet):  # local class: cannot pickle
+        name = "local-mwis"
+
+    tree = gen.with_random_weights(gen.random_attachment_tree(120, seed=10), seed=10)
+    baseline = solve_on(prepare(tree), MaxWeightIndependentSet())
+
+    cfg = MPCConfig(n=len(tree.nodes()), exec_backend="process", exec_workers=2)
+    prepared = prepare(tree, sim=MPCSimulator(cfg))
+    with pytest.warns(RuntimeWarning, match="cannot be shipped"):
+        res = solve_on(prepared, LocalMWIS())
+    assert res.value == baseline.value
+    assert res.node_labels == baseline.node_labels
+
+
+# --------------------------------------------------------------------------- #
+# Configuration and partitioning
+# --------------------------------------------------------------------------- #
+
+
+def test_config_validates_exec_fields(monkeypatch):
+    monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_EXEC_WORKERS", raising=False)
+    assert MPCConfig(n=64).exec_backend == "inline"
+    assert MPCConfig(n=64, exec_backend="process").exec_workers is None
+    with pytest.raises(ValueError):
+        MPCConfig(n=64, exec_backend="threads")
+    with pytest.raises(ValueError):
+        MPCConfig(n=64, exec_workers=0)
+
+    monkeypatch.setenv("REPRO_EXEC_BACKEND", "process")
+    monkeypatch.setenv("REPRO_EXEC_WORKERS", "3")
+    cfg = MPCConfig(n=64)
+    assert (cfg.exec_backend, cfg.exec_workers) == ("process", 3)
+    # Explicit arguments beat the environment.
+    assert MPCConfig(n=64, exec_backend="inline").exec_backend == "inline"
+
+
+def test_config_scaled_carries_exec_fields():
+    cfg = MPCConfig(n=64, exec_backend="process", exec_workers=2)
+    scaled = cfg.scaled(4096)
+    assert (scaled.exec_backend, scaled.exec_workers) == ("process", 2)
+
+
+@pytest.mark.parametrize("rows", [0, 1, 7, 64, 1000])
+@pytest.mark.parametrize("slots", [1, 2, 3, 8])
+def test_machine_group_bounds_partition_rows(rows, slots):
+    """Bounds are contiguous, ordered and cover exactly [0, rows)."""
+    num_machines = max(1, rows // 4)
+    bounds = machine_group_bounds(rows, num_machines, slots)
+    assert len(bounds) == slots
+    cursor = 0
+    for lo, hi in bounds:
+        assert lo == cursor and hi >= lo
+        cursor = hi
+    assert cursor == rows

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Fail when docs/CONFIG.md misses an ``MPCConfig`` field.
+
+docs/CONFIG.md is the reference for every deployment knob; a new field on
+:class:`repro.mpc.config.MPCConfig` that is not documented there is a docs
+regression.  This check runs in the CI lint job (and locally:
+``python tools/check_config_docs.py``).
+
+The config module is loaded by file path — not through the ``repro``
+package — so the check needs no third-party dependencies (the lint job
+installs only ruff).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+CONFIG_PY = REPO / "src" / "repro" / "mpc" / "config.py"
+CONFIG_MD = REPO / "docs" / "CONFIG.md"
+
+
+def load_mpc_config():
+    spec = importlib.util.spec_from_file_location("_repro_mpc_config", CONFIG_PY)
+    module = importlib.util.module_from_spec(spec)
+    # @dataclass resolves string annotations through sys.modules, so the
+    # module must be registered before execution.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module.MPCConfig
+
+
+def main() -> int:
+    doc = CONFIG_MD.read_text(encoding="utf-8")
+    config = load_mpc_config()
+    fields = [f.name for f in dataclasses.fields(config)]
+    # A field counts as documented when it appears as inline code (the
+    # reference tables and the derived-fields prose both use backticks).
+    missing = [name for name in fields if f"`{name}`" not in doc]
+    if missing:
+        print(
+            f"docs/CONFIG.md is missing MPCConfig field(s): {', '.join(missing)}\n"
+            f"Document every field of {CONFIG_PY.relative_to(REPO)} in "
+            f"{CONFIG_MD.relative_to(REPO)} (backticked)."
+        )
+        return 1
+    print(f"docs/CONFIG.md documents all {len(fields)} MPCConfig fields")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
