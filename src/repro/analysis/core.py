@@ -1,0 +1,156 @@
+"""Core types of the mpclint static-analysis framework.
+
+The framework is deliberately stdlib-only (``ast`` for rules, ``tokenize``
+for suppression comments): the CI lint job runs it without installing the
+runtime dependencies via ``tools/mpclint.py``, which loads this package
+without executing ``repro/__init__`` (that would import numpy).
+
+A *rule* encodes one discipline of this repository (each shipped rule names
+the historical bug class it machine-checks — see ``docs/ANALYSIS.md``).  Two
+kinds exist:
+
+* :class:`Rule` — visited once per analyzed module, with the parsed AST and
+  per-node parent links available on the :class:`~repro.analysis.project.ModuleContext`;
+* :class:`ProjectRule` — visited once per run with the whole
+  :class:`~repro.analysis.project.Project`, for checks that need cross-module
+  state (import graphs, package-wide call fixpoints, non-Python files).
+
+Rules self-register via :func:`register`; importing
+:mod:`repro.analysis.rules` populates the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.analysis.project import ModuleContext, Project
+
+__all__ = [
+    "Finding",
+    "RuleMeta",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "rule_by_name",
+    "UNSUPPRESSABLE",
+]
+
+#: Pseudo-rules reported by the framework itself.  They cannot be disabled
+#: with an inline suppression: an unused suppression must be deleted, not
+#: suppressed, and a file that does not parse cannot be reasoned about.
+UNSUPPRESSABLE = ("unused-suppression", "parse-error", "bad-suppression")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violated at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Static metadata of one rule.
+
+    ``rationale`` names the historical bug class of this repository the rule
+    encodes — it is surfaced by ``--list-rules`` and docs/ANALYSIS.md so a
+    flagged developer can judge whether their case is the known-bad pattern
+    or a legitimate exception worth a justified suppression.
+    """
+
+    name: str
+    summary: str
+    rationale: str
+
+
+class Rule:
+    """Base class of per-module rules."""
+
+    meta: RuleMeta
+
+    def check_module(self, module: "ModuleContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: "ModuleContext", node, message: str) -> Finding:
+        """A finding anchored at an AST node of ``module``."""
+        return Finding(
+            rule=self.meta.name,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class of whole-project rules (import graphs, non-Python files)."""
+
+    def check_module(self, module: "ModuleContext") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: List[Rule] = []
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and add a rule to the global registry."""
+    rule = rule_cls()
+    if any(r.meta.name == rule.meta.name for r in _REGISTRY):
+        raise ValueError(f"duplicate rule name {rule.meta.name!r}")
+    _REGISTRY.append(rule)
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule (importing the rules package on first use)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return list(_REGISTRY)
+
+
+def rule_by_name(name: str) -> Optional[Rule]:
+    for rule in all_rules():
+        if rule.meta.name == name:
+            return rule
+    return None
+
+
+@dataclass
+class Report:
+    """Outcome of one analyzer run (see :mod:`repro.analysis.engine`)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressions_used: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))

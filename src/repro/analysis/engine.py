@@ -1,0 +1,135 @@
+"""Analyzer orchestration: discover files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.core import Finding, Report, Rule, all_rules
+from repro.analysis.project import ModuleContext, Project
+from repro.analysis.suppress import apply_suppressions, scan_suppressions
+
+__all__ = ["discover_files", "build_project", "run_analysis"]
+
+#: Directories never descended into.
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "node_modules", "build", "dist"}
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Python files under ``paths`` (files are taken as given), sorted."""
+    out: List[Path] = []
+    for p in paths:
+        if p.is_file():
+            out.append(p)
+        elif p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in f.parts):
+                    out.append(f)
+    seen = set()
+    unique = []
+    for f in out:
+        r = f.resolve()
+        if r not in seen:
+            seen.add(r)
+            unique.append(f)
+    return unique
+
+
+def find_repo_root(start: Path) -> Path:
+    """Nearest ancestor containing ``pyproject.toml`` (else ``start``)."""
+    cur = start.resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for candidate in (cur, *cur.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return cur
+
+
+def _display(path: Path, root: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        return str(path)
+
+
+def build_project(
+    paths: Sequence[Path], root: Optional[Path] = None
+) -> tuple:
+    """Parse every discovered file; unparsable files become findings.
+
+    Returns ``(project, parse_failures)``.
+    """
+    files = discover_files([Path(p) for p in paths])
+    root = root or find_repo_root(files[0] if files else Path.cwd())
+    project = Project(root=root)
+    failures: List[Finding] = []
+    for f in files:
+        try:
+            project.modules.append(ModuleContext.parse(f, _display(f, root)))
+        except SyntaxError as exc:
+            failures.append(
+                Finding(
+                    rule="parse-error",
+                    path=_display(f, root),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    return project, failures
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    select: Optional[Iterable[str]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Report:
+    """Run the (selected) rules over ``paths`` and return the report.
+
+    ``select`` filters rules by name; ``rules`` swaps the registry out
+    entirely (tests).  Suppressions are applied per file; unused ones are
+    reported as findings so they cannot rot in place.
+    """
+    project, failures = build_project(paths, root=root)
+    active = list(rules) if rules is not None else all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {r.meta.name for r in active}
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        active = [r for r in active if r.meta.name in wanted]
+    known_rules = {r.meta.name for r in active}
+
+    raw: List[Finding] = list(failures)
+    for rule in active:
+        checker = getattr(rule, "check_project", None)
+        if checker is not None:
+            raw.extend(checker(project))
+        else:
+            for module in project.modules:
+                raw.extend(rule.check_module(module))
+
+    report = Report(files_scanned=len(project.modules) + len(failures))
+    by_path: dict = {}
+    for f in raw:
+        by_path.setdefault(f.path, []).append(f)
+    # Files with suppressions but no findings still need the unused check.
+    for module in project.modules:
+        by_path.setdefault(module.display_path, [])
+
+    modules_by_display = {m.display_path: m for m in project.modules}
+    for path, file_findings in by_path.items():
+        module = modules_by_display.get(path)
+        if module is None:
+            report.findings.extend(file_findings)
+            continue
+        sups, problems = scan_suppressions(module.source, path)
+        kept, used = apply_suppressions(file_findings, sups, known_rules, path)
+        report.findings.extend(kept)
+        report.findings.extend(problems)
+        report.suppressions_used += used
+
+    report.findings.sort(key=Finding.sort_key)
+    return report

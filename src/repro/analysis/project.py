@@ -1,0 +1,256 @@
+"""Parsed-source model handed to rules: modules, parent links, AST helpers.
+
+A :class:`Project` owns every analyzed file; each Python file becomes a
+:class:`ModuleContext` carrying its AST, source lines, per-node parent links
+and the dotted module name.  The module name is resolved from the package
+structure on disk (walking up through ``__init__.py`` directories), so rules
+can scope themselves to e.g. ``repro.mpc`` without caring where the source
+tree is checked out.
+
+Fixture files (the analyzer's own test corpus) are not importable packages;
+they declare their pretend module with a magic first-lines comment::
+
+    # mpclint: module=repro.mpc.some_helper
+
+which overrides the filesystem-derived name.  This is also the escape hatch
+for vendored single files.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["ModuleContext", "Project", "call_name", "attr_chain", "has_empty_guard"]
+
+_MODULE_OVERRIDE = re.compile(r"#\s*mpclint:\s*module=([\w.]+)")
+
+
+def resolve_module_name(path: Path) -> str:
+    """Dotted module name of ``path`` from its ``__init__.py`` ancestry."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class ModuleContext:
+    """One analyzed Python source file."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    module_name: str
+    lines: List[str] = field(default_factory=list)
+    _parents: Optional[Dict[ast.AST, ast.AST]] = field(default=None, repr=False)
+
+    @classmethod
+    def parse(cls, path: Path, display_path: str) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        name = resolve_module_name(path)
+        for line in source.splitlines()[:5]:
+            m = _MODULE_OVERRIDE.search(line)
+            if m:
+                name = m.group(1)
+                break
+        return cls(
+            path=path,
+            display_path=display_path,
+            source=source,
+            tree=tree,
+            module_name=name,
+            lines=source.splitlines(),
+        )
+
+    # -- navigation ------------------------------------------------------- #
+
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent links over the whole AST (built once)."""
+        if self._parents is None:
+            links: Dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    links[child] = parent
+            self._parents = links
+        return self._parents
+
+    def parent_of(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents().get(node)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef | ast.AsyncFunctionDef]:
+        cur = self.parent_of(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parent_of(cur)
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        cur = self.parent_of(node)
+        while cur is not None:
+            if isinstance(cur, ast.ClassDef):
+                return cur
+            cur = self.parent_of(cur)
+        return None
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def in_scope(self, prefixes: Sequence[str]) -> bool:
+        """Whether this module falls under any of the dotted ``prefixes``."""
+        name = self.module_name
+        return any(name == p or name.startswith(p + ".") for p in prefixes)
+
+
+@dataclass
+class Project:
+    """Every file of one analyzer run."""
+
+    root: Path
+    modules: List[ModuleContext] = field(default_factory=list)
+    #: Non-Python files the run was pointed at (none today; project rules
+    #: locate docs/config files through ``root`` instead).
+    other_files: List[Path] = field(default_factory=list)
+
+    def module(self, name: str) -> Optional[ModuleContext]:
+        for m in self.modules:
+            if m.module_name == name:
+                return m
+        return None
+
+    def modules_under(self, prefix: str) -> List[ModuleContext]:
+        return [m for m in self.modules if m.in_scope([prefix])]
+
+
+# --------------------------------------------------------------------------- #
+# Shared AST helpers
+# --------------------------------------------------------------------------- #
+
+
+def attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted name of an attribute/name chain, e.g. ``sim.config.dp_backend``.
+
+    Returns ``None`` when the chain roots in anything but a plain name
+    (calls, subscripts, literals).
+    """
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The called function's terminal name (``foo`` for both ``foo()`` and
+    ``obj.foo()``), or ``None`` for computed callees."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _guard_matches(test: ast.expr, names: set) -> bool:
+    """Whether ``test`` is an emptiness test of one of ``names``.
+
+    Recognized shapes: ``not x``, ``len(x) == 0``, ``not len(x)``.
+    """
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        inner = test.operand
+        if isinstance(inner, ast.Name) and inner.id in names:
+            return True
+        if (
+            isinstance(inner, ast.Call)
+            and call_name(inner) == "len"
+            and inner.args
+            and isinstance(inner.args[0], ast.Name)
+            and inner.args[0].id in names
+        ):
+            return True
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, (right,) = test.left, tuple(test.comparators)
+        if (
+            isinstance(test.ops[0], ast.Eq)
+            and isinstance(left, ast.Call)
+            and call_name(left) == "len"
+            and left.args
+            and isinstance(left.args[0], ast.Name)
+            and left.args[0].id in names
+            and isinstance(right, ast.Constant)
+            and right.value == 0
+        ):
+            return True
+    return False
+
+
+def _exits(stmt_body: List[ast.stmt]) -> bool:
+    return bool(stmt_body) and isinstance(
+        stmt_body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def has_empty_guard(
+    module: ModuleContext, call: ast.Call, names: set
+) -> bool:
+    """Whether an earlier statement in the enclosing function bails out when
+    any of ``names`` is empty (``if not x: return/raise/continue/break``).
+
+    This is a *dominance-free* approximation — any earlier guard in the same
+    function counts — which is the right trade-off for a lint: the pattern it
+    accepts is exactly this codebase's idiom for "this collection was just
+    checked non-empty".
+    """
+    if not names:
+        return False
+    fn = module.enclosing_function(call)
+    body = fn.body if fn is not None else module.tree.body
+    for node in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+        if getattr(node, "lineno", 10**9) >= call.lineno:
+            continue
+        if isinstance(node, ast.If) and _guard_matches(node.test, names) and _exits(node.body):
+            return True
+        # ``x = x if x else [...]`` style defaulting also guards.
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.IfExp):
+            targets = {t.id for t in node.targets if isinstance(t, ast.Name)}
+            if targets & names:
+                return True
+    return False
+
+
+def iterable_root_names(arg: ast.expr) -> set:
+    """Names whose emptiness decides the emptiness of ``arg``.
+
+    Covers the shapes the extremum rule needs: a plain name, ``x.keys() /
+    .values() / .items()``, and a comprehension / generator whose first
+    ``for`` iterates one of those.
+    """
+    if isinstance(arg, ast.Name):
+        return {arg.id}
+    if (
+        isinstance(arg, ast.Call)
+        and isinstance(arg.func, ast.Attribute)
+        and arg.func.attr in ("keys", "values", "items")
+        and isinstance(arg.func.value, ast.Name)
+    ):
+        return {arg.func.value.id}
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        first = arg.generators[0].iter
+        return iterable_root_names(first)
+    return set()

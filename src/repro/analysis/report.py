@@ -1,0 +1,54 @@
+"""Text and JSON reporters for analyzer runs."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.core import Report, Rule
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+#: Bumped when the JSON shape changes; consumers (the CI artifact, the golden
+#: test) key on it.
+JSON_REPORT_VERSION = 1
+
+
+def render_text(report: Report) -> str:
+    lines: List[str] = []
+    for f in report.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col}: [{f.rule}] {f.message}")
+    counts = report.counts_by_rule()
+    if counts:
+        summary = ", ".join(f"{rule}: {n}" for rule, n in counts.items())
+        lines.append("")
+        lines.append(f"{len(report.findings)} finding(s) ({summary})")
+    else:
+        lines.append(
+            f"mpclint: clean — {report.files_scanned} file(s), "
+            f"{report.suppressions_used} suppression(s) in use"
+        )
+    return "\n".join(lines)
+
+
+def to_json_dict(report: Report) -> Dict[str, object]:
+    return {
+        "version": JSON_REPORT_VERSION,
+        "files_scanned": report.files_scanned,
+        "suppressions_used": report.suppressions_used,
+        "counts_by_rule": report.counts_by_rule(),
+        "findings": [f.to_dict() for f in report.findings],
+    }
+
+
+def render_json(report: Report) -> str:
+    return json.dumps(to_json_dict(report), indent=2, sort_keys=True) + "\n"
+
+
+def render_rule_list(rules: List[Rule]) -> str:
+    lines = []
+    for rule in sorted(rules, key=lambda r: r.meta.name):
+        lines.append(f"{rule.meta.name}")
+        lines.append(f"    {rule.meta.summary}")
+        lines.append(f"    history: {rule.meta.rationale}")
+    return "\n".join(lines)

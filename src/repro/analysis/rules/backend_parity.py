@@ -1,0 +1,271 @@
+"""Rule ``backend-literal-parity``.
+
+**History.**  ``MPCConfig`` validates its backend-style knobs against
+literal tuples (``dp_backend`` in ``auto/numpy/python``, ``exec_backend``
+in ``inline/process``, ...).  Every time a PR added a literal (PR 3 added
+``treeops_backend="array"``, PR 5 added ``exec_backend="process"``), each
+dispatch site in the tree had to be found by hand; a missed site falls
+through silently to whatever its ``if`` chain did before the new literal
+existed.
+
+**Check.**  The declared literal sets are parsed from ``MPCConfig``'s
+``__post_init__`` validation (``if self.<field> not in (...)``) — the
+config module stays the single source of truth; the rule never hardcodes a
+literal.  A *dispatch* is an ``if``/``elif`` chain whose tests compare a
+config field (``cfg.dp_backend == "numpy"``, via attribute access or a
+local alias, ``in (...)`` tuples included) against string literals.  A
+dispatch is flagged when
+
+* it compares against a literal the config does not declare (typo /
+  removed literal), or
+* it has no ``else``, covers a **proper subset** of the declared literals,
+  and at least one taken branch falls through (does not end in
+  ``return``/``raise``/``continue``/``break``) — i.e. a new literal would
+  silently get the fall-through behavior.
+
+Guard-style early exits (``if backend != "process": return ...``) and
+boolean uses are not dispatches and are ignored.  An intentional "one
+literal means *off*" no-op is declared with a justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ProjectRule, RuleMeta, register
+from repro.analysis.project import ModuleContext, Project, attr_chain
+
+__all__ = ["BackendParityRule", "declared_literals"]
+
+CONFIG_MODULE = "repro.mpc.config"
+CONFIG_CLASS = "MPCConfig"
+
+
+def _str_const(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def declared_literals(config_module: ModuleContext) -> Dict[str, Set[str]]:
+    """Parse ``{field: literal-set}`` from MPCConfig's __post_init__ checks.
+
+    Recognizes the validation idiom ``if self.<field> not in ("a", "b"):``.
+    """
+    out: Dict[str, Set[str]] = {}
+    for cls in ast.walk(config_module.tree):
+        if not (isinstance(cls, ast.ClassDef) and cls.name == CONFIG_CLASS):
+            continue
+        for fn in cls.body:
+            if not (
+                isinstance(fn, ast.FunctionDef) and fn.name == "__post_init__"
+            ):
+                continue
+            for node in ast.walk(fn):
+                if not (
+                    isinstance(node, ast.Compare)
+                    and len(node.ops) == 1
+                    and isinstance(node.ops[0], (ast.NotIn, ast.In))
+                ):
+                    continue
+                chain = attr_chain(node.left)
+                if not (chain and chain.startswith("self.")):
+                    continue
+                field = chain.split(".", 1)[1]
+                comparator = node.comparators[0]
+                if isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+                    values = [_str_const(e) for e in comparator.elts]
+                    if values and all(v is not None for v in values):
+                        out.setdefault(field, set()).update(values)  # type: ignore[arg-type]
+    return out
+
+
+def _field_of(expr: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Config field a test subject refers to, via attribute or alias."""
+    chain = attr_chain(expr)
+    if chain and "." in chain:
+        return chain.rsplit(".", 1)[1]
+    if isinstance(expr, ast.Name):
+        return aliases.get(expr.id)
+    return None
+
+
+def _collect_aliases(fn: ast.AST, fields: Set[str]) -> Dict[str, str]:
+    """``backend = cfg.dp_backend`` / ``getattr(cfg, "dp_backend", ...)``."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        chain = attr_chain(node.value)
+        if chain and "." in chain and chain.rsplit(".", 1)[1] in fields:
+            aliases[target.id] = chain.rsplit(".", 1)[1]
+        elif (
+            isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "getattr"
+            and len(node.value.args) >= 2
+        ):
+            attr = _str_const(node.value.args[1])
+            if attr in fields:
+                aliases[target.id] = attr
+    return aliases
+
+
+def _branch_literals(
+    test: ast.AST, aliases: Dict[str, str], fields: Set[str]
+) -> Optional[Tuple[str, Set[str]]]:
+    """(field, literals) when ``test`` is an equality/membership dispatch test."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        field: Optional[str] = None
+        literals: Set[str] = set()
+        for value in test.values:
+            sub = _branch_literals(value, aliases, fields)
+            if sub is None:
+                return None
+            if field is not None and sub[0] != field:
+                return None
+            field = sub[0]
+            literals |= sub[1]
+        return (field, literals) if field else None
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return None
+    op = test.ops[0]
+    subject = test.left
+    comparator = test.comparators[0]
+    field = _field_of(subject, aliases)
+    if field is None or field not in fields:
+        # Allow ``"numpy" == cfg.dp_backend`` spelling.
+        field = _field_of(comparator, aliases)
+        if field is None or field not in fields:
+            return None
+        subject, comparator = comparator, subject
+    if isinstance(op, ast.Eq):
+        lit = _str_const(comparator)
+        return (field, {lit}) if lit is not None else None
+    if isinstance(op, ast.In) and isinstance(
+        comparator, (ast.Tuple, ast.List, ast.Set)
+    ):
+        lits = [_str_const(e) for e in comparator.elts]
+        if lits and all(v is not None for v in lits):
+            return (field, set(lits))  # type: ignore[arg-type]
+    return None
+
+
+def _falls_through(body: List[ast.stmt]) -> bool:
+    if not body:
+        return True
+    return not isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+@register
+class BackendParityRule(ProjectRule):
+    meta = RuleMeta(
+        name="backend-literal-parity",
+        summary=(
+            "backend-style if/elif dispatches must cover the full literal "
+            "set MPCConfig declares (or end in else/raise)"
+        ),
+        rationale=(
+            "PR 3/PR 5 literal additions: dispatch sites missed when a knob "
+            "grows a literal silently fall through to pre-existing behavior"
+        ),
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        config = project.module(CONFIG_MODULE)
+        if config is None:
+            return []
+        declared = declared_literals(config)
+        fields = set(declared)
+        if not fields:
+            return []
+
+        findings: List[Finding] = []
+        for module in project.modules:
+            if module.module_name == CONFIG_MODULE:
+                continue
+            # Chain heads only: an ``elif`` is the sole statement of its
+            # parent's orelse and is handled as part of the parent chain.
+            elif_nodes = {
+                id(stmt.orelse[0])
+                for stmt in ast.walk(module.tree)
+                if isinstance(stmt, ast.If)
+                and len(stmt.orelse) == 1
+                and isinstance(stmt.orelse[0], ast.If)
+            }
+            for fn in module.functions():
+                aliases = _collect_aliases(fn, fields)
+                for node in ast.walk(fn):
+                    if not isinstance(node, ast.If) or id(node) in elif_nodes:
+                        continue
+                    findings.extend(
+                        self._check_chain(module, node, aliases, declared)
+                    )
+        return findings
+
+    def _check_chain(
+        self,
+        module: ModuleContext,
+        head: ast.If,
+        aliases: Dict[str, str],
+        declared: Dict[str, Set[str]],
+    ) -> Iterable[Finding]:
+        fields = set(declared)
+        branches: List[Tuple[ast.If, str, Set[str]]] = []
+        node: ast.stmt = head
+        has_else = False
+        while isinstance(node, ast.If):
+            parsed = _branch_literals(node.test, aliases, fields)
+            if parsed is None:
+                return []  # mixed chain: not a pure literal dispatch
+            branches.append((node, parsed[0], parsed[1]))
+            if not node.orelse:
+                break
+            if len(node.orelse) == 1 and isinstance(node.orelse[0], ast.If):
+                node = node.orelse[0]
+            else:
+                has_else = True
+                break
+
+        field_names = {f for _n, f, _l in branches}
+        if len(field_names) != 1:
+            return []
+        field = field_names.pop()
+        declared_set = declared[field]
+        covered: Set[str] = set()
+        for _n, _f, lits in branches:
+            covered |= lits
+
+        findings: List[Finding] = []
+        unknown = covered - declared_set
+        if unknown:
+            findings.append(
+                self.finding(
+                    module,
+                    head,
+                    f"dispatch on {field!r} tests literal(s) "
+                    f"{sorted(unknown)} that MPCConfig does not declare "
+                    f"(declared: {sorted(declared_set)}) — typo or removed "
+                    "backend",
+                )
+            )
+        missing = declared_set - covered
+        if not has_else and missing and covered:
+            if any(_falls_through(n.body) for n, _f, _l in branches):
+                findings.append(
+                    self.finding(
+                        module,
+                        head,
+                        f"dispatch on {field!r} covers {sorted(covered)} but "
+                        f"not {sorted(missing)} and has no else; a new or "
+                        "unhandled literal silently falls through — add the "
+                        "missing branch or an else that raises",
+                    )
+                )
+        return findings

@@ -1,0 +1,142 @@
+"""Rule ``raw-extremum``.
+
+**History.**  PR 2 hardened the aggregation layer after two related bugs:
+``np.min`` over a value column containing NaN propagated NaN into DP
+tables, and builtin ``min()`` over an *empty* record selection raised
+``ValueError`` deep inside a superstep.  The package answer is
+``mpc_min``/``mpc_max`` (explicit ``nan=`` policy, loud empty-set error at
+the boundary); raw extremum folds keep sneaking back in reviews.
+
+**Check.**  In ``repro.mpc`` and ``repro.dp``:
+
+* ``np.min/np.max/np.amin/np.amax`` without an ``initial=`` keyword are
+  flagged unconditionally — prefer ``mpc_min``/``mpc_max`` (NaN policy) or
+  pass ``initial=``.
+* builtin ``min(xs)``/``max(xs)`` over a single iterable are flagged unless
+  the call has a ``default=`` keyword, the iterable is a non-empty literal,
+  or an *emptiness guard* dominates the call (an earlier
+  ``if not xs: return/raise/...`` — recognized by
+  :func:`repro.analysis.project.has_empty_guard`).
+
+Multi-argument ``min(a, b)`` is scalar and always safe.  Array-method
+reductions (``arr.min(axis=...)``) are out of scope: the kernels call them
+on state tables whose shape is guaranteed by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Finding, Rule, RuleMeta, register
+from repro.analysis.project import (
+    ModuleContext,
+    attr_chain,
+    has_empty_guard,
+    iterable_root_names,
+)
+
+__all__ = ["RawExtremumRule"]
+
+SCOPE = ("repro.mpc", "repro.dp")
+
+NUMPY_EXTREMA = {"min", "max", "amin", "amax"}
+
+
+def _is_nonempty_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)) and node.elts:
+        return all(not isinstance(e, ast.Starred) for e in node.elts)
+    return False
+
+
+def _guarded_by_ifexp(module: ModuleContext, call: ast.Call, roots: set) -> bool:
+    """``1 + max(xs) if xs else 0``: the call sits in the taken branch of a
+    ternary whose test is the iterable itself."""
+    child: ast.AST = call
+    parent = module.parent_of(call)
+    while parent is not None and not isinstance(
+        parent, (ast.stmt, ast.FunctionDef, ast.AsyncFunctionDef)
+    ):
+        if isinstance(parent, ast.IfExp) and child is not parent.orelse:
+            test = parent.test
+            if isinstance(test, ast.Name) and test.id in roots:
+                return True
+            if (
+                isinstance(test, ast.Call)
+                and isinstance(test.func, ast.Name)
+                and test.func.id == "len"
+                and test.args
+                and isinstance(test.args[0], ast.Name)
+                and test.args[0].id in roots
+            ):
+                return True
+        child = parent
+        parent = module.parent_of(parent)
+    return False
+
+
+@register
+class RawExtremumRule(Rule):
+    meta = RuleMeta(
+        name="raw-extremum",
+        summary=(
+            "use mpc_min/mpc_max (or default=/initial=/an emptiness guard) "
+            "instead of raw min/max over possibly-empty record sets"
+        ),
+        rationale=(
+            "PR 2 NaN/empty class: np.min propagated NaN into DP tables and "
+            "builtin min() raised ValueError on empty selections mid-superstep"
+        ),
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.in_scope(SCOPE):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain in {f"np.{n}" for n in NUMPY_EXTREMA} or chain in {
+                f"numpy.{n}" for n in NUMPY_EXTREMA
+            }:
+                if not any(kw.arg == "initial" for kw in node.keywords):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"raw {chain}() in MPC/DP code: NaN propagates and "
+                            "empty input raises mid-superstep — use "
+                            "mpc_min/mpc_max (explicit nan= policy) or pass "
+                            "initial=",
+                        )
+                    )
+                continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("min", "max")
+                and len(node.args) == 1
+                and not isinstance(node.args[0], ast.Starred)
+            ):
+                if any(kw.arg == "default" for kw in node.keywords):
+                    continue
+                arg = node.args[0]
+                if _is_nonempty_literal(arg):
+                    continue
+                roots = iterable_root_names(arg)
+                if roots and (
+                    has_empty_guard(module, node, roots)
+                    or _guarded_by_ifexp(module, node, roots)
+                ):
+                    continue
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"builtin {node.func.id}() over a possibly-empty "
+                        "iterable raises ValueError (PR 2 class) — use "
+                        "mpc_min/mpc_max, pass default=, or guard emptiness "
+                        "first",
+                    )
+                )
+        return findings

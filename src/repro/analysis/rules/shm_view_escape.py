@@ -1,0 +1,155 @@
+"""Rule ``shm-view-escape``.
+
+**History.**  PR 5's multiprocess backend maps numpy arrays over
+``multiprocessing.shared_memory`` segments.  A ``np.ndarray`` built over
+``SharedMemory.buf`` is only valid while the segment is open: during
+bring-up, a view returned past ``close()`` produced an interpreter
+**segfault** (not an exception) the first time the caller touched it.  The
+fix was a discipline, not a patch: raw shm views never escape the function
+that created them except at the two audited registry boundaries.
+
+**Check.**  Within each function, a value is *tainted* when it comes from
+``np.ndarray(..., buffer=...)`` or from ``attach_view(...)`` (directly or
+via a local name, including tuple unpacking).  A finding is raised when a
+tainted value
+
+* is returned or yielded,
+* is stored on an object or container (``self.x = view``, ``d[k] = view``,
+  ``lst.append(view)``), i.e. outlives the frame.
+
+The audited boundaries (the registry's ``create``/``attach_view`` contract,
+whose callers own segment lifetime) carry inline suppressions with
+justification; anything else must copy out (``np.asarray(view).copy()``)
+before the value escapes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.core import Finding, Rule, RuleMeta, register
+from repro.analysis.project import ModuleContext, call_name
+
+__all__ = ["ShmViewEscapeRule"]
+
+#: Callables whose result is a raw view over a shared-memory buffer.
+TAINT_CALLS = {"attach_view"}
+
+#: Method names that store their argument into a longer-lived container.
+STORE_METHODS = {"append", "add", "extend", "insert", "setdefault"}
+
+
+def _is_buffer_ndarray(call: ast.Call) -> bool:
+    if call_name(call) != "ndarray":
+        return False
+    return any(kw.arg == "buffer" for kw in call.keywords)
+
+
+def _tainted_expr(node: ast.AST, tainted: Set[str]) -> bool:
+    """Is ``node`` a tainted call/name, or a tuple/list containing one?"""
+    if isinstance(node, ast.Call):
+        return _is_buffer_ndarray(node) or (call_name(node) in TAINT_CALLS)
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return any(_tainted_expr(elt, tainted) for elt in node.elts)
+    return False
+
+
+def _bind_targets(target: ast.AST, value: ast.AST, tainted: Set[str]) -> None:
+    """Propagate taint through ``target = value`` name bindings."""
+    if isinstance(target, ast.Name):
+        if _tainted_expr(value, tainted):
+            tainted.add(target.id)
+        else:
+            tainted.discard(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        # ``seg, view = attach_view(...)`` taints every bound name: the
+        # analysis does not track which tuple slot is the view.
+        if _tainted_expr(value, tainted):
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    tainted.add(elt.id)
+
+
+@register
+class ShmViewEscapeRule(Rule):
+    meta = RuleMeta(
+        name="shm-view-escape",
+        summary=(
+            "numpy views over SharedMemory buffers must not be returned or "
+            "stored past the creating frame; copy out instead"
+        ),
+        rationale=(
+            "PR 5 segfault class: a view over SharedMemory.buf dereferenced "
+            "after segment close crashes the interpreter, not an exception"
+        ),
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fn in module.functions():
+            tainted: Set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, (ast.Name, ast.Tuple, ast.List)):
+                            _bind_targets(target, node.value, tainted)
+                        elif isinstance(
+                            target, (ast.Attribute, ast.Subscript)
+                        ) and _tainted_expr(node.value, tainted):
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    node,
+                                    "shared-memory view stored on an object or "
+                                    "container outlives its frame; copy out "
+                                    "before the segment can close",
+                                )
+                            )
+                elif isinstance(node, ast.Return):
+                    if node.value is not None and _tainted_expr(
+                        node.value, tainted
+                    ):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"{fn.name!r} returns a raw shared-memory view; "
+                                "the segment may close before the caller reads "
+                                "it (PR 5 segfault class) — return a copy or "
+                                "annotate the audited lifetime contract",
+                            )
+                        )
+                elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    value = getattr(node, "value", None)
+                    if value is not None and _tainted_expr(value, tainted):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"{fn.name!r} yields a raw shared-memory view "
+                                "across a suspension point; copy out first",
+                            )
+                        )
+                elif isinstance(node, ast.Call):
+                    callee = node.func
+                    if (
+                        isinstance(callee, ast.Attribute)
+                        and callee.attr in STORE_METHODS
+                        and any(
+                            isinstance(arg, ast.Name) and arg.id in tainted
+                            for arg in node.args
+                        )
+                    ):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                "shared-memory view inserted into a container; "
+                                "it outlives the creating frame — copy out "
+                                "before storing",
+                            )
+                        )
+        return findings

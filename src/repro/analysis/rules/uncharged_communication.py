@@ -1,0 +1,143 @@
+"""Rule ``uncharged-communication``.
+
+**History.**  PR 3 and PR 4 both grew driver-side shortcuts around the
+simulated wire (short-circuited convergecasts, driver-evaluated supersteps,
+the DP engine's per-layer summary routing).  Each had to remember to keep
+the *accounting* honest — ``tick_rounds`` for driver-evaluated rounds,
+``charge_rounds``/``charge_words`` for orchestration the model would pay
+for.  A data-movement helper that forgets silently deflates the round/word
+statistics every benchmark reports.
+
+**Check.**  Every module-level function or method in ``repro.mpc`` (the
+execution layer ``repro.mpc.exec`` excluded — it moves real bytes, not
+model words; the simulator remains the accounting oracle for everything it
+runs) whose name contains a data-movement verb must either charge the
+simulator — call ``superstep`` / ``tick_rounds`` / ``charge_rounds`` /
+``charge_words`` / ``broadcast_to_all`` directly or through another
+charging helper of the package (a package-wide call fixpoint) — or carry an
+explicit annotation that it is charge-free by the model::
+
+    def scatter(self, records):  # mpclint: disable=uncharged-communication -- <why free>
+
+Nested helper functions (superstep compute closures) are not flagged; the
+enclosing primitive is the accounting unit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.core import Finding, ProjectRule, RuleMeta, register
+from repro.analysis.project import ModuleContext, Project, call_name
+
+__all__ = ["UnchargedCommunicationRule"]
+
+#: The simulator's charging entry points.
+CHARGE_APIS = {
+    "superstep",
+    "tick_rounds",
+    "charge_rounds",
+    "charge_words",
+    "broadcast_to_all",
+}
+
+#: Name fragments (underscore-separated words) that mark a data-movement
+#: helper.  ``sort``/``group``/``join``/``reduce`` are movement in the MPC
+#: model: they are implemented as routing supersteps.
+MOVEMENT_VERBS = {
+    "route",
+    "send",
+    "recv",
+    "receive",
+    "gather",
+    "scatter",
+    "broadcast",
+    "rebalance",
+    "redistribute",
+    "exchange",
+    "shuffle",
+    "deliver",
+    "ship",
+    "sort",
+    "group",
+    "join",
+    "reduce",
+}
+
+SCOPE = ("repro.mpc",)
+EXCLUDED = ("repro.mpc.exec",)
+
+
+def _is_movement_name(name: str) -> bool:
+    words = set(name.lower().strip("_").split("_"))
+    return bool(words & MOVEMENT_VERBS)
+
+
+def _called_names(fn: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            cn = call_name(node)
+            if cn:
+                out.add(cn)
+    return out
+
+
+@register
+class UnchargedCommunicationRule(ProjectRule):
+    meta = RuleMeta(
+        name="uncharged-communication",
+        summary=(
+            "data-movement helpers in repro.mpc must charge rounds/words "
+            "through the simulator or carry an explicit charge-free annotation"
+        ),
+        rationale=(
+            "PR 3/PR 4 driver-side shortcut class: driver-evaluated movement "
+            "that forgets tick_rounds/charge_words silently deflates every "
+            "reported round/word statistic"
+        ),
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        in_scope = [
+            m
+            for m in project.modules
+            if m.in_scope(SCOPE) and not m.in_scope(EXCLUDED)
+        ]
+        # Pass 1: name-level call graph over the scope's top-level functions
+        # and methods (nested defs belong to their enclosing accounting unit).
+        defs: List[Tuple[ModuleContext, ast.AST]] = []
+        calls_of: Dict[str, Set[str]] = {}
+        for module in in_scope:
+            for fn in module.functions():
+                if module.enclosing_function(fn) is not None:
+                    continue
+                defs.append((module, fn))
+                calls_of.setdefault(fn.name, set()).update(_called_names(fn))
+
+        charging: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, called in calls_of.items():
+                if name in charging:
+                    continue
+                if called & CHARGE_APIS or called & charging:
+                    charging.add(name)
+                    changed = True
+
+        for module, fn in defs:
+            if not _is_movement_name(fn.name):
+                continue
+            if fn.name in charging:
+                continue
+            yield self.finding(
+                module,
+                fn,
+                f"data-movement helper {fn.name!r} never charges the simulator "
+                f"(no direct or transitive call to "
+                f"{'/'.join(sorted(CHARGE_APIS))}); charge the movement or "
+                f"annotate why it is free in the model "
+                f"('# mpclint: disable=uncharged-communication -- <why>')",
+            )

@@ -320,7 +320,7 @@ class ClusteringBuilder:
         # the absorbed path element; `replaced_by` tracks that substitution.
         replaced_by: Dict[Element, Element] = {}
 
-        for anchor, members in by_anchor.items():
+        for _anchor, members in by_anchor.items():
             members.sort()
             # fragment index = dist_to_bottom // frag
             fragments: Dict[int, List[Tuple[int, int]]] = {}

@@ -44,7 +44,7 @@ to equal dicts.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class _Trace:
 
     __slots__ = ("kind", "children", "steps", "fin", "child", "bp", "vec")
 
-    def __init__(self, kind: str):
+    def __init__(self, kind: str) -> None:
         self.kind = kind
         self.children: Tuple[Tuple[Element, Any], ...] = ()
         self.steps: List[np.ndarray] = []      # per absorbed child: (h, A) flat (a*S+s) ids
@@ -82,7 +82,7 @@ class _Trace:
 class DenseClusterKernel:
     """Dense implementation of the three per-cluster operations."""
 
-    def __init__(self, problem: FiniteStateDP):
+    def __init__(self, problem: FiniteStateDP) -> None:
         kernel = kernel_for(problem.semiring)
         if kernel is None:
             raise ValueError(
@@ -131,7 +131,7 @@ class DenseClusterKernel:
         """Whether the bottom-up memo still holds cluster ``cid``'s traces."""
         return cid in self._traces
 
-    def forget_traces(self, cids=None) -> None:
+    def forget_traces(self, cids: Optional[Iterable[int]] = None) -> None:
         """Drop the bottom-up trace memo (all clusters, or just ``cids``).
 
         Frees the per-cluster backpointer arrays; a later
@@ -159,7 +159,12 @@ class DenseClusterKernel:
             self._summarize_one(ctx, tables[i], traces[i]) for i, ctx in enumerate(ctxs)
         ]
 
-    def _summarize_one(self, ctx, tables, traces) -> Any:
+    def _summarize_one(
+        self,
+        ctx: ClusterContext,
+        tables: Dict[Element, np.ndarray],
+        traces: Dict[Element, Optional[_Trace]],
+    ) -> Any:
         if ctx.is_indegree_one:
             tables, traces = self._local_tables(ctx, self._hole_batch, tables, traces)
             if self.selective:
@@ -229,7 +234,9 @@ class DenseClusterKernel:
     # Level scheduler (cross-cluster batching within one layer)
     # ------------------------------------------------------------------ #
 
-    def _schedule_levels(self, ctxs: List[ClusterContext]):
+    def _schedule_levels(
+        self, ctxs: List[ClusterContext]
+    ) -> Tuple[List[Dict[Element, np.ndarray]], List[Dict[Element, Optional[_Trace]]]]:
         """Tables/traces (lists aligned with ``ctxs``) for batchable elements."""
         tables: List[Dict[Element, np.ndarray]] = [{} for _ in ctxs]
         traces: List[Dict[Element, Optional[_Trace]]] = [{} for _ in ctxs]
@@ -285,7 +292,12 @@ class DenseClusterKernel:
         self._schedule_hole_paths(ctxs, tables, traces)
         return tables, traces
 
-    def _schedule_hole_paths(self, ctxs, tables, traces) -> None:
+    def _schedule_hole_paths(
+        self,
+        ctxs: List[ClusterContext],
+        tables: List[Dict[Element, np.ndarray]],
+        traces: List[Dict[Element, Optional[_Trace]]],
+    ) -> None:
         """Batch the hole-path elements of the layer's indegree-one clusters.
 
         All off-path tables are already in place, so a path element only
@@ -350,7 +362,12 @@ class DenseClusterKernel:
                 else:
                     self._solve_group(sig, members, tables, traces)
 
-    def _node_with_hole(self, inp, children, tables):
+    def _node_with_hole(
+        self,
+        inp: Any,
+        children: Tuple[Tuple[Element, Any], ...],
+        tables: Dict[Element, np.ndarray],
+    ) -> Tuple[np.ndarray, Optional[_Trace]]:
         """Per-element solve for a hole-path node (children may end in HOLE)."""
         if children and children[-1][0] == HOLE:
             return self._node_once(
@@ -358,7 +375,12 @@ class DenseClusterKernel:
             )
         return self._node_once(inp, children, None, None, tables)
 
-    def _solve_mat_group(self, members, tables, traces) -> None:
+    def _solve_mat_group(
+        self,
+        members: List[Tuple[int, ClusterContext, Element, Optional[Element]]],
+        tables: List[Dict[Element, np.ndarray]],
+        traces: List[Dict[Element, Optional[_Trace]]],
+    ) -> None:
         """One stacked solve for a depth's indegree-one sub-cluster elements."""
         kernel = self.kernel
         mats = np.stack(
@@ -381,7 +403,9 @@ class DenseClusterKernel:
             tables[i][e] = vec[j]
             traces[i][e] = trace
 
-    def _node_signature(self, inp, children) -> Tuple[Optional[Hashable], Any]:
+    def _node_signature(
+        self, inp: Any, children: Tuple[Tuple[Element, Any], ...]
+    ) -> Tuple[Optional[Hashable], Any]:
         """Structural signature grouping nodes with identical rule tensors.
 
         Returns ``(sig, (fin_w, trans_ws))``: nodes share a group iff their
@@ -421,12 +445,23 @@ class DenseClusterKernel:
             return None, None
         return ("e", fin_key, init_key, tuple(tparts)), (None, tuple(tws))
 
-    def _fallback_group(self, members, tables, traces) -> None:
+    def _fallback_group(
+        self,
+        members: List[Tuple[int, Element, Any, Tuple[Tuple[Element, Any], ...], Any]],
+        tables: List[Dict[Element, np.ndarray]],
+        traces: List[Dict[Element, Optional[_Trace]]],
+    ) -> None:
         """Per-node path for a group whose declared key was not affine."""
         for i, e, inp, children, _aff in members:
             tables[i][e], traces[i][e] = self._node_with_hole(inp, children, tables[i])
 
-    def _solve_group(self, sig, members, tables, traces) -> None:
+    def _solve_group(
+        self,
+        sig: Hashable,
+        members: List[Tuple[int, Element, Any, Tuple[Tuple[Element, Any], ...], Any]],
+        tables: List[Dict[Element, np.ndarray]],
+        traces: List[Dict[Element, Optional[_Trace]]],
+    ) -> None:
         """One stacked solve for all ``members`` (same signature, same level).
 
         Handles both off-path groups (all child tables are broadcastable
@@ -513,7 +548,14 @@ class DenseClusterKernel:
     # Per-element solves (hole paths, uncacheable rules, top-down fallback)
     # ------------------------------------------------------------------ #
 
-    def _node_once(self, inp, children, hole_table, in_edge, tables):
+    def _node_once(
+        self,
+        inp: Any,
+        children: Tuple[Tuple[Element, Any], ...],
+        hole_table: Optional[np.ndarray],
+        in_edge: Any,
+        tables: Dict[Element, np.ndarray],
+    ) -> Tuple[np.ndarray, Optional[_Trace]]:
         """Solve one node element (mirrors the scalar absorption order)."""
         kernel = self.kernel
         tensors = self.tensors
@@ -554,7 +596,14 @@ class DenseClusterKernel:
             trace.vec = vec
         return vec, trace
 
-    def _mat_once(self, ctx, e, child, hole_table, tables):
+    def _mat_once(
+        self,
+        ctx: ClusterContext,
+        e: Element,
+        child: Optional[Element],
+        hole_table: Optional[np.ndarray],
+        tables: Dict[Element, np.ndarray],
+    ) -> Tuple[np.ndarray, Optional[_Trace]]:
         """Solve one indegree-one sub-cluster element."""
         kernel = self.kernel
         mat = self._dense_mat(ctx.summary_of(e))  # (S_top, S_below)

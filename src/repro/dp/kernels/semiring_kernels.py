@@ -31,7 +31,7 @@ path.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Any, Callable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -55,23 +55,23 @@ class SemiringKernel:
     selective: bool = False
     dtype: np.dtype = np.dtype(np.float64)
 
-    def __init__(self, semiring: Semiring):
+    #: Optional in-place variant ``combine_inplace(a, out)`` writing into
+    #: ``out`` (which must already have the broadcast shape); ``None`` when
+    #: the operation cannot run in place (e.g. modular products).
+    combine_inplace: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None
+
+    def __init__(self, semiring: Semiring) -> None:
         self.semiring = semiring
         self.zero = self.dtype.type(semiring.zero)
         self.one = self.dtype.type(semiring.one)
 
-    def full(self, shape, fill=None) -> np.ndarray:
+    def full(self, shape: Any, fill: Any = None) -> np.ndarray:
         """A new array filled with ``fill`` (default: the semiring zero)."""
         return np.full(shape, self.zero if fill is None else fill, dtype=self.dtype)
 
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Broadcast ``times`` of two arrays."""
         raise NotImplementedError
-
-    #: Optional in-place variant ``combine_inplace(a, out)`` writing into
-    #: ``out`` (which must already have the broadcast shape); ``None`` when
-    #: the operation cannot run in place (e.g. modular products).
-    combine_inplace = None
 
     def reduce(self, arr: np.ndarray, axis: Axis) -> np.ndarray:
         """``plus`` over ``axis`` (may be a tuple of axes)."""
@@ -94,20 +94,24 @@ class MinPlusKernel(SemiringKernel):
 
     selective = True
 
-    def combine(self, a, b):
+    def __init__(self, semiring: Semiring) -> None:
+        super().__init__(semiring)
+        self.combine_inplace = self._combine_inplace
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.add(a, b)
 
-    def combine_inplace(self, a, out):
+    def _combine_inplace(self, a: np.ndarray, out: np.ndarray) -> np.ndarray:
         return np.add(a, out, out=out)
 
-    def reduce(self, arr, axis):
+    def reduce(self, arr: np.ndarray, axis: Axis) -> np.ndarray:
         return arr.min(axis=axis)
 
-    def argreduce(self, arr, axis):
+    def argreduce(self, arr: np.ndarray, axis: int) -> np.ndarray:
         return arr.argmin(axis=axis)
 
-    def argreduce_flat(self, arr):
-        return arr.argmin()
+    def argreduce_flat(self, arr: np.ndarray) -> int:
+        return int(arr.argmin())
 
 
 class MaxPlusKernel(SemiringKernel):
@@ -115,20 +119,24 @@ class MaxPlusKernel(SemiringKernel):
 
     selective = True
 
-    def combine(self, a, b):
+    def __init__(self, semiring: Semiring) -> None:
+        super().__init__(semiring)
+        self.combine_inplace = self._combine_inplace
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.add(a, b)
 
-    def combine_inplace(self, a, out):
+    def _combine_inplace(self, a: np.ndarray, out: np.ndarray) -> np.ndarray:
         return np.add(a, out, out=out)
 
-    def reduce(self, arr, axis):
+    def reduce(self, arr: np.ndarray, axis: Axis) -> np.ndarray:
         return arr.max(axis=axis)
 
-    def argreduce(self, arr, axis):
+    def argreduce(self, arr: np.ndarray, axis: int) -> np.ndarray:
         return arr.argmax(axis=axis)
 
-    def argreduce_flat(self, arr):
-        return arr.argmax()
+    def argreduce_flat(self, arr: np.ndarray) -> int:
+        return int(arr.argmax())
 
 
 class SumProductKernel(SemiringKernel):
@@ -140,10 +148,10 @@ class SumProductKernel(SemiringKernel):
     it with floats (the counting problems use :class:`CountingModKernel`).
     """
 
-    def combine(self, a, b):
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.multiply(a, b)
 
-    def reduce(self, arr, axis):
+    def reduce(self, arr: np.ndarray, axis: Axis) -> np.ndarray:
         return arr.sum(axis=axis)
 
 
@@ -152,7 +160,7 @@ class CountingModKernel(SemiringKernel):
 
     dtype = np.dtype(np.int64)
 
-    def __init__(self, semiring: Semiring):
+    def __init__(self, semiring: Semiring) -> None:
         super().__init__(semiring)
         if semiring.modulus is None or semiring.modulus < 2:
             raise ValueError(f"counting kernel needs a modulus >= 2, got {semiring.modulus!r}")
@@ -160,10 +168,10 @@ class CountingModKernel(SemiringKernel):
         if self.modulus > 3_037_000_499:  # floor(sqrt(2**63 - 1))
             raise ValueError(f"modulus {self.modulus} too large for exact int64 products")
 
-    def combine(self, a, b):
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return np.multiply(a, b) % self.modulus
 
-    def reduce(self, arr, axis):
+    def reduce(self, arr: np.ndarray, axis: Axis) -> np.ndarray:
         return arr.sum(axis=axis) % self.modulus
 
 

@@ -9,7 +9,7 @@ the two backends produce identical labels.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Sequence, Tuple
+from typing import Any, Dict, Hashable, Sequence, Tuple
 
 import numpy as np
 
@@ -21,7 +21,7 @@ class StateSpace:
 
     __slots__ = ("states", "index")
 
-    def __init__(self, states: Sequence[Hashable]):
+    def __init__(self, states: Sequence[Hashable]) -> None:
         self.states: Tuple[Hashable, ...] = tuple(states)
         self.index: Dict[Hashable, int] = {s: i for i, s in enumerate(self.states)}
         if len(self.index) != len(self.states):
@@ -45,7 +45,7 @@ class StateSpace:
         return f"StateSpace({self.states!r})"
 
 
-def summary_as_dict(summary, space: StateSpace, zero) -> dict:
+def summary_as_dict(summary: Any, space: StateSpace, zero: Any) -> dict:
     """Normalise a cluster summary to the dict-table form of the scalar path.
 
     Dense summaries hold a ``"dense"`` array; scalar summaries hold a
@@ -64,7 +64,7 @@ def summary_as_dict(summary, space: StateSpace, zero) -> dict:
     return {(states[a], states[b]): dense[a, b].item() for a, b in zip(rows, cols)}
 
 
-def encode_vec(table: dict, space: StateSpace, zero, dtype) -> np.ndarray:
+def encode_vec(table: dict, space: StateSpace, zero: Any, dtype: Any) -> np.ndarray:
     """Dense (S,) array from a dict vector table (missing entries = zero)."""
     vec = np.full(len(space), zero, dtype=dtype)
     for state, val in table.items():
@@ -72,7 +72,7 @@ def encode_vec(table: dict, space: StateSpace, zero, dtype) -> np.ndarray:
     return vec
 
 
-def encode_mat(table: dict, space: StateSpace, zero, dtype) -> np.ndarray:
+def encode_mat(table: dict, space: StateSpace, zero: Any, dtype: Any) -> np.ndarray:
     """Dense (S, S) array from a dict matrix table (missing entries = zero)."""
     mat = np.full((len(space), len(space)), zero, dtype=dtype)
     for (a, b), val in table.items():

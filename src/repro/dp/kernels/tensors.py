@@ -25,7 +25,7 @@ per edge kind for the whole solve.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -49,7 +49,7 @@ class ProblemTensors:
         kernel: SemiringKernel,
         sspace: StateSpace,
         aspace: StateSpace,
-    ):
+    ) -> None:
         self.problem = problem
         self.kernel = kernel
         self.sspace = sspace
@@ -103,7 +103,7 @@ class ProblemTensors:
         self._trans_cache.clear()
         self._fin_cache.clear()
 
-    def _fill(self, shape, cells: Dict[Any, Any]) -> np.ndarray:
+    def _fill(self, shape: Tuple[int, ...], cells: Dict[Any, Any]) -> np.ndarray:
         """Dense array from merged ``{index: value}`` cells."""
         template = self._templates.get(shape)
         if template is None:
@@ -114,7 +114,7 @@ class ProblemTensors:
             arr[idx] = val
         return arr
 
-    def _merge_cell(self, cells: Dict[Any, Any], idx, val: Any) -> None:
+    def _merge_cell(self, cells: Dict[Any, Any], idx: Any, val: Any) -> None:
         """Scalar-path ``_merge`` semantics on one staged cell.
 
         Merging happens on plain Python scalars (cheap) before the single
@@ -247,7 +247,7 @@ class ProblemTensors:
         return (float(w),)
 
     def _probe_masks(
-        self, enumerate_probe, arity: int
+        self, enumerate_probe: Callable[[Tuple[float, ...]], np.ndarray], arity: int
     ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """``(base, masks)`` from unit-weight probes, or ``None`` if not affine.
 

@@ -202,6 +202,7 @@ class ClusterContext:
                         f"indegree-zero sub-cluster {e!r} unexpectedly has children"
                     )
                 plan.append(("leaf", e, None, 0))
+        # mpclint: disable-next-line=stale-cache-invalidation -- designated builder: the memo is derived from cluster+tree structure, immutable for the clustering's lifetime
         self.cluster._local_plan = plan
         return plan
 
@@ -235,6 +236,7 @@ class ClusterContext:
                     break
                 path_child = e
                 e = parent[e]
+        # mpclint: disable-next-line=stale-cache-invalidation -- designated builder: the memo is derived from cluster+tree structure, immutable for the clustering's lifetime
         self.cluster._hole_plan = plan
         return plan
 

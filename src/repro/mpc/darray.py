@@ -271,7 +271,7 @@ class DistributedArray:
 
         # Driver mirrors machine 0's local computation of splitters.
         all_samples: List[Any] = []
-        for mid, part in enumerate(local_sorted):
+        for part in local_sorted:
             if part:
                 step = max(1, len(part) // m)
                 all_samples.extend(key(part[i]) for i in range(0, len(part), step))

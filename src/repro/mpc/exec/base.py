@@ -87,7 +87,7 @@ class InlineArraySession(ArraySession):
         arrays: Dict[str, np.ndarray],
         rows: int,
         scratch: Optional[Dict[str, Tuple[Tuple[int, ...], Any]]] = None,
-    ):
+    ) -> None:
         self.arrays = dict(arrays)
         self.rows = rows
         for name, (shape, dtype) in (scratch or {}).items():
@@ -120,7 +120,7 @@ class ExecBackend:
         """
         raise NotImplementedError
 
-    def dp_session(self, engine_state: Dict[str, Any], solver: Any):
+    def dp_session(self, engine_state: Dict[str, Any], solver: Any) -> Optional[Any]:
         """Open a DP session for one engine solve, or ``None`` to decline."""
         return None
 
@@ -133,7 +133,13 @@ class InlineBackend(ExecBackend):
 
     name = "inline"
 
-    def array_session(self, arrays, rows, num_machines, scratch=None) -> InlineArraySession:
+    def array_session(
+        self,
+        arrays: Dict[str, np.ndarray],
+        rows: int,
+        num_machines: int,
+        scratch: Optional[Dict[str, Tuple[Tuple[int, ...], Any]]] = None,
+    ) -> InlineArraySession:
         return InlineArraySession(arrays, rows, scratch)
 
 
@@ -149,7 +155,7 @@ def default_workers() -> int:
 _FALLBACK_WARNED = False
 
 
-def resolve_backend(config) -> ExecBackend:
+def resolve_backend(config: Any) -> ExecBackend:
     """The :class:`ExecBackend` selected by ``config.exec_backend``.
 
     ``"process"`` on a platform without working POSIX shared memory falls

@@ -64,7 +64,7 @@ _TREE_CACHE_SLOTS = 4
 # --------------------------------------------------------------------------- #
 
 
-def _build_solver(spec: Tuple[str, Any, Any]):
+def _build_solver(spec: Tuple[str, Any, Any]) -> Any:
     if spec[0] == "finite":
         from repro.dp.local_solver import FiniteStateClusterSolver
 
@@ -72,7 +72,7 @@ def _build_solver(spec: Tuple[str, Any, Any]):
     return spec[1]
 
 
-def _worker_context(state: Dict[str, Any], summaries: Dict[int, Any], cid: int):
+def _worker_context(state: Dict[str, Any], summaries: Dict[int, Any], cid: int) -> Any:
     from repro.dp.problem import ClusterContext
 
     hc = state["clustering"]
@@ -87,7 +87,9 @@ def _worker_context(state: Dict[str, Any], summaries: Dict[int, Any], cid: int):
     )
 
 
-def _worker_main(conn, slot: int, inherited) -> None:  # pragma: no cover - runs in child
+def _worker_main(
+    conn: Any, slot: int, inherited: Sequence[Any]
+) -> None:  # pragma: no cover - runs in child
     """Command loop of one pool worker (see module docstring for protocol)."""
     # Fork inherits every pipe end created before this worker started; close
     # them so a dead driver reliably surfaces as EOF on our own pipe (a
@@ -123,7 +125,9 @@ def _worker_main(conn, slot: int, inherited) -> None:  # pragma: no cover - runs
             elif cmd == "attach":
                 for logical, shm_name, shape, dtype_str in payload:
                     seg, view = attach_view(shm_name, shape, dtype_str)
+                    # mpclint: disable-next-line=shm-view-escape -- worker session cache; the matching "detach" command drops both before close
                     segments[logical] = seg
+                    # mpclint: disable-next-line=shm-view-escape -- worker session cache; the matching "detach" command drops both before close
                     arrays[logical] = view
             elif cmd == "detach":
                 for logical in payload:
@@ -200,7 +204,9 @@ def _worker_main(conn, slot: int, inherited) -> None:  # pragma: no cover - runs
 class _Worker:
     """Driver handle on one pool worker: process + pipe + liveness checks."""
 
-    def __init__(self, ctx, slot: int, conn, child_conn, inherited):
+    def __init__(
+        self, ctx: Any, slot: int, conn: Any, child_conn: Any, inherited: Sequence[Any]
+    ) -> None:
         self.slot = slot
         self.conn = conn
         self.proc = ctx.Process(
@@ -258,7 +264,7 @@ class _Worker:
             pass
 
 
-def _mp_context():
+def _mp_context() -> Any:
     import multiprocessing as mp
 
     method = os.environ.get("REPRO_EXEC_START_METHOD")
@@ -280,7 +286,7 @@ class ProcessBackend(ExecBackend):
 
     _shared: Dict[int, "ProcessBackend"] = {}
 
-    def __init__(self, workers: int):
+    def __init__(self, workers: int) -> None:
         self.num_slots = max(1, int(workers))
         self._workers: List[_Worker] = []
         self._generation = 0
@@ -374,7 +380,13 @@ class ProcessBackend(ExecBackend):
 
     # -- array sessions --------------------------------------------------- #
 
-    def array_session(self, arrays, rows, num_machines, scratch=None) -> ArraySession:
+    def array_session(
+        self,
+        arrays: Dict[str, np.ndarray],
+        rows: int,
+        num_machines: int,
+        scratch: Optional[Dict[str, Tuple[Tuple[int, ...], Any]]] = None,
+    ) -> ArraySession:
         if rows <= 0:
             return InlineArraySession(arrays, rows, scratch)
         return ProcessArraySession(self, arrays, rows, num_machines, scratch)
@@ -426,7 +438,9 @@ class ProcessBackend(ExecBackend):
         self._tree_mirror[key] = None
         return key
 
-    def dp_session(self, engine_state: Dict[str, Any], solver: Any):
+    def dp_session(
+        self, engine_state: Dict[str, Any], solver: Any
+    ) -> Optional["ProcessDPSession"]:
         """Open a :class:`ProcessDPSession`, or ``None`` if unshippable.
 
         A solver/problem that cannot be pickled (e.g. defined in a local
@@ -460,7 +474,14 @@ class ProcessBackend(ExecBackend):
 class ProcessArraySession(ArraySession):
     """Shared-memory array session over the worker pool."""
 
-    def __init__(self, backend: ProcessBackend, arrays, rows, num_machines, scratch=None):
+    def __init__(
+        self,
+        backend: ProcessBackend,
+        arrays: Dict[str, np.ndarray],
+        rows: int,
+        num_machines: int,
+        scratch: Optional[Dict[str, Tuple[Tuple[int, ...], Any]]] = None,
+    ) -> None:
         self.backend = backend
         self.rows = rows
         self.registry = SharedArrayRegistry()
@@ -507,7 +528,7 @@ class ProcessDPSession:
     summary map, so the engine's word accounting is untouched.
     """
 
-    def __init__(self, backend: ProcessBackend, skey: Any, tree_key: Any):
+    def __init__(self, backend: ProcessBackend, skey: Any, tree_key: Any) -> None:
         self.backend = backend
         self.skey = skey
         self.tree_key = tree_key

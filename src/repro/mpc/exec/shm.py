@@ -25,7 +25,7 @@ from __future__ import annotations
 import atexit
 import os
 from multiprocessing import shared_memory
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -95,9 +95,9 @@ class SharedArrayRegistry:
     def create(
         self,
         logical: str,
-        like: np.ndarray = None,
-        shape: Tuple[int, ...] = None,
-        dtype=None,
+        like: Optional[np.ndarray] = None,
+        shape: Optional[Tuple[int, ...]] = None,
+        dtype: Any = None,
     ) -> np.ndarray:
         """Allocate a segment and return its view; copy ``like`` in if given."""
         if like is not None:
@@ -114,6 +114,7 @@ class SharedArrayRegistry:
             view[...] = like
         else:
             view.fill(0)
+        # mpclint: disable-next-line=shm-view-escape -- registry contract: the registry owns segment lifetime; views die before destroy() by construction
         return view
 
     def specs(self) -> List[ArraySpec]:
@@ -144,7 +145,9 @@ def _unlink_segment(seg: shared_memory.SharedMemory) -> None:
     _LIVE.pop(seg.name, None)
 
 
-def attach_view(shm_name: str, shape: Tuple[int, ...], dtype_str: str):
+def attach_view(
+    shm_name: str, shape: Tuple[int, ...], dtype_str: str
+) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
     """Worker-side attach: return ``(segment, view)`` for a driver segment.
 
     The segment is opened without resource-tracker registration (Python's
@@ -160,6 +163,7 @@ def attach_view(shm_name: str, shape: Tuple[int, ...], dtype_str: str):
         # unlinks, and the driver's unlink unregisters the name once.
         seg = shared_memory.SharedMemory(name=shm_name)
     view = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str), buffer=seg.buf)
+    # mpclint: disable-next-line=shm-view-escape -- attach contract: the caller holds (seg, view) together and detaches via detach_view
     return seg, view
 
 

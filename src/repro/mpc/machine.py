@@ -56,7 +56,9 @@ class Machine:
     def clear_inbox(self) -> None:
         self.inbox = []
 
-    def receive(self, messages: Iterable[Any]) -> None:
+    def receive(  # mpclint: disable=uncharged-communication -- mailbox primitive; superstep() prices every message as it is emitted
+        self, messages: Iterable[Any]
+    ) -> None:
         self.inbox.extend(messages)
 
     def replace_store(self, records: Iterable[Any]) -> None:

@@ -163,7 +163,9 @@ class MPCSimulator:
     # Data placement
     # ------------------------------------------------------------------ #
 
-    def scatter(self, records: Sequence[Any]) -> None:
+    def scatter(  # mpclint: disable=uncharged-communication -- initial placement is part of the MPC input specification and costs no rounds
+        self, records: Sequence[Any]
+    ) -> None:
         """Distribute ``records`` evenly over the machines (initial placement).
 
         Initial data placement is part of the input specification in the MPC
@@ -179,7 +181,9 @@ class MPCSimulator:
             machine.replace_store(chunk)
         self._record_memory()
 
-    def gather(self) -> List[Any]:
+    def gather(  # mpclint: disable=uncharged-communication -- driver-side output inspection, not an MPC operation (a deployment would write to a DFS)
+        self,
+    ) -> List[Any]:
         """Collect all records to the driver (test/benchmark convenience).
 
         This is *not* an MPC operation and costs no rounds; it is only used by

@@ -105,6 +105,7 @@ def _replay_records_loads(sim: MPCSimulator, run_records) -> None:
 
 
 def _with_load_model(sim: MPCSimulator, run_records) -> None:
+    # mpclint: disable-next-line=backend-literal-parity -- "none" disables load replay; the silent fall-through IS the none behavior
     if sim.config.treeops_load_model == "records":
         _replay_records_loads(sim, run_records)
 
@@ -184,7 +185,7 @@ def _compute_depths_records(
             break
 
     depths = {}
-    for v, jump, dist in arr.collect():
+    for v, _jump, dist in arr.collect():
         depths[v] = dist
     depths[root] = 0
     return depths
@@ -302,7 +303,7 @@ def _capped_subtree_gather_records(
                 return (v, known, frontier, heavy)
             new_known = set(known)
             new_frontier: Set[int] = set()
-            for (u, u_known, u_frontier, u_heavy) in resps:
+            for (_u, u_known, u_frontier, u_heavy) in resps:
                 if u_heavy:
                     heavy = True
                     break
@@ -436,7 +437,7 @@ def _degree2_path_positions_records(
         arr = joined_dn.map(advance_dn)
 
     out: Dict[int, Tuple[int, int, int, int]] = {}
-    for v, up_t, up_d, up_done, dn_t, dn_d, dn_done in arr.collect():
+    for v, up_t, up_d, _up_done, dn_t, dn_d, _dn_done in arr.collect():
         out[v] = (up_t, up_d, dn_t, dn_d)
     return out
 

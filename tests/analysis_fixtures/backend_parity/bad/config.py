@@ -1,0 +1,10 @@
+# mpclint: module=repro.mpc.config
+"""Fixture stand-in for MPCConfig's literal validation."""
+
+
+class MPCConfig:
+    def __post_init__(self):
+        if self.dp_backend not in ("auto", "numpy", "python"):
+            raise ValueError(self.dp_backend)
+        if self.exec_backend not in ("inline", "process"):
+            raise ValueError(self.exec_backend)

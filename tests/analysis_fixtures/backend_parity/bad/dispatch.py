@@ -1,0 +1,18 @@
+# mpclint: module=repro.mpc.fixture_dispatch
+"""True positives: incomplete dispatch and an undeclared literal."""
+
+
+def pick(cfg):
+    out = 0
+    if cfg.dp_backend == "numpy":
+        out = 1
+    elif cfg.dp_backend == "auto":
+        out = 2
+    return out
+
+
+def typo(cfg):
+    backend = cfg.exec_backend
+    if backend == "processes":
+        return 1
+    return 0

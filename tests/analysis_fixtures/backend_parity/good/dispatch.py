@@ -1,0 +1,31 @@
+# mpclint: module=repro.mpc.fixture_dispatch_ok
+"""Clean dispatches: full coverage, else branches, guard-style early exits."""
+
+
+def pick(cfg):
+    if cfg.dp_backend == "numpy":
+        return 1
+    elif cfg.dp_backend in ("auto", "python"):
+        return 2
+    raise AssertionError("unreachable")
+
+
+def with_else(cfg):
+    if cfg.exec_backend == "inline":
+        out = 1
+    else:
+        out = 2
+    return out
+
+
+def guard_style(cfg):
+    backend = getattr(cfg, "exec_backend", "inline")
+    if backend != "process":
+        return None
+    return object()
+
+
+def exiting_subset(cfg):
+    if cfg.exec_backend == "process":
+        return "pooled"
+    return "direct"

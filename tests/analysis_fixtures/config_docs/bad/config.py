@@ -1,0 +1,7 @@
+# mpclint: module=repro.mpc.config
+"""Fixture MPCConfig with an undocumented field (``delta``)."""
+
+
+class MPCConfig:
+    n: int = 0
+    delta: float = 0.25

@@ -1,0 +1,7 @@
+# mpclint: module=repro.mpc.config
+"""Fixture MPCConfig with every field documented."""
+
+
+class MPCConfig:
+    n: int = 0
+    delta: float = 0.25

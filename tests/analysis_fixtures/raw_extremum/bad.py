@@ -1,0 +1,15 @@
+# mpclint: module=repro.mpc.fixture_extrema
+"""True positives: raw extremum folds over possibly-empty record sets."""
+import numpy as np
+
+
+def worst_load(loads):
+    return max(loads)
+
+
+def smallest_key(adj):
+    return min(adj.keys())
+
+
+def numpy_peak(col):
+    return np.max(col)

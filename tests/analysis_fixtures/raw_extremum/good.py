@@ -1,0 +1,31 @@
+# mpclint: module=repro.mpc.fixture_extrema_ok
+"""Clean: every extremum is guarded, defaulted, or bounded."""
+import numpy as np
+
+
+def worst_load(loads):
+    if not loads:
+        return 0
+    return max(loads)
+
+
+def smallest_key(adj):
+    return min(adj.keys(), default=-1)
+
+
+def numpy_peak(col):
+    return np.max(col, initial=0)
+
+
+def height(kids):
+    return 1 + max(kids) if kids else 0
+
+
+def guarded_by_len(parts):
+    if len(parts) == 0:
+        raise ValueError("empty")
+    return max(len(p) for p in parts)
+
+
+def scalar_pair(a, b):
+    return min(a, b)

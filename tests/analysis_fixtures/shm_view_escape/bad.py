@@ -1,0 +1,18 @@
+# mpclint: module=repro.mpc.exec.fixture_shm
+"""True positives: raw shared-memory views escaping their frame."""
+import numpy as np
+
+from repro.mpc.exec.shm import attach_view
+
+
+class Holder:
+    def grab(self, seg):
+        view = np.ndarray((4,), dtype=np.float64, buffer=seg.buf)
+        self.view = view
+        return view
+
+
+def attach_all(specs, out):
+    for name, shape, dt in specs:
+        seg, view = attach_view(name, shape, dt)
+        out.append(view)

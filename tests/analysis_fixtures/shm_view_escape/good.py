@@ -1,0 +1,18 @@
+# mpclint: module=repro.mpc.exec.fixture_shm_ok
+"""Clean: views are consumed in-frame; only copies escape."""
+import numpy as np
+
+from repro.mpc.exec.shm import attach_view, detach_view
+
+
+def read_copy(seg, shape):
+    view = np.ndarray(shape, dtype=np.float64, buffer=seg.buf)
+    data = np.asarray(view).copy()
+    return data
+
+
+def attach_sum(name, shape, dt):
+    seg, view = attach_view(name, shape, dt)
+    total = float(view.sum())
+    detach_view(seg)
+    return total

@@ -1,0 +1,17 @@
+# mpclint: module=repro.dynamic.fixture_updates_ok
+"""Clean: mutators invalidate; the owner class manages its own memos."""
+
+
+def apply_update(tree, cluster, node, value):
+    tree.node_data[node] = value
+    cluster.invalidate_payload_plans()
+
+
+class Cluster:
+    def invalidate_payload_plans(self):
+        self._local_plan = None
+        self._hole_plan = None
+
+
+def read_only(tree, node):
+    return tree.node_data[node]

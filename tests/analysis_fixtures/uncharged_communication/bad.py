@@ -1,0 +1,7 @@
+# mpclint: module=repro.mpc.fixture_routing
+"""True positive: a data-movement helper that never charges the simulator."""
+
+
+def ship_records(sim, records):
+    for rec in records:
+        sim.machines[rec.dst].inbox.append(rec)

@@ -1,0 +1,17 @@
+# mpclint: module=repro.mpc.fixture_routing_ok
+"""Clean: movement charges directly, transitively, or is a nested closure."""
+
+
+def _deliver(sim, records):
+    sim.charge_words(len(records))
+
+
+def send_all(sim, records):
+    _deliver(sim, records)
+
+
+def rebalance(sim, arr):
+    def route(rec):
+        return rec.dst
+
+    sim.superstep(route)

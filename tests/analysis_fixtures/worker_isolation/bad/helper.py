@@ -1,0 +1,7 @@
+# mpclint: module=repro.mpc.exec.fixture_helper
+"""Reachable from the worker entry; imports the simulator (driver-only)."""
+from repro.mpc import simulator
+
+
+def peek(sim):
+    return simulator.record_words(sim)

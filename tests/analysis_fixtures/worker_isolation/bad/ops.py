@@ -1,0 +1,6 @@
+# mpclint: module=repro.mpc.exec.ops
+"""True positive: the worker entry drags in driver-only modules."""
+import repro.mpc.exec.fixture_helper
+from repro.mpc.darray import DArray
+
+OPS = {}

@@ -1,0 +1,7 @@
+# mpclint: module=repro.mpc.exec.fixture_helper
+"""Worker-side helper: stdlib only."""
+import struct
+
+
+def pack(values):
+    return struct.pack(f"{len(values)}d", *values)

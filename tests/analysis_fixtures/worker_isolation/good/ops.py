@@ -1,0 +1,7 @@
+# mpclint: module=repro.mpc.exec.ops
+"""Clean: the worker entry touches numpy and worker-side helpers only."""
+import numpy as np
+
+import repro.mpc.exec.fixture_helper
+
+OPS = {"zero": lambda arrays, lo, hi, slot: arrays[slot][lo:hi].fill(np.float64(0))}

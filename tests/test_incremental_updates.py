@@ -184,7 +184,7 @@ def _backends_for(entry):
 
 def _fuzz_cases():
     cases = []
-    for name, (decorate, mutate, bounded) in sorted(FUZZ_CONFIG.items()):
+    for name, (_decorate, _mutate, bounded) in sorted(FUZZ_CONFIG.items()):
         for family in _family_names(bounded_degree_only=bounded):
             for backend in _backends_for(ENTRIES[name]):
                 cases.append(pytest.param(name, family, backend, id=f"{name}-{family}-{backend}"))
@@ -519,7 +519,9 @@ def test_mid_pass_failure_is_recoverable_and_never_silently_stale(seed):
             {"clauses": [(rng.random() < 0.5, round(rng.uniform(0, 5), 2))]},
         )
         bad_node = rng.choice(tree.nodes())
-        with pytest.raises(Exception):
+        # The malformed update surfaces as TypeError/ValueError/IndexError
+        # depending on which kernel unpacks it; any exception is the contract.
+        with pytest.raises(Exception):  # noqa: B017
             inc.apply_updates([good, node_update(bad_node, {"clauses": [("malformed",)]})])
         # Stale state is refused, not served.
         with pytest.raises(RuntimeError, match="stale"):

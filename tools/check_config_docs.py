@@ -1,53 +1,36 @@
 #!/usr/bin/env python
 """Fail when docs/CONFIG.md misses an ``MPCConfig`` field.
 
-docs/CONFIG.md is the reference for every deployment knob; a new field on
-:class:`repro.mpc.config.MPCConfig` that is not documented there is a docs
-regression.  This check runs in the CI lint job (and locally:
-``python tools/check_config_docs.py``).
-
-The config module is loaded by file path — not through the ``repro``
-package — so the check needs no third-party dependencies (the lint job
-installs only ruff).
+This is now a thin shim over mpclint's ``config-docs-drift`` rule (see
+``src/repro/analysis/rules/config_docs.py`` and docs/ANALYSIS.md) — kept so
+existing habits and scripts (``python tools/check_config_docs.py``) keep
+working.  It runs the one rule over the config module via the same
+no-dependency bootstrap as ``tools/mpclint.py``; the full analyzer is
+``python tools/mpclint.py src``.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import importlib.util
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
-CONFIG_PY = REPO / "src" / "repro" / "mpc" / "config.py"
-CONFIG_MD = REPO / "docs" / "CONFIG.md"
+sys.path.insert(0, str(REPO / "tools"))
 
-
-def load_mpc_config():
-    spec = importlib.util.spec_from_file_location("_repro_mpc_config", CONFIG_PY)
-    module = importlib.util.module_from_spec(spec)
-    # @dataclass resolves string annotations through sys.modules, so the
-    # module must be registered before execution.
-    sys.modules[spec.name] = module
-    spec.loader.exec_module(module)
-    return module.MPCConfig
+from mpclint import _bootstrap  # noqa: E402
 
 
 def main() -> int:
-    doc = CONFIG_MD.read_text(encoding="utf-8")
-    config = load_mpc_config()
-    fields = [f.name for f in dataclasses.fields(config)]
-    # A field counts as documented when it appears as inline code (the
-    # reference tables and the derived-fields prose both use backticks).
-    missing = [name for name in fields if f"`{name}`" not in doc]
-    if missing:
-        print(
-            f"docs/CONFIG.md is missing MPCConfig field(s): {', '.join(missing)}\n"
-            f"Document every field of {CONFIG_PY.relative_to(REPO)} in "
-            f"{CONFIG_MD.relative_to(REPO)} (backticked)."
-        )
+    _bootstrap()
+    from repro.analysis import run_analysis
+
+    config_py = REPO / "src" / "repro" / "mpc" / "config.py"
+    report = run_analysis([config_py], root=REPO, select=["config-docs-drift"])
+    if report.findings:
+        for f in report.findings:
+            print(f"{f.path}:{f.line}: {f.message}")
         return 1
-    print(f"docs/CONFIG.md documents all {len(fields)} MPCConfig fields")
+    print("docs/CONFIG.md documents all MPCConfig fields")
     return 0
 
 

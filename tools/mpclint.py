@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Run mpclint without installing the package or its runtime dependencies.
+
+``python -m repro.analysis`` executes ``repro/__init__.py``, which imports
+the simulation stack (and therefore numpy).  The analyzer itself is
+stdlib-only, so this wrapper registers a synthetic ``repro`` package whose
+``__path__`` points at ``src/repro`` *without running its ``__init__``*,
+then imports ``repro.analysis`` normally.  This is what the CI lint job
+invokes on a bare interpreter; locally both entry points behave
+identically:
+
+    python tools/mpclint.py src --output mpclint-report.json
+    python -m repro.analysis src          # with PYTHONPATH=src + numpy
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def _bootstrap() -> None:
+    sys.path.insert(0, str(SRC))
+    if "repro" not in sys.modules:
+        pkg = types.ModuleType("repro")
+        pkg.__path__ = [str(SRC / "repro")]  # type: ignore[attr-defined]
+        pkg.__file__ = str(SRC / "repro" / "__init__.py")
+        sys.modules["repro"] = pkg
+
+
+def main() -> int:
+    _bootstrap()
+    from repro.analysis.cli import main as cli_main
+
+    return cli_main()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
