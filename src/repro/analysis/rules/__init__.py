@@ -14,6 +14,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     raw_extremum,
     shm_view_escape,
     stale_cache,
+    unbounded_wait,
     uncharged_communication,
     worker_isolation,
 )

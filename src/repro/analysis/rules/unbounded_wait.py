@@ -1,0 +1,111 @@
+"""Rule ``unbounded-wait``.
+
+**History.**  Before PR 8, the process execution backend's liveness story
+had a hole: the driver's reply wait polled the pipe under a single hard
+deadline read at *import* time, and an early worker-loop draft blocked in
+``conn.recv()`` outright.  A worker that died the wrong way (or a driver
+descheduled past the pipe buffer) turned into a five-minute stall — or a
+genuine hang — instead of a supervised failure.  PR 8 replaced the
+deadline with heartbeat-based liveness; this rule pins the discipline that
+made it work: **no receive loop in the exec layer may wait without a
+bound**.
+
+**Check.**  In modules under ``repro.mpc.exec``, every ``while`` loop that
+waits on a pipe — calls ``.recv(...)``, or ``.poll()`` with no timeout
+argument — must carry a liveness bound *inside the loop*:
+
+* a bounded ``.poll(timeout)`` call (the wait wakes up to re-check), or
+* a ``time.monotonic()`` reading (a deadline / heartbeat-silence check).
+
+A loop that blocks in ``recv`` with neither can stall forever on a dead
+peer; the supervised pattern polls with a timeout and classifies silence
+(see ``_Worker.recv_reply`` and ``_worker_main`` in
+:mod:`repro.mpc.exec.pool`, the two audited wait loops this rule keeps
+honest).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Finding, Rule, RuleMeta, register
+from repro.analysis.project import ModuleContext
+
+__all__ = ["UnboundedWaitRule"]
+
+#: Module prefix the rule watches: the exec layer's driver/worker protocol.
+EXEC_MODULE_PREFIX = "repro.mpc.exec"
+
+#: Attribute calls that block on a pipe until the peer speaks.
+WAIT_METHODS = {"recv", "recv_bytes", "get"}
+
+
+def _is_wait_call(node: ast.Call) -> bool:
+    """``x.recv(...)`` always waits; ``x.poll()`` waits only with no args."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr in WAIT_METHODS:
+        return True
+    return func.attr == "poll" and not node.args and not node.keywords
+
+
+def _is_bound_marker(node: ast.Call) -> bool:
+    """A call that bounds the wait: ``poll(timeout)`` or ``monotonic()``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "poll" and (node.args or node.keywords):
+            return True
+        if func.attr == "monotonic":
+            return True
+        # Event.wait(timeout) / Queue.get(timeout=...) style bounded waits.
+        if func.attr in ("wait", "get") and (node.args or node.keywords):
+            return True
+    elif isinstance(func, ast.Name) and func.id == "monotonic":
+        return True
+    return False
+
+
+@register
+class UnboundedWaitRule(Rule):
+    meta = RuleMeta(
+        name="unbounded-wait",
+        summary=(
+            "receive loops in repro.mpc.exec must carry a deadline or "
+            "heartbeat check: a bounded poll(timeout) or a time.monotonic() "
+            "reading inside the loop"
+        ),
+        rationale=(
+            "PR 8 liveness class: a wait loop with no bound stalls forever "
+            "on a dead or silent peer instead of surfacing a supervised "
+            "worker failure the retry ladder can heal"
+        ),
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.module_name.startswith(EXEC_MODULE_PREFIX):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While):
+                continue
+            waits = False
+            bounded = False
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    if _is_wait_call(sub):
+                        waits = True
+                    if _is_bound_marker(sub):
+                        bounded = True
+            if waits and not bounded:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "wait loop has no liveness bound: add a poll(timeout) "
+                        "or a time.monotonic() deadline/heartbeat check so a "
+                        "dead peer surfaces as a supervised failure",
+                    )
+                )
+        return findings

@@ -135,6 +135,18 @@ class PreparedTree:
 
         return IncrementalSolver(self, problem, backend=backend, **kwargs)
 
+    def exec_health(self) -> Optional[Dict[str, Any]]:
+        """Supervision report of this deployment's exec backend, if any.
+
+        ``None`` under the inline backend (there is nothing to supervise).
+        Under ``exec_backend="process"`` this is the pool's cumulative
+        :meth:`~repro.mpc.exec.faults.ExecHealth.as_dict` snapshot —
+        retries, pool rebuilds, inline fallbacks and per-event detail for
+        everything executed on this deployment so far.
+        """
+        health = getattr(self.sim.executor, "health", None)
+        return None if health is None else health.as_dict()
+
 
 @dataclass
 class PipelineResult:
@@ -148,6 +160,9 @@ class PipelineResult:
     solve_result: SolveResult
     prepared: PreparedTree
     rounds: Dict[str, int] = field(default_factory=dict)
+    #: Exec-backend supervision snapshot taken right after the solve
+    #: (``PreparedTree.exec_health()``); ``None`` under the inline backend.
+    exec_health: Optional[Dict[str, Any]] = None
 
     @property
     def total_rounds(self) -> int:
@@ -297,6 +312,7 @@ def solve_on(
         solve_result=res,
         prepared=prepared,
         rounds=rounds,
+        exec_health=prepared.exec_health(),
     )
 
 

@@ -245,7 +245,9 @@ class DPEngine:
                     )
                     items.append((cluster, out_label, in_label))
                 labels_by_cid = (
-                    session.label_layer(items) if session is not None and items else None
+                    session.label_layer(items, summaries)
+                    if session is not None and items
+                    else None
                 )
                 layer_labels: List[Any] = []
                 for cluster, out_label, in_label in items:

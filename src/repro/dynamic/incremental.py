@@ -181,6 +181,15 @@ class IncrementalSolver:
         clusters, fall back to re-solving every cluster (skipping the
         per-cluster change tracking, whose bookkeeping would only add
         overhead).  ``1.0`` keeps the partial path always.
+    fault_plan:
+        Optional :class:`~repro.mpc.exec.faults.FaultPlan` consulted at the
+        ``"update-layer"`` site once per bottom-up layer of each update
+        pass; a matching entry raises
+        :class:`~repro.mpc.exec.faults.InjectedFault` mid-pass.  This is
+        the chaos hook for testing the pending-dirty heal path — payloads
+        are already written when a pass dies, so the next batch must fold
+        the pending chains back in.  ``None`` (the default) injects
+        nothing.
 
     The constructor runs the initial full solve; its statistics are kept in
     :attr:`initial_stats` for update-vs-full comparisons.
@@ -201,10 +210,12 @@ class IncrementalSolver:
         problem: Any,
         backend: Optional[str] = None,
         full_resolve_threshold: float = 0.6,
+        fault_plan: Optional[Any] = None,
     ):
         if not (0.0 < full_resolve_threshold <= 1.0):
             raise ValueError("full_resolve_threshold must be in (0, 1]")
         self.prepared = prepared
+        self._fault_plan = fault_plan
         self.problem = problem
         self.solver = as_cluster_dp(problem, backend=backend or prepared.sim.config.dp_backend)
         self.engine = prepared.engine()
@@ -451,6 +462,11 @@ class IncrementalSolver:
             if not cids:
                 continue
             clusters = [hc.clusters[cid] for cid in sorted(cids)]
+            if self._fault_plan is not None:
+                # Chaos hook: a matching plan entry raises InjectedFault here,
+                # after payloads were written but before this layer's chains
+                # re-solve — exactly the window the pending-dirty heal covers.
+                self._fault_plan.check_site("update-layer")
             old = None if skip_pruning else {c.cid: self.summaries[c.cid] for c in clusters}
             # Rounds/words are charged on the simulator under "dp-update";
             # _apply reads the per-label diff back into the report.

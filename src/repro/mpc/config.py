@@ -98,6 +98,39 @@ class MPCConfig:
         Worker count of the ``"process"`` pool.  Left ``None``, the value
         is read from ``REPRO_EXEC_WORKERS``, else a small multiple of the
         visible CPU cores is used.  Ignored by the inline backend.
+    exec_retries:
+        Supervision ladder of the ``"process"`` pool: how many times a
+        failed superstep call or DP layer batch is re-dispatched (after a
+        backoff and, for a dead or hung worker, a pool rebuild) before the
+        session degrades to a warn-once inline fallback.  The calls are
+        idempotent — inputs live driver-side or in shared memory — so
+        retries cannot change a bit of the result.  Left ``None``, read
+        from ``REPRO_EXEC_RETRIES`` (default 2).  ``0`` disables retries:
+        the first failure falls through the ladder.
+    exec_backoff:
+        Base of the exponential backoff between retry attempts, in seconds
+        (attempt ``k`` sleeps ``exec_backoff * 2**(k-1)``).  Left ``None``,
+        read from ``REPRO_EXEC_BACKOFF`` (default 0.05).
+    exec_heartbeat:
+        Heartbeat interval of pool workers, in seconds.  A worker acks
+        progress on long calls at this cadence; the driver declares a
+        worker hung only after a silence of several intervals, so hangs
+        are detected in seconds without false-killing slow-but-alive
+        workers.  Left ``None``, read from ``REPRO_EXEC_HEARTBEAT``
+        (default 0.25).
+    exec_call_timeout:
+        Hard per-call deadline in seconds for pool workers — the upper
+        bound even while heartbeats keep arriving.  Left ``None``, read
+        from ``REPRO_EXEC_TIMEOUT`` (default 300).  Per-pool, not
+        process-global: pools are cached keyed by every exec knob, so
+        changing the timeout (or the start method) mid-process takes
+        effect instead of being silently ignored.
+    exec_faults:
+        Deterministic fault-injection plan for the process pool (chaos
+        testing): a ``repro.mpc.exec.faults.FaultPlan`` spec string such as
+        ``"kill@w0:2;poison@*:1:dp_solve"``.  Left ``None``, read from
+        ``REPRO_EXEC_FAULTS`` (default: no faults).  Parsed and validated
+        here so a typo fails fast.
     """
 
     n: int
@@ -113,6 +146,11 @@ class MPCConfig:
     treeops_load_model: str = "none"
     exec_backend: Optional[str] = None
     exec_workers: Optional[int] = None
+    exec_retries: Optional[int] = None
+    exec_backoff: Optional[float] = None
+    exec_heartbeat: Optional[float] = None
+    exec_call_timeout: Optional[float] = None
+    exec_faults: Optional[str] = None
 
     machine_capacity: int = field(init=False)
     num_machines: int = field(init=False)
@@ -151,6 +189,38 @@ class MPCConfig:
                 self.exec_workers = int(env_workers)
         if self.exec_workers is not None and self.exec_workers < 1:
             raise ValueError(f"exec_workers must be >= 1, got {self.exec_workers}")
+        if self.exec_retries is None:
+            env_retries = os.environ.get("REPRO_EXEC_RETRIES")
+            if env_retries:
+                self.exec_retries = int(env_retries)
+        if self.exec_retries is not None and self.exec_retries < 0:
+            raise ValueError(f"exec_retries must be >= 0, got {self.exec_retries}")
+        if self.exec_backoff is None:
+            env_backoff = os.environ.get("REPRO_EXEC_BACKOFF")
+            if env_backoff:
+                self.exec_backoff = float(env_backoff)
+        if self.exec_backoff is not None and self.exec_backoff < 0:
+            raise ValueError(f"exec_backoff must be >= 0, got {self.exec_backoff}")
+        if self.exec_heartbeat is None:
+            env_heartbeat = os.environ.get("REPRO_EXEC_HEARTBEAT")
+            if env_heartbeat:
+                self.exec_heartbeat = float(env_heartbeat)
+        if self.exec_heartbeat is not None and self.exec_heartbeat <= 0:
+            raise ValueError(f"exec_heartbeat must be > 0, got {self.exec_heartbeat}")
+        if self.exec_call_timeout is None:
+            env_timeout = os.environ.get("REPRO_EXEC_TIMEOUT")
+            if env_timeout:
+                self.exec_call_timeout = float(env_timeout)
+        if self.exec_call_timeout is not None and self.exec_call_timeout <= 0:
+            raise ValueError(
+                f"exec_call_timeout must be > 0, got {self.exec_call_timeout}"
+            )
+        if self.exec_faults is None:
+            self.exec_faults = os.environ.get("REPRO_EXEC_FAULTS")
+        if self.exec_faults:
+            from repro.mpc.exec.faults import FaultPlan
+
+            FaultPlan.parse(self.exec_faults)  # validates; raises ValueError on typos
         cap = int(math.ceil(self.capacity_factor * self.n ** self.delta))
         self.machine_capacity = max(self.min_capacity, cap)
         machines = int(math.ceil(self.n / max(1, self.machine_capacity))) + 1

@@ -8,6 +8,14 @@ per simulated machine group).  Accounting always stays with
 tested to be — bit-identical in outputs, labels and
 :class:`~repro.mpc.simulator.RoundStats`.
 
+The process pool is *supervised*: worker failures (death, hang past the
+heartbeat window, a raised exception, a failed shm attach) are retried with
+exponential backoff, rebuilding the pool when the pipe protocol is gone,
+and degrade to a warn-once inline fallback when the ladder is exhausted —
+all without changing a bit of the result.  :mod:`repro.mpc.exec.faults`
+holds the deterministic fault-injection plan (:class:`FaultPlan`) and the
+structured :class:`ExecHealth` report of the transitions taken.
+
 See :mod:`repro.mpc.exec.base` for the interface, :mod:`repro.mpc.exec.pool`
 for the process pool and :mod:`repro.mpc.exec.shm` for the shared-memory
 part registry.
@@ -18,15 +26,23 @@ from repro.mpc.exec.base import (
     ArraySession,
     ExecBackend,
     ExecBackendError,
+    ExecWorkerFailure,
+    ExecWorkerRaised,
     InlineBackend,
     default_workers,
     resolve_backend,
 )
+from repro.mpc.exec.faults import ExecHealth, FaultPlan, InjectedFault
 from repro.mpc.exec.ops import OPS
 
 __all__ = [
     "ExecBackend",
     "ExecBackendError",
+    "ExecWorkerFailure",
+    "ExecWorkerRaised",
+    "ExecHealth",
+    "FaultPlan",
+    "InjectedFault",
     "InlineBackend",
     "INLINE",
     "ArraySession",

@@ -40,6 +40,8 @@ from repro.mpc.exec.ops import OPS
 
 __all__ = [
     "ExecBackendError",
+    "ExecWorkerFailure",
+    "ExecWorkerRaised",
     "ArraySession",
     "InlineArraySession",
     "ExecBackend",
@@ -51,8 +53,32 @@ __all__ = [
 
 
 class ExecBackendError(RuntimeError):
-    """A process-backend worker failed (died, hung past the deadline, or
-    raised); the driver's pool is torn down and rebuilt lazily on next use."""
+    """A process-backend worker failed and the supervision ladder (retry
+    within the pool → rebuild the pool → inline fallback) is exhausted or
+    was invoked outside a supervised session."""
+
+
+class ExecWorkerFailure(ExecBackendError):
+    """A worker died, went silent past the heartbeat window, or exceeded the
+    call deadline: the pipe protocol is undefined, so the pool is torn down
+    before this propagates (a retry rebuilds it)."""
+
+    def __init__(self, message: str, *, slot: int, kind: str) -> None:
+        super().__init__(message)
+        self.slot = slot
+        #: ``"died"`` | ``"hung"`` | ``"timeout"``.
+        self.kind = kind
+
+
+class ExecWorkerRaised(ExecBackendError):
+    """A worker raised a Python exception and reported its traceback.  The
+    worker is alive and every pending reply was drained, so the pool stays
+    intact — a retry re-dispatches on the same workers."""
+
+    def __init__(self, message: str, *, slot: int) -> None:
+        super().__init__(message)
+        self.slot = slot
+        self.kind = "error"
 
 
 class ArraySession:
@@ -183,7 +209,14 @@ def resolve_backend(config: Any) -> ExecBackend:
     from repro.mpc.exec.pool import ProcessBackend
 
     workers = getattr(config, "exec_workers", None) or default_workers()
-    return ProcessBackend.shared(workers)
+    return ProcessBackend.shared(
+        workers,
+        call_timeout=getattr(config, "exec_call_timeout", None),
+        retries=getattr(config, "exec_retries", None),
+        backoff=getattr(config, "exec_backoff", None),
+        heartbeat=getattr(config, "exec_heartbeat", None),
+        faults=getattr(config, "exec_faults", None),
+    )
 
 
 def machine_group_bounds(rows: int, num_machines: int, slots: int) -> List[Tuple[int, int]]:

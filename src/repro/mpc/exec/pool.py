@@ -1,4 +1,4 @@
-"""Persistent multiprocessing worker pool — the ``"process"`` exec backend.
+"""Supervised multiprocessing worker pool — the ``"process"`` exec backend.
 
 One worker per simulated *machine group*: the pool holds ``W`` long-lived
 processes, each connected to the driver by a duplex pipe, and each owning a
@@ -11,15 +11,39 @@ through :class:`~repro.mpc.simulator.MPCSimulator` exactly as the inline
 backend does, which is what keeps the two backends' `RoundStats`
 bit-identical.
 
-Failure model: a worker that dies (killed, OOM, segfault) or exceeds the
-call deadline surfaces as :class:`~repro.mpc.exec.base.ExecBackendError`; the
-pool is torn down immediately and rebuilt lazily on the next session, so a
-killed worker never hangs the driver and never poisons later solves.  A
-worker that raises a Python exception reports its traceback and stays alive.
+Failure model — the supervision ladder.  Every session operation (a
+superstep call, an shm attach, a DP layer batch) is *idempotent*: its
+inputs live driver-side or in driver-owned shared memory, so re-dispatching
+it cannot change a bit of the result.  Supervision exploits that:
 
-Lifetime: pools are process-global singletons keyed by worker count (the
-substrate creates many short-lived simulators; respawning per simulator
-would dominate).  ``atexit`` stops every pool; workers are daemonic as a
+1. **Retry within the pool** — a worker that raises a Python exception
+   reports its traceback and stays alive; the batch is re-dispatched on the
+   same workers after an exponential backoff.
+2. **Rebuild the pool** — a worker that dies (killed, OOM, segfault), goes
+   silent past the heartbeat window, or exceeds the hard call deadline
+   leaves the pipe protocol undefined; the pool is torn down, respawned,
+   the session re-established (shm re-attached, tree state and DP session
+   re-shipped) and the batch re-dispatched.
+3. **Inline fallback** — after ``retries`` failed attempts the session
+   degrades, with a once-per-process :class:`RuntimeWarning`, to executing
+   the remaining work inline on the driver over the *same* machine-group
+   partition — still bit-identical, just no longer parallel.
+
+Liveness is heartbeat-based, not deadline-based: workers ack progress every
+``heartbeat`` seconds while executing a command, so a hang is detected
+after a few silent intervals (seconds) while a slow-but-alive worker can
+run all the way to the generous hard ``call_timeout``.  Every ladder
+transition is counted in the backend's
+:class:`~repro.mpc.exec.faults.ExecHealth` report, and deterministic
+failures can be injected with a :class:`~repro.mpc.exec.faults.FaultPlan`
+(env ``REPRO_EXEC_FAULTS``): the driver attaches a fault directive to the
+one matching message and the worker kills itself / hangs / delays / drops
+the reply / raises at exactly that coordinate.
+
+Lifetime: pools are process-global singletons keyed by every exec knob
+(worker count, start method, timeouts, retry policy, fault plan), so
+changing any of them mid-process yields a distinct pool instead of being
+silently ignored.  ``atexit`` stops every pool; workers are daemonic as a
 backstop.
 """
 
@@ -29,11 +53,13 @@ import atexit
 import itertools
 import os
 import pickle
+import signal
+import threading
 import time
 import traceback
 import warnings
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -41,9 +67,12 @@ from repro.mpc.exec.base import (
     ArraySession,
     ExecBackend,
     ExecBackendError,
+    ExecWorkerFailure,
+    ExecWorkerRaised,
     InlineArraySession,
     machine_group_bounds,
 )
+from repro.mpc.exec.faults import ExecHealth, FaultPlan, InjectedFault
 from repro.mpc.exec.ops import OPS
 from repro.mpc.exec.shm import SharedArrayRegistry, attach_view, detach_view
 
@@ -51,12 +80,28 @@ __all__ = ["ProcessBackend", "ProcessArraySession", "ProcessDPSession"]
 
 _PICKLE_PROTO = pickle.HIGHEST_PROTOCOL
 
-#: Per-call deadline in seconds (generous; the kill test relies on liveness
-#: polling, not on this timeout).
-_CALL_TIMEOUT = float(os.environ.get("REPRO_EXEC_TIMEOUT", "300"))
+#: Supervision defaults (overridden per pool via MPCConfig / environment).
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF = 0.05
+DEFAULT_HEARTBEAT = 0.25
+DEFAULT_CALL_TIMEOUT = 300.0
 
 #: Most recently shipped clusterings kept per worker (driver mirrors this).
 _TREE_CACHE_SLOTS = 4
+
+
+def _default_call_timeout() -> float:
+    """The hard per-call deadline — read per pool build, never at import."""
+    return float(os.environ.get("REPRO_EXEC_TIMEOUT", str(DEFAULT_CALL_TIMEOUT)))
+
+
+def _hang_window(heartbeat: float) -> float:
+    """Silence (no reply, no heartbeat) after which a worker counts as hung.
+
+    Several intervals of slack absorb scheduler jitter; the floor keeps a
+    tiny test heartbeat from false-killing workers on loaded CI runners.
+    """
+    return max(12.0 * heartbeat, 1.0)
 
 
 # --------------------------------------------------------------------------- #
@@ -88,7 +133,7 @@ def _worker_context(state: Dict[str, Any], summaries: Dict[int, Any], cid: int) 
 
 
 def _worker_main(
-    conn: Any, slot: int, inherited: Sequence[Any]
+    conn: Any, slot: int, inherited: Sequence[Any], heartbeat: float
 ) -> None:  # pragma: no cover - runs in child
     """Command loop of one pool worker (see module docstring for protocol)."""
     # Fork inherits every pipe end created before this worker started; close
@@ -106,24 +151,86 @@ def _worker_main(
     segments: Dict[str, Any] = {}
     tree_states: Dict[Any, Dict[str, Any]] = {}
     dp_sessions: Dict[Any, Dict[str, Any]] = {}
+
+    # Liveness protocol: while `busy` (a command is executing) and not
+    # `quiet` (an injected hang/drop suppresses liveness), a daemon thread
+    # sends ("hb", None) every `heartbeat` seconds.  `send_lock` keeps
+    # heartbeats and replies from interleaving mid-pickle on the pipe.
+    send_lock = threading.Lock()
+    busy = threading.Event()
+    quiet = threading.Event()
+    hb_stop = threading.Event()
+
+    def _hb_loop() -> None:
+        while not hb_stop.wait(heartbeat):
+            if busy.is_set() and not quiet.is_set():
+                try:
+                    with send_lock:
+                        conn.send(("hb", None))
+                except Exception:
+                    return
+
+    threading.Thread(target=_hb_loop, daemon=True, name="repro-exec-hb").start()
+
     running = True
     while running:
         try:
             # Poll so a re-parented (orphaned) worker notices and exits even
             # if its pipe was leaked into another process.
-            while not conn.poll(1.0):
+            while not conn.poll(0.25):
                 if os.getppid() != parent:
                     return
-            cmd, payload = conn.recv()
+            msg = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             break
+        cmd, payload = msg[0], msg[1]
+        fault = msg[2] if len(msg) > 2 else None
+        kind = fault.get("kind") if fault else None
+        drop_reply = False
+        if kind == "kill":
+            # Simulated SIGKILL mid-superstep: no reply, no cleanup.
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "hang":
+            # Go silent: no pickup ack, no heartbeats, just sleep.  The
+            # driver's hang window fires long before the sleep ends and the
+            # teardown SIGTERMs this process out of it.
+            quiet.set()
+            time.sleep(fault.get("duration", 20.0) if fault else 20.0)
+            quiet.clear()
+        elif kind == "drop":
+            drop_reply = True
+            quiet.set()
+        if not quiet.is_set():
+            # Pickup ack: resets the driver's silence clock immediately so
+            # a tiny heartbeat interval cannot false-kill a worker that was
+            # still in its idle poll when the command landed.
+            try:
+                with send_lock:
+                    conn.send(("hb", None))
+            except Exception:
+                break
+        busy.set()
         try:
+            if kind == "delay":
+                # Slow-but-alive: heartbeats keep flowing, then the command
+                # completes normally.  The driver must NOT kill this worker.
+                time.sleep(fault.get("duration", 20.0) if fault else 20.0)
             result: Any = None
+            if kind == "raise":
+                raise InjectedFault(
+                    f"injected fault on worker {slot} handling {cmd!r}"
+                )
             if cmd == "op":
                 op, lo, hi, extra = payload
                 OPS[op](arrays, lo, hi, slot, **extra)
             elif cmd == "attach":
                 for logical, shm_name, shape, dtype_str in payload:
+                    stale = segments.pop(logical, None)
+                    if stale is not None:
+                        # Re-attach after a retry: drop the previous handle
+                        # first so nothing keeps the old mapping alive.
+                        arrays.pop(logical, None)
+                        detach_view(stale)
                     seg, view = attach_view(shm_name, shape, dtype_str)
                     # mpclint: disable-next-line=shm-view-escape -- worker session cache; the matching "detach" command drops both before close
                     segments[logical] = seg
@@ -159,9 +266,10 @@ def _worker_main(
                     summaries[cid] = summary
                 result = list(zip(cids, out))
             elif cmd == "dp_labels":
-                skey, items = payload
+                skey, items, extra_summaries = payload
                 sess = dp_sessions[skey]
                 state = tree_states[sess["tree_key"]]
+                sess["summaries"].update(extra_summaries)
                 solver = sess["solver"]
                 result = [
                     (
@@ -182,12 +290,23 @@ def _worker_main(
                 running = False
             else:
                 raise ValueError(f"unknown pool command {cmd!r}")
-            conn.send(("ok", result))
+            busy.clear()
+            if not drop_reply:
+                try:
+                    with send_lock:
+                        conn.send(("ok", result))
+                except Exception:
+                    break
         except BaseException:
+            busy.clear()
+            if drop_reply:
+                continue
             try:
-                conn.send(("error", traceback.format_exc()))
+                with send_lock:
+                    conn.send(("error", traceback.format_exc()))
             except Exception:
                 break
+    hb_stop.set()
     for seg in segments.values():
         detach_view(seg)
     try:
@@ -205,49 +324,87 @@ class _Worker:
     """Driver handle on one pool worker: process + pipe + liveness checks."""
 
     def __init__(
-        self, ctx: Any, slot: int, conn: Any, child_conn: Any, inherited: Sequence[Any]
+        self,
+        ctx: Any,
+        slot: int,
+        conn: Any,
+        child_conn: Any,
+        inherited: Sequence[Any],
+        heartbeat: float,
+        call_timeout: float,
     ) -> None:
         self.slot = slot
         self.conn = conn
+        self.call_timeout = call_timeout
+        self.hang_after = _hang_window(heartbeat)
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, slot, inherited),
+            args=(child_conn, slot, inherited, heartbeat),
             daemon=True,
             name=f"repro-exec-{slot}",
         )
         self.proc.start()
         child_conn.close()
 
-    def send(self, cmd: str, payload: Any) -> None:
+    def send(self, cmd: str, payload: Any, fault: Optional[Dict[str, Any]] = None) -> None:
+        message = (cmd, payload) if fault is None else (cmd, payload, fault)
         try:
-            self.conn.send((cmd, payload))
+            self.conn.send(message)
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
-            raise ExecBackendError(
-                f"exec worker {self.slot} (pid {self.proc.pid}) is gone: {exc}"
+            raise ExecWorkerFailure(
+                f"exec worker {self.slot} (pid {self.proc.pid}) is gone: {exc}",
+                slot=self.slot,
+                kind="died",
             ) from exc
 
-    def recv(self, timeout: float = _CALL_TIMEOUT) -> Any:
-        deadline = time.monotonic() + timeout
-        try:
-            while not self.conn.poll(0.02):
-                if not self.proc.is_alive():
-                    raise ExecBackendError(
-                        f"exec worker {self.slot} (pid {self.proc.pid}) died "
-                        f"mid-superstep (exitcode {self.proc.exitcode})"
-                    )
-                if time.monotonic() > deadline:
-                    raise ExecBackendError(
-                        f"exec worker {self.slot} (pid {self.proc.pid}) did not "
-                        f"answer within {timeout:.0f}s"
-                    )
-            status, result = self.conn.recv()
-        except (EOFError, OSError) as exc:
-            raise ExecBackendError(
-                f"exec worker {self.slot} (pid {self.proc.pid}) closed its pipe"
-            ) from exc
-        if status == "error":
-            raise ExecBackendError(f"exec worker {self.slot} raised:\n{result}")
-        return result
+    def recv_reply(self) -> Tuple[str, Any]:
+        """The next ``("ok" | "error", result)`` reply, heartbeat-aware.
+
+        Heartbeats — the pickup ack and the periodic progress acks a busy
+        worker sends — reset the silence clock without satisfying the call;
+        a worker silent for longer than the hang window counts as hung even
+        though it is alive, and the hard ``call_timeout`` bounds the call
+        even while heartbeats keep arriving.
+        """
+        start = time.monotonic()
+        deadline = start + self.call_timeout
+        last_signal = start
+        while True:
+            if self.conn.poll(0.02):
+                try:
+                    msg = self.conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ExecWorkerFailure(
+                        f"exec worker {self.slot} (pid {self.proc.pid}) closed its pipe",
+                        slot=self.slot,
+                        kind="died",
+                    ) from exc
+                if msg[0] == "hb":
+                    last_signal = time.monotonic()
+                    continue
+                return msg[0], msg[1]
+            now = time.monotonic()
+            if not self.proc.is_alive():
+                raise ExecWorkerFailure(
+                    f"exec worker {self.slot} (pid {self.proc.pid}) died "
+                    f"mid-superstep (exitcode {self.proc.exitcode})",
+                    slot=self.slot,
+                    kind="died",
+                )
+            if now - last_signal > self.hang_after:
+                raise ExecWorkerFailure(
+                    f"exec worker {self.slot} (pid {self.proc.pid}) went silent: "
+                    f"no heartbeat for {self.hang_after:.1f}s",
+                    slot=self.slot,
+                    kind="hung",
+                )
+            if now > deadline:
+                raise ExecWorkerFailure(
+                    f"exec worker {self.slot} (pid {self.proc.pid}) did not "
+                    f"finish within the {self.call_timeout:.0f}s call deadline",
+                    slot=self.slot,
+                    kind="timeout",
+                )
 
     def stop(self) -> None:
         try:
@@ -264,10 +421,10 @@ class _Worker:
             pass
 
 
-def _mp_context() -> Any:
+def _mp_context(start_method: Optional[str] = None) -> Any:
     import multiprocessing as mp
 
-    method = os.environ.get("REPRO_EXEC_START_METHOD")
+    method = start_method or os.environ.get("REPRO_EXEC_START_METHOD")
     if method:
         return mp.get_context(method)
     try:
@@ -276,20 +433,67 @@ def _mp_context() -> Any:
         return mp.get_context("spawn")
 
 
-_UNSHIPPABLE_WARNED: set = set()
+_UNSHIPPABLE_WARNED: Set[str] = set()
+
+_DEGRADE_WARNED = False
+
+
+def _warn_inline_fallback(what: str, exc: BaseException) -> None:
+    """Once per process: the supervision ladder ran out and went inline."""
+    global _DEGRADE_WARNED
+    if not _DEGRADE_WARNED:
+        _DEGRADE_WARNED = True
+        warnings.warn(
+            f"exec supervision exhausted its retries for {what} ({exc}); "
+            "continuing inline on the driver — results are bit-identical, "
+            "only the placement changed",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+
+#: Pool-cache key: every knob that changes pool behaviour.
+_PoolKey = Tuple[int, str, float, int, float, float, str]
 
 
 class ProcessBackend(ExecBackend):
-    """The ``"process"`` execution backend (see module docstring)."""
+    """The supervised ``"process"`` execution backend (see module docstring)."""
 
     name = "process"
 
-    _shared: Dict[int, "ProcessBackend"] = {}
+    _shared: Dict[_PoolKey, "ProcessBackend"] = {}
+    _report_seq = itertools.count()
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        *,
+        start_method: Optional[str] = None,
+        call_timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+        heartbeat: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         self.num_slots = max(1, int(workers))
+        self.start_method = start_method
+        self.call_timeout = call_timeout if call_timeout is not None else _default_call_timeout()
+        self.retries = DEFAULT_RETRIES if retries is None else max(0, int(retries))
+        self.backoff = DEFAULT_BACKOFF if backoff is None else max(0.0, float(backoff))
+        self.heartbeat = DEFAULT_HEARTBEAT if heartbeat is None else float(heartbeat)
+        self.fault_plan = fault_plan
+        #: The structured supervision report (one per backend lifetime).
+        self.health = ExecHealth()
         self._workers: List[_Worker] = []
         self._generation = 0
+        #: True between a failure teardown and the next rebuild (rebuild
+        #: accounting: the *first* build of a pool is not a rebuild).
+        self._dirty = False
+        self._ever_built = False
+        #: Supervised messages sent per slot — the FaultPlan coordinate
+        #: space.  Driver-side and monotonic across rebuilds, so plans are
+        #: deterministic and every entry fires exactly once.
+        self._fault_calls: Dict[int, int] = {}
         #: Worker-side tree-state cache mirror: key -> None (ordered LRU).
         self._tree_mirror: "OrderedDict[Any, None]" = OrderedDict()
         self._live_tree_keys: set = set()
@@ -297,17 +501,60 @@ class ProcessBackend(ExecBackend):
         self._tree_tokens = itertools.count()
 
     @classmethod
-    def shared(cls, workers: int) -> "ProcessBackend":
-        backend = cls._shared.get(workers)
+    def shared(
+        cls,
+        workers: int,
+        *,
+        start_method: Optional[str] = None,
+        call_timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+        heartbeat: Optional[float] = None,
+        faults: Optional[str] = None,
+    ) -> "ProcessBackend":
+        """The process-global pool for this exact knob combination.
+
+        Keyed by every behavioural knob — worker count, start method,
+        timeouts, retry policy, heartbeat cadence and the fault-plan spec —
+        so changing ``REPRO_EXEC_START_METHOD`` or any timeout mid-process
+        yields a fresh pool instead of silently reusing a stale one.
+        """
+        method = start_method or os.environ.get("REPRO_EXEC_START_METHOD") or ""
+        timeout = call_timeout if call_timeout is not None else _default_call_timeout()
+        retries_v = DEFAULT_RETRIES if retries is None else max(0, int(retries))
+        backoff_v = DEFAULT_BACKOFF if backoff is None else max(0.0, float(backoff))
+        heartbeat_v = DEFAULT_HEARTBEAT if heartbeat is None else float(heartbeat)
+        spec = faults or ""
+        key: _PoolKey = (
+            max(1, int(workers)),
+            method,
+            timeout,
+            retries_v,
+            backoff_v,
+            heartbeat_v,
+            spec,
+        )
+        backend = cls._shared.get(key)
         if backend is None:
-            backend = cls._shared[workers] = cls(workers)
+            backend = cls._shared[key] = cls(
+                workers,
+                start_method=method or None,
+                call_timeout=timeout,
+                retries=retries_v,
+                backoff=backoff_v,
+                heartbeat=heartbeat_v,
+                fault_plan=FaultPlan.parse(spec),
+            )
         return backend
 
     # -- pool lifecycle ------------------------------------------------- #
 
     def _ensure_pool(self) -> List[_Worker]:
         if not self._workers:
-            ctx = _mp_context()
+            if self._dirty:
+                self.health.record_rebuild("pool")
+                self._dirty = False
+            ctx = _mp_context(self.start_method)
             self._generation += 1
             self._tree_mirror.clear()
             self._live_tree_keys.clear()
@@ -319,9 +566,18 @@ class ProcessBackend(ExecBackend):
             fork = ctx.get_start_method() == "fork"
             inherited = [end for pair in pipes for end in pair] if fork else []
             self._workers = [
-                _Worker(ctx, slot, conn, child_conn, inherited)
+                _Worker(
+                    ctx,
+                    slot,
+                    conn,
+                    child_conn,
+                    inherited,
+                    self.heartbeat,
+                    self.call_timeout,
+                )
                 for slot, (conn, child_conn) in enumerate(pipes)
             ]
+            self._ever_built = True
         return self._workers
 
     def worker_pids(self) -> List[int]:
@@ -330,6 +586,7 @@ class ProcessBackend(ExecBackend):
 
     def _teardown(self) -> None:
         workers, self._workers = self._workers, []
+        self._dirty = True
         for w in workers:
             try:
                 w.proc.terminate()
@@ -351,16 +608,49 @@ class ProcessBackend(ExecBackend):
         workers, self._workers = self._workers, []
         for w in workers:
             w.stop()
+        self._dirty = False
         self._tree_mirror.clear()
         self._live_tree_keys.clear()
+        self._write_health_report()
+
+    def _write_health_report(self) -> None:
+        """Dump the ExecHealth report as JSON when REPRO_EXEC_HEALTH_DIR is set.
+
+        One file per backend close; the CI chaos job uploads the directory
+        as its artifact, so a surviving-but-degraded run is inspectable.
+        """
+        out_dir = os.environ.get("REPRO_EXEC_HEALTH_DIR")
+        if not out_dir or not self._ever_built:
+            return
+        try:
+            os.makedirs(out_dir, exist_ok=True)
+            path = os.path.join(
+                out_dir,
+                f"exec-health-{os.getpid()}-{next(self._report_seq)}.json",
+            )
+            self.health.write_json(path)
+        except OSError:  # pragma: no cover - report is best-effort
+            pass
 
     # -- calls ----------------------------------------------------------- #
+
+    def _next_fault(self, slot: int, cmd: str) -> Optional[Dict[str, Any]]:
+        """Advance slot's call counter; the fault directive due now, if any."""
+        n = self._fault_calls.get(slot, 0)
+        self._fault_calls[slot] = n + 1
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.take(slot, n, cmd)
 
     def _call_each(self, messages: Sequence[Optional[Tuple[str, Any]]]) -> List[Any]:
         """Send one message per worker (None = skip), then collect replies.
 
-        Sends complete before any receive, so workers genuinely overlap; any
-        failure tears the pool down before re-raising.
+        Sends complete before any receive, so workers genuinely overlap.  A
+        dead/hung worker tears the pool down and raises
+        :class:`ExecWorkerFailure`; a worker-side exception drains every
+        other reply first (the pipes stay protocol-clean), keeps the pool
+        intact and raises :class:`ExecWorkerRaised`.  Callers that want the
+        supervision ladder wrap this in :meth:`supervised`.
         """
         workers = self._ensure_pool()
         try:
@@ -368,15 +658,68 @@ class ProcessBackend(ExecBackend):
             for worker, message in zip(workers, messages):
                 if message is None:
                     continue
-                worker.send(message[0], message[1])
+                worker.send(message[0], message[1], self._next_fault(worker.slot, message[0]))
                 active.append(worker)
-            return [worker.recv() for worker in active]
-        except ExecBackendError:
+            replies = [worker.recv_reply() for worker in active]
+        except ExecWorkerFailure:
             self._teardown()
             raise
+        for worker, (status, result) in zip(active, replies):
+            if status == "error":
+                raise ExecWorkerRaised(
+                    f"exec worker {worker.slot} raised:\n{result}", slot=worker.slot
+                )
+        return [result for _status, result in replies]
 
     def _call_all(self, cmd: str, payload: Any) -> List[Any]:
         return self._call_each([(cmd, payload)] * len(self._ensure_pool()))
+
+    def supervised(
+        self,
+        what: str,
+        attempt: Callable[[], Any],
+        reestablish: Optional[Callable[[], None]] = None,
+    ) -> Any:
+        """Run ``attempt`` under the retry/rebuild ladder.
+
+        ``attempt`` must be safe to re-run from scratch (the calls are
+        idempotent by construction) and should rebuild its messages each
+        time; ``reestablish`` restores worker-side session state before a
+        retry (re-attach shm, re-ship tree state, re-open the DP session)
+        and runs whether the pool survived (worker raised) or was rebuilt
+        (worker died/hung).  Raises the last error once attempts are
+        exhausted — callers then take the inline-fallback rung.
+        """
+        last: Optional[ExecBackendError] = None
+        for i in range(self.retries + 1):
+            if i:
+                self.health.record_retry(what, i)
+                delay = self.backoff * (2 ** (i - 1))
+                if delay > 0:
+                    time.sleep(delay)
+                if reestablish is not None:
+                    try:
+                        reestablish()
+                    except ExecBackendError as exc:
+                        self._record_failure(what, exc, i)
+                        last = exc
+                        continue
+            try:
+                return attempt()
+            except ExecBackendError as exc:
+                self._record_failure(what, exc, i)
+                last = exc
+        assert last is not None
+        raise last
+
+    def _record_failure(self, what: str, exc: ExecBackendError, attempt: int) -> None:
+        self.health.record_failure(
+            what,
+            getattr(exc, "kind", "error"),
+            getattr(exc, "slot", None),
+            attempt,
+            str(exc),
+        )
 
     # -- array sessions --------------------------------------------------- #
 
@@ -441,19 +784,17 @@ class ProcessBackend(ExecBackend):
     def dp_session(
         self, engine_state: Dict[str, Any], solver: Any
     ) -> Optional["ProcessDPSession"]:
-        """Open a :class:`ProcessDPSession`, or ``None`` if unshippable.
+        """Open a :class:`ProcessDPSession`, or ``None`` for inline layers.
 
-        A solver/problem that cannot be pickled (e.g. defined in a local
-        scope) degrades to inline layer execution with a one-time
-        :class:`RuntimeWarning` per type — results are identical either way.
+        Two graceful declines: a solver/problem that cannot be pickled
+        (e.g. defined in a local scope) and a pool whose supervision ladder
+        exhausted during the open — both degrade to inline layer execution
+        with a one-time :class:`RuntimeWarning`; results are identical
+        either way.
         """
         spec = self._solver_spec(solver)
         try:
             solver_blob = pickle.dumps(spec, protocol=_PICKLE_PROTO)
-            self._ensure_pool()
-            tree_key = self._ship_tree_state(engine_state)
-        except ExecBackendError:
-            raise
         except Exception as exc:
             tag = type(getattr(solver, "problem", solver)).__name__
             if tag not in _UNSHIPPABLE_WARNED:
@@ -466,13 +807,33 @@ class ProcessBackend(ExecBackend):
                 )
             return None
         skey = next(self._session_ids)
-        self._call_all("dp_open", (skey, tree_key, solver_blob))
+
+        def _open() -> Any:
+            self._ensure_pool()
+            tree_key = self._ship_tree_state(engine_state)
+            self._call_all("dp_open", (skey, tree_key, solver_blob))
+            return tree_key
+
+        try:
+            tree_key = self.supervised(f"dp_open:{skey}", _open)
+        except ExecBackendError as exc:
+            self.health.record_inline_fallback(f"dp_open:{skey}")
+            _warn_inline_fallback(f"DP session open ({skey})", exc)
+            return None
         self._live_tree_keys.add(tree_key)
-        return ProcessDPSession(self, skey, tree_key)
+        return ProcessDPSession(self, skey, tree_key, engine_state, solver, solver_blob)
 
 
 class ProcessArraySession(ArraySession):
-    """Shared-memory array session over the worker pool."""
+    """Shared-memory array session over the worker pool, supervised.
+
+    The driver owns every shm segment (workers merely attach), so segments
+    survive any number of worker deaths: a retry re-attaches the respawned
+    pool to the same pages and re-dispatches the op.  When the ladder is
+    exhausted the session degrades to running the ops inline on the driver
+    over the *same* ``(lo, hi, slot)`` partition — same scratch rows, same
+    arithmetic, bit-identical results.
+    """
 
     def __init__(
         self,
@@ -487,6 +848,7 @@ class ProcessArraySession(ArraySession):
         self.registry = SharedArrayRegistry()
         self.arrays: Dict[str, np.ndarray] = {}
         self._attached = False
+        self._degraded = False
         workers = backend._ensure_pool()
         slots = len(workers)
         self.bounds = machine_group_bounds(rows, num_machines, slots)
@@ -497,24 +859,63 @@ class ProcessArraySession(ArraySession):
                 self.arrays[name] = self.registry.create(
                     name, shape=(slots,) + tuple(shape), dtype=dtype
                 )
-            backend._call_all("attach", self.registry.specs())
-            self._attached = True
         except BaseException:
-            self.close()
+            # Segment allocation failed: unlink whatever was created.
+            self.registry.destroy()
             raise
+        try:
+            backend.supervised("attach", self._attach)
+            self._attached = True
+        except ExecBackendError as exc:
+            self._degrade("attach", exc)
+
+    def _attach(self) -> None:
+        self.backend._call_all("attach", self.registry.specs())
 
     def run(self, op: str, **extra: Any) -> None:
-        self.backend._call_each(
-            [("op", (op, lo, hi, extra)) for lo, hi in self.bounds]
-        )
+        if self._degraded:
+            self._run_inline(op, extra)
+            return
 
-    def close(self) -> None:
+        def _attempt() -> None:
+            self.backend._call_each(
+                [("op", (op, lo, hi, extra)) for lo, hi in self.bounds]
+            )
+
+        def _reestablish() -> None:
+            self._attach()
+            self._attached = True
+
+        try:
+            self.backend.supervised(f"op:{op}", _attempt, _reestablish)
+        except ExecBackendError as exc:
+            self._degrade(f"op:{op}", exc)
+            self._run_inline(op, extra)
+
+    def _run_inline(self, op: str, extra: Dict[str, Any]) -> None:
+        # Same partition as the pool would use — ops only see (lo, hi, slot),
+        # so the fallback cannot change a bit (scratch rows included).
+        fn = OPS[op]
+        for slot, (lo, hi) in enumerate(self.bounds):
+            fn(self.arrays, lo, hi, slot, **extra)
+
+    def _degrade(self, what: str, exc: ExecBackendError) -> None:
+        self._degraded = True
+        self.backend.health.record_inline_fallback(what)
+        _warn_inline_fallback(f"array session {what}", exc)
+        self._detach_workers()
+
+    def _detach_workers(self) -> None:
         if self._attached:
             self._attached = False
             try:
-                self.backend._call_all("detach", [s[0] for s in self.registry.specs()])
+                if self.backend._workers:
+                    self.backend._call_all("detach", [s[0] for s in self.registry.specs()])
             except ExecBackendError:
                 pass  # pool already torn down; unlink below still runs
+
+    def close(self) -> None:
+        self._detach_workers()
         self.registry.destroy()
 
 
@@ -524,68 +925,172 @@ class ProcessDPSession:
     A cluster is owned by worker ``cid % slots`` for the whole solve, so the
     worker that summarised a cluster bottom-up also labels it top-down (its
     solver's trace memo is local).  Summaries a worker needs but does not
-    own are shipped as deltas with the batch; the driver keeps the complete
-    summary map, so the engine's word accounting is untouched.
+    own are shipped as deltas with the batch — the driver keeps the complete
+    summary map, which is also what makes supervision sound: after a pool
+    rebuild the session re-opens on fresh workers, the ``_known`` delta
+    bookkeeping resets, and the next batch ships everything the new workers
+    need; the label phase recomputes any trace a respawned worker lost.
+    When the ladder is exhausted the session degrades to evaluating batches
+    inline on the driver with the same contexts — bit-identical.
     """
 
-    def __init__(self, backend: ProcessBackend, skey: Any, tree_key: Any) -> None:
+    def __init__(
+        self,
+        backend: ProcessBackend,
+        skey: Any,
+        tree_key: Any,
+        engine_state: Dict[str, Any],
+        solver: Any,
+        solver_blob: bytes,
+    ) -> None:
         self.backend = backend
         self.skey = skey
         self.tree_key = tree_key
+        self.engine_state = engine_state
+        self.solver = solver
+        self._solver_blob = solver_blob
         self._known: List[set] = [set() for _ in range(backend.num_slots)]
+        self._degraded = False
         self._closed = False
 
     def _owner(self, cid: int) -> int:
         return cid % self.backend.num_slots
 
+    def _reestablish(self) -> None:
+        """Restore worker-side session state before a retry.
+
+        Unconditional: re-ships the tree state (a no-op when the pool
+        survived and still mirrors it), re-opens the DP session (resetting
+        the workers' summary maps) and clears the delta bookkeeping so the
+        retried batch ships every summary the workers need.
+        """
+        backend = self.backend
+        backend._ensure_pool()
+        backend._live_tree_keys.discard(self.tree_key)
+        self.tree_key = backend._ship_tree_state(self.engine_state)
+        backend._live_tree_keys.add(self.tree_key)
+        backend._call_all("dp_open", (self.skey, self.tree_key, self._solver_blob))
+        self._known = [set() for _ in range(backend.num_slots)]
+
+    def _summary_extras(
+        self, slot: int, cids: Sequence[int], by_cid: Dict[int, Any],
+        summaries: Dict[int, Any]
+    ) -> Dict[int, Any]:
+        """Child-cluster summaries ``slot`` needs for ``cids`` but lacks."""
+        known = self._known[slot]
+        extra: Dict[int, Any] = {}
+        for cid in cids:
+            for element in by_cid[cid].elements:
+                if element[0] == "cluster" and element[1] not in known:
+                    extra[element[1]] = summaries[element[1]]
+        known.update(extra)
+        return extra
+
     def solve_layer(self, clusters: Sequence[Any], summaries: Dict[int, Any]) -> List[Any]:
         """Summaries of one layer's clusters, aligned with ``clusters``."""
+        if self._degraded:
+            return self._inline_solve(clusters, summaries)
         slots = self.backend.num_slots
-        batches: List[List[int]] = [[] for _ in range(slots)]
-        for cluster in clusters:
-            batches[self._owner(cluster.cid)].append(cluster.cid)
         by_cid = {c.cid: c for c in clusters}
-        messages: List[Optional[Tuple[str, Any]]] = []
-        for slot in range(slots):
-            cids = batches[slot]
-            if not cids:
-                messages.append(None)
-                continue
-            known = self._known[slot]
-            extra: Dict[int, Any] = {}
-            for cid in cids:
-                for element in by_cid[cid].elements:
-                    if element[0] == "cluster" and element[1] not in known:
-                        extra[element[1]] = summaries[element[1]]
-            known.update(extra)
-            known.update(cids)
-            messages.append(("dp_solve", (self.skey, cids, extra)))
-        replies = self.backend._call_each(messages)
-        out: Dict[int, Any] = {}
-        for reply in replies:
-            for cid, summary in reply:
-                out[cid] = summary
-        return [out[c.cid] for c in clusters]
 
-    def label_layer(self, items: Sequence[Tuple[Any, Any, Any]]) -> Dict[int, Dict]:
+        def _attempt() -> List[Any]:
+            batches: List[List[int]] = [[] for _ in range(slots)]
+            for cluster in clusters:
+                batches[self._owner(cluster.cid)].append(cluster.cid)
+            messages: List[Optional[Tuple[str, Any]]] = []
+            for slot in range(slots):
+                cids = batches[slot]
+                if not cids:
+                    messages.append(None)
+                    continue
+                extra = self._summary_extras(slot, cids, by_cid, summaries)
+                self._known[slot].update(cids)
+                messages.append(("dp_solve", (self.skey, cids, extra)))
+            replies = self.backend._call_each(messages)
+            out: Dict[int, Any] = {}
+            for reply in replies:
+                for cid, summary in reply:
+                    out[cid] = summary
+            return [out[c.cid] for c in clusters]
+
+        try:
+            return self.backend.supervised(
+                f"dp_solve:{self.skey}", _attempt, self._reestablish
+            )
+        except ExecBackendError as exc:
+            self._degrade(f"dp_solve:{self.skey}", exc)
+            return self._inline_solve(clusters, summaries)
+
+    def label_layer(
+        self, items: Sequence[Tuple[Any, Any, Any]], summaries: Dict[int, Any]
+    ) -> Dict[int, Dict]:
         """Internal labels of one layer: ``{cid: {element: label}}``.
 
         ``items`` is ``(cluster, out_label, in_label)`` per cluster; each is
-        labelled on its owning worker, where the bottom-up traces live.
+        labelled on its owning worker.  Summary deltas ride along exactly
+        like the solve phase's, so a worker respawned after the bottom-up
+        pass can rebuild the contexts (and recompute the traces) it lost.
         """
+        if self._degraded:
+            return self._inline_labels(items, summaries)
         slots = self.backend.num_slots
-        batches: List[List[Tuple[int, Any, Any]]] = [[] for _ in range(slots)]
-        for cluster, out_label, in_label in items:
-            batches[self._owner(cluster.cid)].append((cluster.cid, out_label, in_label))
-        messages = [
-            ("dp_labels", (self.skey, batch)) if batch else None for batch in batches
+        by_cid = {cluster.cid: cluster for cluster, _o, _i in items}
+
+        def _attempt() -> Dict[int, Dict]:
+            batches: List[List[Tuple[int, Any, Any]]] = [[] for _ in range(slots)]
+            for cluster, out_label, in_label in items:
+                batches[self._owner(cluster.cid)].append(
+                    (cluster.cid, out_label, in_label)
+                )
+            messages: List[Optional[Tuple[str, Any]]] = []
+            for slot in range(slots):
+                batch = batches[slot]
+                if not batch:
+                    messages.append(None)
+                    continue
+                extra = self._summary_extras(
+                    slot, [cid for cid, _o, _i in batch], by_cid, summaries
+                )
+                messages.append(("dp_labels", (self.skey, batch, extra)))
+            replies = self.backend._call_each(messages)
+            labels: Dict[int, Dict] = {}
+            for reply in replies:
+                for cid, cluster_labels in reply:
+                    labels[cid] = cluster_labels
+            return labels
+
+        try:
+            return self.backend.supervised(
+                f"dp_labels:{self.skey}", _attempt, self._reestablish
+            )
+        except ExecBackendError as exc:
+            self._degrade(f"dp_labels:{self.skey}", exc)
+            return self._inline_labels(items, summaries)
+
+    # -- inline fallback -------------------------------------------------- #
+
+    def _inline_solve(self, clusters: Sequence[Any], summaries: Dict[int, Any]) -> List[Any]:
+        ctxs = [
+            _worker_context(self.engine_state, summaries, cluster.cid)
+            for cluster in clusters
         ]
-        replies = self.backend._call_each(messages)
+        return self.solver.summarize_layer(ctxs)
+
+    def _inline_labels(
+        self, items: Sequence[Tuple[Any, Any, Any]], summaries: Dict[int, Any]
+    ) -> Dict[int, Dict]:
         labels: Dict[int, Dict] = {}
-        for reply in replies:
-            for cid, cluster_labels in reply:
-                labels[cid] = cluster_labels
+        for cluster, out_label, in_label in items:
+            ctx = _worker_context(self.engine_state, summaries, cluster.cid)
+            labels[cluster.cid] = self.solver.assign_internal_labels(
+                ctx, out_label, in_label
+            )
         return labels
+
+    def _degrade(self, what: str, exc: ExecBackendError) -> None:
+        self._degraded = True
+        self.backend.health.record_inline_fallback(what)
+        _warn_inline_fallback(f"DP session {what}", exc)
 
     def close(self) -> None:
         if self._closed:

@@ -45,6 +45,15 @@ class Machine:
     inbox: List[Any] = field(default_factory=list)
     sizer: Callable[[Iterable[Any]], int] = record_words
 
+    def __post_init__(self) -> None:
+        # A zero/negative capacity would make every superstep a violation
+        # and a negative mid would corrupt scatter placement arithmetic;
+        # both are construction bugs worth failing on immediately.
+        if self.mid < 0:
+            raise ValueError(f"machine mid must be >= 0, got {self.mid}")
+        if self.capacity < 1:
+            raise ValueError(f"machine capacity must be >= 1, got {self.capacity}")
+
     def load_words(self) -> int:
         """Current store size in words."""
         return self.sizer(self.store)

@@ -1,0 +1,21 @@
+# mpclint: module=repro.mpc.exec.fixture_wait
+"""True positives: exec-layer wait loops with no liveness bound."""
+
+
+def blocking_recv_loop(conn):
+    while True:
+        msg = conn.recv()
+        if msg[0] == "stop":
+            return msg
+
+
+def spin_on_unbounded_poll(conn, parent_alive):
+    while not conn.poll():
+        if not parent_alive():
+            break
+    return conn.recv_bytes()
+
+
+def drain_queue_forever(queue, out):
+    while True:
+        out.append(queue.get())

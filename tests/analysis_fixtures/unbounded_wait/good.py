@@ -1,0 +1,25 @@
+# mpclint: module=repro.mpc.exec.fixture_wait_ok
+"""Clean: every wait loop carries a poll timeout or a monotonic deadline."""
+
+import time
+
+
+def supervised_recv(conn, deadline):
+    start = time.monotonic()
+    while True:
+        if conn.poll(0.02):
+            return conn.recv()
+        if time.monotonic() - start > deadline:
+            raise TimeoutError("peer went silent")
+
+
+def idle_poll_with_timeout(conn, parent_alive):
+    while not conn.poll(0.25):
+        if not parent_alive():
+            return None
+    return conn.recv()
+
+
+def heartbeat_sender(stop_event, send, interval):
+    while not stop_event.wait(interval):
+        send(("hb", None))

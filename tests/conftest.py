@@ -44,5 +44,23 @@ def _no_shm_leaks():
     assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
+@pytest.fixture(autouse=True)
+def _no_shm_leaks_per_chaos_test(request):
+    """Per-test shm-leak check for the chaos suite.
+
+    The session-scoped check above would let a leak hide until the end of
+    the run (and could not attribute it); chaos tests kill workers at
+    deterministic coordinates, so each one asserts immediately that every
+    teardown/retry path it exercised unlinked its segments.
+    """
+    yield
+    if request.node.get_closest_marker("chaos") is None:
+        return
+    from repro.mpc.exec import shm
+
+    leaked = shm.leaked_segments()
+    assert not leaked, f"chaos test leaked shared-memory segments: {leaked}"
+
+
 def make_sim(n: int, delta: float = 0.5, **kw) -> MPCSimulator:
     return MPCSimulator(MPCConfig(n=max(4, n), delta=delta, **kw))

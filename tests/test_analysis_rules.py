@@ -76,6 +76,14 @@ TRUE_POSITIVES = {
             ("backend-literal-parity", "backend_parity/bad/dispatch.py", 16),
         ],
     ),
+    "unbounded-wait": (
+        [FIXTURES / "unbounded_wait" / "bad.py"],
+        [
+            ("unbounded-wait", "unbounded_wait/bad.py", 6),
+            ("unbounded-wait", "unbounded_wait/bad.py", 13),
+            ("unbounded-wait", "unbounded_wait/bad.py", 20),
+        ],
+    ),
 }
 
 CLEAN = {
@@ -85,6 +93,7 @@ CLEAN = {
     "uncharged-communication": [FIXTURES / "uncharged_communication" / "good.py"],
     "worker-driver-isolation": [FIXTURES / "worker_isolation" / "good"],
     "backend-literal-parity": [FIXTURES / "backend_parity" / "good"],
+    "unbounded-wait": [FIXTURES / "unbounded_wait" / "good.py"],
 }
 
 

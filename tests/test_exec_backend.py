@@ -6,9 +6,12 @@ end-to-end here (the full substrate-equivalence suite additionally runs
 under ``REPRO_EXEC_BACKEND=process`` in CI).  On top of that, this module
 pins down the failure model:
 
-* a worker killed mid-superstep surfaces as a clean
-  :class:`~repro.mpc.exec.ExecBackendError` (never a hang) and the pool is
-  rebuilt on next use;
+* a worker killed mid-superstep is *healed* by the supervision ladder (the
+  pool is rebuilt, the idempotent call re-dispatched) with the kill visible
+  only in the pool's :class:`~repro.mpc.exec.ExecHealth` report; with
+  retries disabled it degrades to the warn-once inline fallback instead of
+  hanging (the deterministic fault-injection matrix lives in
+  :mod:`tests.test_exec_faults`);
 * shared-memory segments are always unlinked, even on the error paths (a
   session-scoped fixture in :mod:`tests.conftest` asserts no segment leaks
   the whole suite);
@@ -128,8 +131,9 @@ def _depths_inputs(n: int, seed: int):
     return parent, tree.root
 
 
-def test_killed_worker_raises_cleanly_and_pool_rebuilds():
-    """SIGKILL mid-session → ExecBackendError promptly; next use respawns."""
+def test_killed_worker_heals_via_rebuild():
+    """SIGKILL mid-session → the supervision ladder respawns the pool and the
+    retried call succeeds; the kill is visible only in the health report."""
     backend = ProcessBackend(2)
     try:
         pids = backend.worker_pids()
@@ -143,19 +147,21 @@ def test_killed_worker_raises_cleanly_and_pool_rebuilds():
         )
         os.kill(pids[0], signal.SIGKILL)
         t0 = time.monotonic()
-        with pytest.raises(ExecBackendError):
-            # The dead worker can never answer; liveness polling must turn
-            # this into an error long before the call deadline.
-            session.run("depths_step")
+        # Liveness polling detects the death, rebuilds the pool, re-attaches
+        # the same shm segments and re-dispatches — long before the call
+        # deadline and without surfacing an error.
+        session.run("depths_step")
         assert time.monotonic() - t0 < 30.0
-        # close() after a pool teardown must still unlink every segment.
-        session.close()
-        assert shm.leaked_segments() == []
-
-        # The pool is rebuilt lazily with fresh workers and works again.
+        assert backend.health.worker_deaths >= 1
+        assert backend.health.rebuilds >= 1
+        assert backend.health.inline_fallbacks == 0
         new_pids = backend.worker_pids()
         assert new_pids != pids
         assert all(_alive(p) for p in new_pids)
+        session.close()
+        assert shm.leaked_segments() == []
+
+        # The rebuilt pool keeps working for fresh sessions, bit-identically.
         sim = MPCSimulator(MPCConfig(n=128))
         sim._executor = backend
         parent, root = _depths_inputs(128, seed=3)
@@ -163,6 +169,34 @@ def test_killed_worker_raises_cleanly_and_pool_rebuilds():
 
         sim2 = MPCSimulator(MPCConfig(n=128))
         assert depths == compute_depths_array(sim2, dict(parent), root)
+    finally:
+        backend.close()
+
+
+def test_killed_worker_without_retries_raises_cleanly():
+    """retries=0 restores the old contract: death surfaces as
+    ExecBackendError promptly and close() still unlinks every segment."""
+    backend = ProcessBackend(2, retries=0)
+    try:
+        pids = backend.worker_pids()
+        arr = np.arange(64, dtype=np.int64)
+        session = backend.array_session(
+            {"jump": arr, "dist": arr.copy(), "new_jump": arr.copy(), "new_dist": arr.copy()},
+            rows=64,
+            num_machines=8,
+        )
+        os.kill(pids[0], signal.SIGKILL)
+        t0 = time.monotonic()
+        with warnings.catch_warnings():
+            # Zero retries means the ladder is already exhausted: the session
+            # degrades inline (warn-once) instead of failing the solve.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            session.run("depths_step")
+        assert time.monotonic() - t0 < 30.0
+        assert backend.health.worker_deaths == 1
+        assert backend.health.inline_fallbacks == 1
+        session.close()
+        assert shm.leaked_segments() == []
     finally:
         backend.close()
 
@@ -247,11 +281,41 @@ def test_config_validates_exec_fields(monkeypatch):
     # Explicit arguments beat the environment.
     assert MPCConfig(n=64, exec_backend="inline").exec_backend == "inline"
 
+    # The supervision knobs validate the same way.
+    with pytest.raises(ValueError):
+        MPCConfig(n=64, exec_retries=-1)
+    with pytest.raises(ValueError):
+        MPCConfig(n=64, exec_backoff=-0.5)
+    with pytest.raises(ValueError):
+        MPCConfig(n=64, exec_heartbeat=0.0)
+    with pytest.raises(ValueError):
+        MPCConfig(n=64, exec_call_timeout=0.0)
+    monkeypatch.setenv("REPRO_EXEC_RETRIES", "5")
+    monkeypatch.setenv("REPRO_EXEC_BACKOFF", "0.5")
+    monkeypatch.setenv("REPRO_EXEC_HEARTBEAT", "1.5")
+    monkeypatch.setenv("REPRO_EXEC_TIMEOUT", "60")
+    cfg = MPCConfig(n=64)
+    assert (cfg.exec_retries, cfg.exec_backoff) == (5, 0.5)
+    assert (cfg.exec_heartbeat, cfg.exec_call_timeout) == (1.5, 60.0)
+    assert MPCConfig(n=64, exec_retries=0).exec_retries == 0  # explicit wins
+
 
 def test_config_scaled_carries_exec_fields():
-    cfg = MPCConfig(n=64, exec_backend="process", exec_workers=2)
+    cfg = MPCConfig(
+        n=64,
+        exec_backend="process",
+        exec_workers=2,
+        exec_retries=1,
+        exec_backoff=0.25,
+        exec_heartbeat=0.5,
+        exec_call_timeout=30.0,
+        exec_faults="kill@w0:1",
+    )
     scaled = cfg.scaled(4096)
     assert (scaled.exec_backend, scaled.exec_workers) == ("process", 2)
+    assert (scaled.exec_retries, scaled.exec_backoff) == (1, 0.25)
+    assert (scaled.exec_heartbeat, scaled.exec_call_timeout) == (0.5, 30.0)
+    assert scaled.exec_faults == "kill@w0:1"
 
 
 @pytest.mark.parametrize("rows", [0, 1, 7, 64, 1000])
