@@ -1,0 +1,141 @@
+"""Experiment S — serving throughput and read latency under mixed load.
+
+The serving-layer claim (:mod:`repro.serving`): a :class:`TreeServer` can
+sustain a stream of coalesced point-update batches while concurrently
+answering snapshot reads, with reads never blocking on the solver pass
+(they are one dict reference read) and every answer bit-identical to a
+from-scratch ``solve()`` at the same batch boundary.
+
+This experiment drives one server with a writer streaming update batches
+and several concurrent reader tasks hammering ``snapshot()`` /
+``query_value()``, and measures:
+
+* **sustained update throughput** — point updates applied per second over
+  the whole run (solver pass + snapshot publication included);
+* **read latency** — p50/p99 over every concurrent read (measured around
+  the full ``snapshot()`` call, i.e. what a client observes);
+* **batch latency** — p50/p99 of the awaited ``update()`` round trip.
+
+The final boundary is differentially verified against a from-scratch
+``solve()`` of the mutated tree.  Results land in ``BENCH_serving.json``
+for the CI perf artifacts.
+"""
+
+import asyncio
+import random
+import time
+
+import numpy as np
+
+from repro.core.pipeline import prepare, solve
+from repro.problems.max_weight_independent_set import MaxWeightIndependentSet
+from repro.serving import ServerConfig
+from repro.trees import generators as gen
+
+from benchmarks.conftest import emit_json, print_table, run_once, scaled
+
+#: The acceptance regime: n >= 10^4 nodes (reduced in smoke mode).
+N = scaled(10_000, 600)
+SEED = 9
+BATCHES = scaled(150, 25)
+UPDATES_PER_BATCH = 8
+READERS = 4
+
+
+def _percentiles(samples):
+    arr = np.asarray(samples, dtype=float) * 1000.0  # -> milliseconds
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "samples": int(arr.size),
+    }
+
+
+def _measure():
+    tree = gen.with_random_weights(gen.random_attachment_tree(N, seed=SEED), seed=SEED)
+    prepared = prepare(tree)
+    server = prepared.serve(MaxWeightIndependentSet(), config=ServerConfig())
+    nodes = sorted(tree.nodes())
+    rng = random.Random(31)
+    from repro.dynamic import node_update
+
+    read_times = []
+    batch_times = []
+
+    async def writer():
+        for _ in range(BATCHES):
+            ups = [
+                node_update(rng.choice(nodes), round(rng.uniform(0.1, 9.9), 3))
+                for _ in range(UPDATES_PER_BATCH)
+            ]
+            t0 = time.perf_counter()
+            await server.update(ups)
+            batch_times.append(time.perf_counter() - t0)
+
+    async def reader(writer_task):
+        while not writer_task.done():
+            t0 = time.perf_counter()
+            snap = server.snapshot()
+            read_times.append(time.perf_counter() - t0)
+            assert snap.version <= server.version
+            await asyncio.sleep(0)
+
+    async def main():
+        async with server:
+            t0 = time.perf_counter()
+            wtask = asyncio.get_running_loop().create_task(writer())
+            await asyncio.gather(wtask, *(reader(wtask) for _ in range(READERS)))
+            return time.perf_counter() - t0
+
+    wall = asyncio.run(main())
+
+    # Differential check at the final boundary: the served state must be
+    # bit-identical to a from-scratch solve of the mutated tree.
+    snap = server.snapshot()
+    ref = solve(tree, MaxWeightIndependentSet())
+    identical = (
+        snap.value == ref.value
+        and snap.root_label == ref.root_label
+        and dict(snap.node_labels) == dict(ref.node_labels)
+    )
+
+    health = server.health_report()["server"]
+    return {
+        "n": N,
+        "batches": BATCHES,
+        "updates_per_batch": UPDATES_PER_BATCH,
+        "readers": READERS,
+        "wall_seconds": wall,
+        "updates_per_sec": health["updates_applied"] / wall,
+        "batches_per_sec": health["batches_applied"] / wall,
+        "read_latency": _percentiles(read_times),
+        "batch_latency": _percentiles(batch_times),
+        "final_version": snap.version,
+        "identical": identical,
+    }
+
+
+def test_serving_throughput_and_latency(benchmark):
+    row = run_once(benchmark, _measure)
+    print_table(
+        f"TreeServer mixed load (n={row['n']}, {row['readers']} readers)",
+        ["updates/s", "batches/s", "read p50 ms", "read p99 ms", "batch p50 ms", "identical"],
+        [
+            (
+                f"{row['updates_per_sec']:.0f}",
+                f"{row['batches_per_sec']:.1f}",
+                f"{row['read_latency']['p50_ms']:.4f}",
+                f"{row['read_latency']['p99_ms']:.4f}",
+                f"{row['batch_latency']['p50_ms']:.2f}",
+                "yes" if row["identical"] else "NO",
+            )
+        ],
+    )
+    emit_json("serving", row)
+
+    assert row["identical"], "served state diverged from from-scratch solve"
+    assert row["final_version"] == row["batches"]
+    assert row["read_latency"]["samples"] > 0 and row["batch_latency"]["samples"] == row["batches"]
+    # Reads are one dict reference read; even p99 must stay far below a
+    # solver pass (generous bound to keep CI machines honest, not tight).
+    assert row["read_latency"]["p99_ms"] < 50.0

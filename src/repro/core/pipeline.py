@@ -135,6 +135,31 @@ class PreparedTree:
 
         return IncrementalSolver(self, problem, backend=backend, **kwargs)
 
+    def incremental_many(self, problems: Any, backend: Optional[str] = None, **kwargs):
+        """Solve a batch of problems and return a group incremental solver.
+
+        The returned :class:`~repro.dynamic.IncrementalSolverGroup` keeps
+        per-problem solved state but validates, writes and seeds each update
+        batch *once* for the whole group (shared dirty-chain computation) —
+        the multi-problem serving mode.
+        """
+        from repro.dynamic import IncrementalSolverGroup
+
+        return IncrementalSolverGroup(self, problems, backend=backend, **kwargs)
+
+    def serve(self, problems: Any, backend: Optional[str] = None, **kwargs):
+        """An asyncio server over this prepared tree (see :mod:`repro.serving`).
+
+        ``problems`` is one problem or a sequence; extra keyword arguments
+        are :class:`~repro.serving.TreeServer` parameters (``config=``,
+        ``fault_plan=``...).  The constructor runs the initial solves; call
+        :meth:`~repro.serving.TreeServer.start` (or enter it as an async
+        context manager) to begin accepting traffic.
+        """
+        from repro.serving import TreeServer
+
+        return TreeServer(self, problems, backend=backend, **kwargs)
+
     def exec_health(self) -> Optional[Dict[str, Any]]:
         """Supervision report of this deployment's exec backend, if any.
 

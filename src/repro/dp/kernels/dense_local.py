@@ -44,6 +44,7 @@ to equal dicts.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -117,8 +118,14 @@ class DenseClusterKernel:
         #: boundary label changed) replays the traces of the solve that last
         #: computed it — which is still consistent, because a cluster is only
         #: skipped by the partial bottom-up when neither its payloads nor its
-        #: element summaries changed.  Droppable via :meth:`forget_traces`.
-        self._traces: Dict[int, Dict[Element, Optional[_Trace]]] = {}
+        #: element summaries changed.  Droppable via :meth:`forget_traces`,
+        #: and boundable via :meth:`set_cache_limits`: evicting a trace is
+        #: always safe because :meth:`assign_internal_labels` transparently
+        #: re-runs the local solve for a missing cluster.
+        self._traces: "OrderedDict[int, Dict[Element, Optional[_Trace]]]" = OrderedDict()
+        self._trace_entries: Optional[int] = None
+        #: Traces dropped by the LRU bound (soak-test observability).
+        self.trace_evictions: int = 0
 
     # ------------------------------------------------------------------ #
     # ClusterDP operations
@@ -144,6 +151,41 @@ class DenseClusterKernel:
             for cid in cids:
                 self._traces.pop(cid, None)
 
+    def set_cache_limits(
+        self,
+        *,
+        value_entries: Optional[int] = None,
+        trace_entries: Optional[int] = None,
+    ) -> None:
+        """Bound the kernel's growth-prone caches (``None`` = leave as is).
+
+        ``value_entries`` re-bounds the payload-value-keyed rule caches on
+        :attr:`tensors`; ``trace_entries`` bounds the bottom-up trace memo,
+        evicting least-recently-labeled clusters immediately if it shrank.
+        The trace memo is naturally bounded by the clustering's cluster
+        count, so the bound only matters for servers hosting large trees
+        whose label queries touch a small working set.
+        """
+        if value_entries is not None:
+            self.tensors.set_value_cache_entries(value_entries)
+        if trace_entries is not None:
+            if trace_entries < 1:
+                raise ValueError(f"trace_entries must be >= 1, got {trace_entries}")
+            self._trace_entries = trace_entries
+            while len(self._traces) > trace_entries:
+                self._traces.popitem(last=False)
+                self.trace_evictions += 1
+
+    def _store_traces(self, cid: int, traces: Dict[Element, Optional[_Trace]]) -> None:
+        data = self._traces
+        if cid in data:
+            del data[cid]  # re-insert at the most-recently-used end
+        data[cid] = traces
+        if self._trace_entries is not None:
+            while len(data) > self._trace_entries:
+                data.popitem(last=False)
+                self.trace_evictions += 1
+
     def summarize_layer(self, ctxs: List[ClusterContext]) -> List[Any]:
         """Layer batch: level-schedule the node elements across all clusters.
 
@@ -168,12 +210,12 @@ class DenseClusterKernel:
         if ctx.is_indegree_one:
             tables, traces = self._local_tables(ctx, self._hole_batch, tables, traces)
             if self.selective:
-                self._traces[ctx.cluster.cid] = traces
+                self._store_traces(ctx.cluster.cid, traces)
             # tables[top][h, a]: top state a with hole state h -> mat[a, b=h].
             return {"kind": "mat", "dense": np.ascontiguousarray(tables[ctx.top_element].T)}
         tables, traces = self._local_tables(ctx, None, tables, traces)
         if self.selective:
-            self._traces[ctx.cluster.cid] = traces
+            self._store_traces(ctx.cluster.cid, traces)
         return {"kind": "vec", "dense": tables[ctx.top_element].reshape(-1)}
 
     def label_virtual_root(self, ctx: ClusterContext, summary: Any) -> Tuple[Any, Any]:
@@ -191,6 +233,8 @@ class DenseClusterKernel:
         self, ctx: ClusterContext, out_label: Any, in_label: Any
     ) -> Dict[Element, Any]:
         traces = self._traces.get(ctx.cluster.cid)
+        if traces is not None and self._trace_entries is not None:
+            self._traces.move_to_end(ctx.cluster.cid)
         if traces is None:
             # assign without a prior summarize (not reachable through the
             # engine, which always runs the bottom-up pass first).

@@ -25,6 +25,8 @@ per edge kind for the whole solve.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
@@ -33,7 +35,82 @@ from repro.dp.kernels.semiring_kernels import SemiringKernel
 from repro.dp.kernels.statespace import StateSpace
 from repro.dp.problem import EdgeInfo, FiniteStateDP, NodeInput
 
-__all__ = ["ProblemTensors", "UndeclaredStateError"]
+__all__ = ["LRUCache", "ProblemTensors", "UndeclaredStateError", "default_cache_entries"]
+
+#: Default bound on each payload-value-keyed rule cache.  Their keys embed
+#: payload values (a node's weight, an edge's clause weight vector), so a
+#: long-lived solver fed a stream of distinct weights would otherwise grow
+#: them without bound; 4096 entries keeps every full solve in the test/bench
+#: range fully cached while bounding a serving process at a few MB per cache.
+DEFAULT_CACHE_ENTRIES = 4096
+
+
+def default_cache_entries() -> Optional[int]:
+    """The value-cache bound from ``REPRO_DP_CACHE_ENTRIES`` (0 = unbounded)."""
+    raw = os.environ.get("REPRO_DP_CACHE_ENTRIES")
+    if raw is None:
+        return DEFAULT_CACHE_ENTRIES
+    try:
+        entries = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_DP_CACHE_ENTRIES must be an integer, got {raw!r}"
+        ) from None
+    return entries if entries > 0 else None
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``entries=None`` means unbounded (a plain dict with extra bookkeeping).
+    Lookups via :meth:`get` refresh recency; inserts past the bound evict the
+    least recently used entry and count it in :attr:`evictions`.  ``None`` is
+    not a legal cached value — :meth:`get` uses it as its miss sentinel.
+    """
+
+    __slots__ = ("_data", "entries", "evictions")
+
+    def __init__(self, entries: Optional[int] = None) -> None:
+        if entries is not None and entries < 1:
+            raise ValueError(f"LRUCache entries must be >= 1 or None, got {entries}")
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.entries = entries
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        val = self._data.get(key)
+        if val is not None and self.entries is not None:
+            self._data.move_to_end(key)
+        return val
+
+    def put(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if self.entries is not None:
+            while len(data) > self.entries:
+                data.popitem(last=False)
+                self.evictions += 1
+
+    def set_entries(self, entries: Optional[int]) -> None:
+        """Re-bound the cache, evicting immediately if it shrank."""
+        if entries is not None and entries < 1:
+            raise ValueError(f"LRUCache entries must be >= 1 or None, got {entries}")
+        self.entries = entries
+        if entries is not None:
+            while len(self._data) > entries:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
 
 
 class UndeclaredStateError(KeyError):
@@ -54,9 +131,10 @@ class ProblemTensors:
         self.kernel = kernel
         self.sspace = sspace
         self.aspace = aspace
-        self._init_cache: Dict[Hashable, np.ndarray] = {}
-        self._trans_cache: Dict[Hashable, np.ndarray] = {}
-        self._fin_cache: Dict[Hashable, np.ndarray] = {}
+        entries = default_cache_entries()
+        self._init_cache: LRUCache = LRUCache(entries)
+        self._trans_cache: LRUCache = LRUCache(entries)
+        self._fin_cache: LRUCache = LRUCache(entries)
         self._vroot: Optional[np.ndarray] = None
         # Zero-filled templates: ndarray.copy() is several times cheaper than
         # np.full on the tiny arrays built here (hot on cache misses).
@@ -92,16 +170,45 @@ class ProblemTensors:
         """Drop the payload-value-keyed rule caches (init/transition/finalize).
 
         Their keys embed payload values (a node's weight, an edge's clause
-        weight vector), so a long-lived solver fed a stream of distinct
-        weights — the incremental serving path — grows them without bound.
-        :meth:`~repro.dynamic.IncrementalSolver.refresh` calls this as its
-        memory release valve.  The affine probe caches are kept: they are
-        keyed by *structural* keys, whose count is bounded by the problem's
-        rule structure, and rebuilding them costs full rule enumerations.
+        weight vector), so without the LRU bound a long-lived solver fed a
+        stream of distinct weights — the incremental serving path — would
+        grow them without bound.  Day to day the bound
+        (``REPRO_DP_CACHE_ENTRIES`` / :meth:`set_value_cache_entries`) keeps
+        them flat; :meth:`~repro.dynamic.IncrementalSolver.refresh` still
+        calls this as its full release valve.  The affine probe caches are
+        kept: they are keyed by *structural* keys, whose count is bounded by
+        the problem's rule structure, and rebuilding them costs full rule
+        enumerations.
         """
         self._init_cache.clear()
         self._trans_cache.clear()
         self._fin_cache.clear()
+
+    def set_value_cache_entries(self, entries: Optional[int]) -> None:
+        """Re-bound the three value-keyed caches (``None`` = unbounded).
+
+        Shrinking evicts immediately, so a serving process can clamp its
+        memory ceiling at startup regardless of the environment default.
+        """
+        self._init_cache.set_entries(entries)
+        self._trans_cache.set_entries(entries)
+        self._fin_cache.set_entries(entries)
+
+    def value_cache_sizes(self) -> Dict[str, int]:
+        """Current entry counts of the value-keyed caches (for soak asserts)."""
+        return {
+            "init": len(self._init_cache),
+            "transition": len(self._trans_cache),
+            "finalize": len(self._fin_cache),
+        }
+
+    def value_cache_evictions(self) -> int:
+        """Total LRU evictions across the value-keyed caches."""
+        return (
+            self._init_cache.evictions
+            + self._trans_cache.evictions
+            + self._fin_cache.evictions
+        )
 
     def _fill(self, shape: Tuple[int, ...], cells: Dict[Any, Any]) -> np.ndarray:
         """Dense array from merged ``{index: value}`` cells."""
@@ -164,7 +271,7 @@ class ProblemTensors:
             self._merge_cell(cells, self._acc_index(acc, "node_init"), val)
         vec = self._fill((1, len(self.aspace)), {(0, i): x for i, x in cells.items()})
         if key is not None:
-            self._init_cache[key] = vec
+            self._init_cache.put(key, vec)
         return vec
 
     def transition_tensor(self, v: NodeInput, edge: Optional[EdgeInfo]) -> np.ndarray:
@@ -193,7 +300,7 @@ class ProblemTensors:
         if tensor is None:
             tensor = self._enumerate_transition(v, edge)
         if key is not None:
-            self._trans_cache[key] = tensor
+            self._trans_cache.put(key, tensor)
         return tensor
 
     def _enumerate_transition(self, v: NodeInput, edge: Optional[EdgeInfo]) -> np.ndarray:
@@ -227,7 +334,7 @@ class ProblemTensors:
                 return cached
         mat = self._enumerate_finalize(v)
         if key is not None:
-            self._fin_cache[key] = mat
+            self._fin_cache.put(key, mat)
         return mat
 
     def _enumerate_finalize(self, v: NodeInput) -> np.ndarray:

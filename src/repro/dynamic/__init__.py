@@ -4,16 +4,22 @@ See :mod:`repro.dynamic.incremental` for the design notes.
 """
 
 from repro.dynamic.incremental import (
+    ConcurrentUpdateError,
     IncrementalSolver,
+    IncrementalSolverGroup,
     PointUpdate,
+    SolvedView,
     UpdateReport,
     edge_update,
     node_update,
 )
 
 __all__ = [
+    "ConcurrentUpdateError",
     "IncrementalSolver",
+    "IncrementalSolverGroup",
     "PointUpdate",
+    "SolvedView",
     "UpdateReport",
     "node_update",
     "edge_update",

@@ -52,9 +52,11 @@ backends.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from types import MappingProxyType
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -64,13 +66,28 @@ from repro.dp.engine import DP_UPDATE_LABEL, ROUNDS_PER_LAYER, SolveResult
 from repro.mpc.simulator import RoundStats
 
 __all__ = [
+    "ConcurrentUpdateError",
     "PointUpdate",
+    "SolvedView",
     "UpdateReport",
     "IncrementalSolver",
+    "IncrementalSolverGroup",
     "node_update",
     "edge_update",
     "summaries_equal",
 ]
+
+
+class ConcurrentUpdateError(RuntimeError):
+    """A second update batch entered while a pass was mid-flight.
+
+    The solver's partial passes mutate the pending-dirty set, the summary
+    dict and the label dicts in place; two interleaved ``apply_updates``
+    calls would corrupt them silently.  The solver therefore refuses
+    overlapping entry outright instead of blocking — serialization is the
+    caller's job (the serving layer funnels all batches through a single
+    writer task).
+    """
 
 #: Recognised update kinds.
 UPDATE_KINDS = ("node", "edge")
@@ -136,6 +153,27 @@ class UpdateReport:
     dirty_seed_clusters: Tuple[int, ...] = field(default_factory=tuple)
 
 
+@dataclass(frozen=True)
+class SolvedView:
+    """An immutable snapshot of one solved problem at a batch boundary.
+
+    Label mappings are wrapped in read-only proxies over dicts that are
+    never mutated again, so a view handed to a concurrent reader (the
+    serving layer's snapshot store) stays bit-stable while the solver
+    applies further batches.  Labels are projected back to *original*
+    (pre-degree-reduction) edges, exactly like
+    :meth:`IncrementalSolver.as_pipeline_result`.
+    """
+
+    problem: str
+    value: Any
+    root_label: Any
+    node_labels: Mapping[Hashable, Any]
+    edge_labels: Mapping[Tuple[Hashable, Hashable], Any]
+    output: Any
+    updates_applied: int
+
+
 def summaries_equal(a: Any, b: Any) -> bool:
     """Structural bit-equality of two cluster summaries.
 
@@ -190,6 +228,13 @@ class IncrementalSolver:
         are already written when a pass dies, so the next batch must fold
         the pending chains back in.  ``None`` (the default) injects
         nothing.
+    cache_entries:
+        LRU bound on the dense backend's payload-value-keyed rule caches
+        (overrides the ``REPRO_DP_CACHE_ENTRIES`` default); ``None`` keeps
+        the environment default.
+    trace_entries:
+        LRU bound on the dense backend's bottom-up trace memo; ``None``
+        keeps it bounded only by the clustering's cluster count.
 
     The constructor runs the initial full solve; its statistics are kept in
     :attr:`initial_stats` for update-vs-full comparisons.
@@ -211,6 +256,8 @@ class IncrementalSolver:
         backend: Optional[str] = None,
         full_resolve_threshold: float = 0.6,
         fault_plan: Optional[Any] = None,
+        cache_entries: Optional[int] = None,
+        trace_entries: Optional[int] = None,
     ):
         if not (0.0 < full_resolve_threshold <= 1.0):
             raise ValueError("full_resolve_threshold must be in (0, 1]")
@@ -218,6 +265,16 @@ class IncrementalSolver:
         self._fault_plan = fault_plan
         self.problem = problem
         self.solver = as_cluster_dp(problem, backend=backend or prepared.sim.config.dp_backend)
+        # LRU bounds on the dense backend's payload-value-keyed caches
+        # (``cache_entries``) and bottom-up trace memo (``trace_entries``).
+        # A long-running serving solver needs these to keep flat memory; the
+        # python backend has no such caches, so the knobs are a no-op there.
+        if cache_entries is not None or trace_entries is not None:
+            dense = getattr(self.solver, "_dense", None)
+            if dense is not None:
+                dense.set_cache_limits(
+                    value_entries=cache_entries, trace_entries=trace_entries
+                )
         self.engine = prepared.engine()
         # The full solves run inline even under exec_backend="process": the
         # update path re-reads this solver's driver-side memos (traces,
@@ -235,6 +292,12 @@ class IncrementalSolver:
         #: the payload and re-applying restores consistency, and the result
         #: views refuse to serve stale state in between.
         self._pending_dirty: Set[int] = set()
+        # Re-entrancy guard (see ConcurrentUpdateError): _begin_apply flips
+        # the flag atomically, so overlapping apply calls — a second thread,
+        # or a callback re-entering from inside a pass — fail fast instead
+        # of corrupting the pending-dirty set mid-flight.
+        self._apply_mutex = threading.Lock()
+        self._apply_active = False
         self._solve_initial()
 
     # ------------------------------------------------------------------ #
@@ -295,8 +358,22 @@ class IncrementalSolver:
     # ------------------------------------------------------------------ #
 
     def apply_updates(self, updates: Sequence[PointUpdate]) -> UpdateReport:
-        """Apply a batch of payload edits and restore the solved state."""
+        """Apply a batch of payload edits and restore the solved state.
+
+        Raises :class:`ConcurrentUpdateError` if another batch is mid-flight
+        (the solver never blocks; serialization is the caller's job).
+        """
         return self._apply(list(updates), force_full=False)
+
+    def validate(self, updates: Sequence[PointUpdate]) -> None:
+        """Raise on any unsupported update descriptor, writing nothing.
+
+        The same up-front check :meth:`apply_updates` runs; the serving
+        layer uses it to reject a bad submission *before* it is coalesced
+        into a batch with other clients' updates.
+        """
+        for up in updates:
+            self._validate(up)
 
     def update_node(self, v: Hashable, data: Any) -> UpdateReport:
         """Convenience: one node payload edit."""
@@ -344,25 +421,34 @@ class IncrementalSolver:
                 f"{UPDATE_KINDS} (structural changes require a new prepare())"
             )
 
-    def _apply_payload(self, up: PointUpdate) -> Set[int]:
-        """Write one (validated) update's payload; return the seed cids."""
+    def _wants_child_seeds(self) -> bool:
+        """Whether this problem's rules read a node's payload from its children."""
+        return getattr(self.problem, "update_scope", "node") == "node+children"
+
+    def _apply_payload(self, up: PointUpdate, want_children: bool) -> Tuple[Set[int], Set[int]]:
+        """Write one (validated) update's payload; return ``(seeds, child_seeds)``.
+
+        ``child_seeds`` is the extra dirty set for problems declaring
+        ``update_scope = "node+children"`` (XML validation looks up the
+        parent's tag while evaluating a child); it is only computed when
+        ``want_children`` is set, and callers whose problem does not read
+        child-side payloads simply drop it.  The split lets a multi-problem
+        group write payloads *once* and hand each member the seed scope its
+        problem needs.
+        """
         hc = self.hc
         reduced = self.prepared.tree
         original = self.prepared.original_tree
+        child_seeds: Set[int] = set()
         if up.kind == "node":
             v = up.target
             self._set_payload(original.node_data, v, up.data)
             self._set_payload(reduced.node_data, v, up.data)
             owner = hc.node_owner(v)
             hc.clusters[owner].invalidate_payload_plans()
-            seeds = {owner}
-            # Problems whose rules read a node's payload while evaluating its
-            # *children* (XML validation looks up the parent's tag) declare
-            # update_scope = "node+children"; the children's owner clusters
-            # are then dirty too.  Auxiliary nodes are transparent: a real
-            # child below an auxiliary chain still reads the original
-            # parent's payload.
-            if getattr(self.problem, "update_scope", "node") == "node+children":
+            # Auxiliary nodes are transparent: a real child below an
+            # auxiliary chain still reads the original parent's payload.
+            if want_children:
                 aux = self.prepared.reduction.aux_nodes
                 stack = list(reduced.children(v))
                 while stack:
@@ -372,8 +458,8 @@ class IncrementalSolver:
                     else:
                         cid = hc.node_owner(c)
                         hc.clusters[cid].invalidate_payload_plans()
-                        seeds.add(cid)
-            return seeds
+                        child_seeds.add(cid)
+            return {owner}, child_seeds
         if up.kind == "edge":
             child, parent = up.target
             # Degree reduction may have rerouted the edge through an
@@ -387,26 +473,67 @@ class IncrementalSolver:
             # Nested indegree-one clusters read the edge as their incoming
             # edge (the innermost applies its transition constraint); they
             # are dirty too.  Their plans never cache the in-edge payload.
-            return {owner, *hc.in_edge_owners().get(red_edge, ())}
+            return {owner, *hc.in_edge_owners().get(red_edge, ())}, child_seeds
         raise AssertionError(f"update kind {up.kind!r} escaped _validate")
 
     # ------------------------------------------------------------------ #
     # The partial passes
     # ------------------------------------------------------------------ #
 
+    def _begin_apply(self) -> None:
+        """Claim the solver for one batch; raise if one is already mid-flight."""
+        with self._apply_mutex:
+            if self._apply_active:
+                raise ConcurrentUpdateError(
+                    "an update batch is already being applied to this "
+                    "IncrementalSolver; overlapping apply calls would corrupt "
+                    "the pending-dirty set.  Serialize batches (the serving "
+                    "layer's batcher does this) instead of calling apply "
+                    "concurrently."
+                )
+            self._apply_active = True
+
+    def _end_apply(self) -> None:
+        with self._apply_mutex:
+            self._apply_active = False
+
     def _apply(self, updates: List[PointUpdate], force_full: bool) -> UpdateReport:
+        self._begin_apply()
+        try:
+            t0 = time.perf_counter()
+            for up in updates:
+                self._validate(up)
+            want_children = self._wants_child_seeds()
+            seeds: Set[int] = set()
+            for up in updates:
+                base, children = self._apply_payload(up, want_children)
+                seeds |= base
+                seeds |= children
+            if updates:
+                self._bump_exec_epoch()
+            self.updates_applied += len(updates)
+            return self._resolve_batch(seeds, len(updates), force_full, t0)
+        finally:
+            self._end_apply()
+
+    def _resolve_batch(
+        self,
+        seeds: Set[int],
+        num_updates: int,
+        force_full: bool,
+        t0: Optional[float] = None,
+    ) -> UpdateReport:
+        """Re-solve the dirty chains seeded by an already-written batch.
+
+        The second half of :meth:`_apply`, split out so a multi-problem
+        group (:class:`IncrementalSolverGroup`) can write a batch's payloads
+        and compute its seed set *once* and then run only this phase per
+        member.  Callers must hold the apply guard (:meth:`_begin_apply`).
+        """
         sim = self.prepared.sim
         hc = self.hc
-        t0 = time.perf_counter()
-
-        for up in updates:
-            self._validate(up)
-        seeds: Set[int] = set()
-        for up in updates:
-            seeds |= self._apply_payload(up)
-        if updates:
-            self._bump_exec_epoch()
-        self.updates_applied += len(updates)
+        if t0 is None:
+            t0 = time.perf_counter()
         # Payloads a failed earlier batch already wrote still need their
         # chains re-solved; fold them in so repair-and-reapply heals.  The
         # failed pass may have written some of its chain summaries before
@@ -416,8 +543,8 @@ class IncrementalSolver:
         # the old payload.  Heal with pruning disabled: the pending chains
         # re-solve all the way to the final cluster.
         healing = bool(self._pending_dirty)
-        seeds |= self._pending_dirty
-        report = UpdateReport(updates=len(updates), dirty_seed_clusters=tuple(sorted(seeds)))
+        seeds = set(seeds) | self._pending_dirty
+        report = UpdateReport(updates=num_updates, dirty_seed_clusters=tuple(sorted(seeds)))
 
         full = force_full
         if not full and seeds:
@@ -608,3 +735,185 @@ class IncrementalSolver:
             prepared=prepared,
             rounds=rounds,
         )
+
+    def view(self) -> SolvedView:
+        """The current solved state as an immutable :class:`SolvedView`.
+
+        The cheap snapshot primitive of the serving layer: label dicts are
+        copied once and frozen behind read-only proxies, so the view stays
+        bit-stable under later updates and cannot be used to corrupt the
+        solver.  Labels are projected to original edges like
+        :meth:`as_pipeline_result`.  Raises like :meth:`solve_result` when a
+        failed batch left the state stale.
+        """
+        if self._pending_dirty:
+            raise RuntimeError(
+                "IncrementalSolver state is stale: a previous update batch "
+                "failed after writing payloads.  Repair the offending payload "
+                "and re-apply, or call refresh()."
+            )
+        prepared = self.prepared
+        edge_labels = dict(self.edge_labels)
+        output = self.solver.extract(self.hc.tree, edge_labels, self.root_label, self.value)
+        node_labels = dict(self.node_labels)
+        if not prepared.reduction.is_identity and edge_labels:
+            edge_labels = prepared.reduction.project_labels(edge_labels)
+            node_labels = {c: lab for (c, _p), lab in edge_labels.items()}
+            node_labels[prepared.original_tree.root] = self.root_label
+        return SolvedView(
+            problem=str(getattr(self.problem, "name", type(self.problem).__name__)),
+            value=self.value,
+            root_label=self.root_label,
+            node_labels=MappingProxyType(node_labels),
+            edge_labels=MappingProxyType(edge_labels),
+            output=output,
+            updates_applied=self.updates_applied,
+        )
+
+
+class IncrementalSolverGroup:
+    """Several problems served incrementally over one shared prepared tree.
+
+    The multi-problem serving mode (``solve_many``-style): each registered
+    problem gets its own :class:`IncrementalSolver` — its own summaries,
+    labels and kernel caches — but a batch of point updates is validated
+    once, written to the shared tree once, and its dirty *seed* set (owner
+    clusters, payload-plan invalidation, child-scope expansion, exec-epoch
+    bump) is computed once for the whole group instead of once per problem.
+    Each member then re-solves only its own chains from those seeds; the
+    summary-equality pruning stays per-problem, so a member whose rules
+    ignore the touched payload stops its chain immediately.
+
+    Failure containment mirrors the single-problem heal path: if a member's
+    resolve raises mid-batch, that member and every member the failure
+    skipped get the batch's seeds folded into their pending-dirty set, so
+    the next (repaired) batch heals them; members that already resolved are
+    consistent and unaffected.
+
+    Parameters are those of :class:`IncrementalSolver`; ``problems`` is a
+    sequence of problem instances with unique ``name`` attributes.
+    """
+
+    def __init__(
+        self,
+        prepared: PreparedTree,
+        problems: Sequence[Any],
+        backend: Optional[str] = None,
+        **solver_kwargs: Any,
+    ):
+        problems = list(problems)
+        if not problems:
+            raise ValueError("IncrementalSolverGroup needs at least one problem")
+        names: List[str] = []
+        for i, p in enumerate(problems):
+            name = str(getattr(p, "name", f"problem-{i}"))
+            if name in names:
+                raise ValueError(
+                    f"duplicate problem name {name!r} in the group; results are "
+                    "keyed by name, so each registered problem needs a unique one"
+                )
+            names.append(name)
+        self.prepared = prepared
+        self.solvers: Dict[str, IncrementalSolver] = {
+            name: IncrementalSolver(prepared, p, backend=backend, **solver_kwargs)
+            for name, p in zip(names, problems)
+        }
+        self._lead = next(iter(self.solvers.values()))
+        self.updates_applied = 0
+
+    @property
+    def problems(self) -> Tuple[str, ...]:
+        """The registered problem names, in registration order."""
+        return tuple(self.solvers)
+
+    def solver(self, problem: Optional[str] = None) -> IncrementalSolver:
+        """The member solver for ``problem`` (defaults to a sole member)."""
+        if problem is None:
+            if len(self.solvers) != 1:
+                raise ValueError(
+                    f"group serves {len(self.solvers)} problems "
+                    f"{self.problems!r}; name one"
+                )
+            return self._lead
+        try:
+            return self.solvers[problem]
+        except KeyError:
+            raise KeyError(
+                f"unknown problem {problem!r}; registered: {self.problems!r}"
+            ) from None
+
+    def validate(self, updates: Sequence[PointUpdate]) -> None:
+        """Raise on any unsupported update descriptor, writing nothing."""
+        self._lead.validate(updates)
+
+    def view(self, problem: Optional[str] = None) -> SolvedView:
+        """Immutable snapshot of one member's solved state."""
+        return self.solver(problem).view()
+
+    def views(self) -> Dict[str, SolvedView]:
+        """Immutable snapshots of every member, keyed by problem name."""
+        return {name: s.view() for name, s in self.solvers.items()}
+
+    def refresh(self) -> Dict[str, UpdateReport]:
+        """Full re-solve of every member against the current payloads."""
+        return {name: s.refresh() for name, s in self.solvers.items()}
+
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> Dict[str, UpdateReport]:
+        """Apply one batch to every member; return per-problem reports.
+
+        Validation, payload writes, payload-plan invalidation and the
+        exec-epoch bump run once; only the per-problem chain re-solve is
+        repeated.  Raises :class:`ConcurrentUpdateError` if any member has a
+        batch mid-flight (all member guards are claimed for the duration, so
+        a group batch and a direct member apply can never interleave).
+        """
+        updates = list(updates)
+        members = list(self.solvers.items())
+        acquired: List[IncrementalSolver] = []
+        try:
+            for _name, m in members:
+                m._begin_apply()
+                acquired.append(m)
+        except ConcurrentUpdateError:
+            for m in acquired:
+                m._end_apply()
+            raise
+        try:
+            lead = self._lead
+            for up in updates:
+                lead._validate(up)
+            want_children = any(m._wants_child_seeds() for _name, m in members)
+            base_seeds: Set[int] = set()
+            child_seeds: Set[int] = set()
+            for up in updates:
+                base, children = lead._apply_payload(up, want_children)
+                base_seeds |= base
+                child_seeds |= children
+            if updates:
+                lead._bump_exec_epoch()  # shared clustering: one bump covers all
+            self.updates_applied += len(updates)
+
+            reports: Dict[str, UpdateReport] = {}
+            entered = 0
+            try:
+                for i, (name, m) in enumerate(members):
+                    entered = i
+                    seeds = set(base_seeds)
+                    if m._wants_child_seeds():
+                        seeds |= child_seeds
+                    m.updates_applied += len(updates)
+                    reports[name] = m._resolve_batch(seeds, len(updates), force_full=False)
+                return reports
+            except BaseException:
+                # The raising member's _resolve_batch left its own pending
+                # set; members the failure skipped never saw these seeds, so
+                # mark them pending too — the next batch heals everyone.
+                for name, m in members[entered:]:
+                    seeds = set(base_seeds)
+                    if m._wants_child_seeds():
+                        seeds |= child_seeds
+                    m._pending_dirty |= seeds
+                raise
+        finally:
+            for m in acquired:
+                m._end_apply()

@@ -294,6 +294,13 @@ class ExecHealth:
             "events": [dict(e) for e in self.events],
         }
 
-    def write_json(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
+    def write_json(self, path: str, exclusive: bool = False) -> None:
+        """Dump the report as JSON; ``exclusive`` refuses to overwrite.
+
+        With ``exclusive=True`` the file is opened with ``"x"`` so an
+        existing report (a previous process whose pid was reused, a
+        concurrent pipeline sharing the dump directory) raises
+        :class:`FileExistsError` instead of being silently clobbered.
+        """
+        with open(path, "x" if exclusive else "w", encoding="utf-8") as fh:
             json.dump(self.as_dict(), fh, indent=2, sort_keys=True)

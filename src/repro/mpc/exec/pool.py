@@ -618,17 +618,30 @@ class ProcessBackend(ExecBackend):
 
         One file per backend close; the CI chaos job uploads the directory
         as its artifact, so a surviving-but-degraded run is inspectable.
+
+        Filenames carry the pid, the pool generation and a per-process
+        sequence number — and are opened with exclusive create — so several
+        pipelines in one process, or a restarted server whose pid the OS
+        reused, can never silently overwrite an earlier report in a shared
+        directory.  On a (pid, generation, seq) collision the sequence is
+        advanced until a free name is found.
         """
         out_dir = os.environ.get("REPRO_EXEC_HEALTH_DIR")
         if not out_dir or not self._ever_built:
             return
         try:
             os.makedirs(out_dir, exist_ok=True)
-            path = os.path.join(
-                out_dir,
-                f"exec-health-{os.getpid()}-{next(self._report_seq)}.json",
-            )
-            self.health.write_json(path)
+            pid = os.getpid()
+            for _ in range(1000):
+                path = os.path.join(
+                    out_dir,
+                    f"exec-health-{pid}-g{self._generation}-{next(self._report_seq)}.json",
+                )
+                try:
+                    self.health.write_json(path, exclusive=True)
+                except FileExistsError:
+                    continue  # pid reuse across restarts: advance the sequence
+                return
         except OSError:  # pragma: no cover - report is best-effort
             pass
 

@@ -1,0 +1,30 @@
+"""The always-on serving layer: concurrent updates and reads over one tree.
+
+``repro.serving`` turns a :class:`~repro.core.pipeline.PreparedTree` plus a
+batch of problems into a long-running asyncio server
+(:class:`TreeServer`): point updates are coalesced into batches applied
+through one shared :class:`~repro.dynamic.IncrementalSolverGroup` pass per
+tick, and reads are snapshot-isolated — a query sees the complete pre- or
+post-batch solved state, never a torn one.  Construct via
+:meth:`PreparedTree.serve() <repro.core.pipeline.PreparedTree.serve>`.
+
+See ``docs/ARCHITECTURE.md`` (serving layer) for the data flow and
+``docs/CONFIG.md`` for the knobs.
+"""
+
+from repro.serving.batcher import ServerClosedError, UpdateBatcher
+from repro.serving.config import ServerConfig
+from repro.serving.health import ServerHealth
+from repro.serving.server import BatchApplied, TreeServer
+from repro.serving.snapshots import Snapshot, SnapshotStore
+
+__all__ = [
+    "BatchApplied",
+    "ServerClosedError",
+    "ServerConfig",
+    "ServerHealth",
+    "Snapshot",
+    "SnapshotStore",
+    "TreeServer",
+    "UpdateBatcher",
+]

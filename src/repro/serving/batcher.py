@@ -1,0 +1,149 @@
+"""The single-writer coalescing queue between clients and the solver.
+
+Concurrent ``update()`` calls enqueue *submissions* (each a list of point
+updates that must apply atomically); the batcher's run loop drains the
+queue into one batch per tick — bounded by ``max_batch`` updates, optionally
+lingering ``max_delay`` seconds to coalesce more — and hands the combined
+list to the server's apply callable.  Every submitter awaits a future
+resolved with the batch result, so a client returns exactly when the batch
+containing its updates has been applied and its snapshots published.
+
+Failure containment: if the apply raises (a payload the problem's rules
+reject only mid-pass, an injected chaos fault), every submission in that
+batch gets the exception — the updates' payloads are written but their
+chains unsolved, which the incremental layer's pending-dirty set folds into
+the next batch (see :mod:`repro.dynamic.incremental`).  Later submissions
+are unaffected.
+
+Shutdown is graceful by construction: :meth:`UpdateBatcher.shutdown` posts
+a sentinel behind all accepted work, the run loop finishes every batch
+before it and exits, and anything enqueued after the sentinel (a racing
+submit) is failed with :class:`ServerClosedError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, List, Optional, Sequence, Tuple
+
+from repro.dynamic import PointUpdate
+
+__all__ = ["ServerClosedError", "UpdateBatcher"]
+
+
+class ServerClosedError(RuntimeError):
+    """The server is stopped (or stopping) and accepts no more work."""
+
+
+_Submission = Tuple[List[PointUpdate], "asyncio.Future[Any]"]
+_STOP: Any = object()
+
+
+class UpdateBatcher:
+    """Coalesces concurrent update submissions into per-tick solver batches."""
+
+    def __init__(
+        self,
+        apply_batch: Callable[[List[PointUpdate]], Awaitable[Any]],
+        *,
+        max_batch: int,
+        max_delay: float,
+        queue_limit: int,
+    ) -> None:
+        self._apply_batch = apply_batch
+        self._max_batch = max_batch
+        self._max_delay = max_delay
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=queue_limit)
+        self._closed = False
+
+    @property
+    def pending(self) -> int:
+        """Queued submissions not yet picked up by the run loop."""
+        return self._queue.qsize()
+
+    async def submit(self, updates: Sequence[PointUpdate]) -> Any:
+        """Enqueue one atomic submission; await its batch's result.
+
+        Applies backpressure: blocks while the queue is at its limit.
+        """
+        if self._closed:
+            raise ServerClosedError("the server is stopped; updates are not accepted")
+        fut: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        await self._queue.put((list(updates), fut))
+        return await fut
+
+    async def run(self) -> None:
+        """The single-writer loop; returns after :meth:`shutdown`'s sentinel."""
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            batch: List[_Submission] = [item]
+            if self._max_delay > 0:
+                await asyncio.sleep(self._max_delay)
+            stopped = self._drain_into(batch)
+            updates = [up for subs, _fut in batch for up in subs]
+            futures = [fut for _subs, fut in batch]
+            try:
+                result = await self._apply_batch(updates)
+            except asyncio.CancelledError:
+                self._fail(futures, ServerClosedError("server cancelled mid-batch"))
+                raise
+            except BaseException as exc:
+                self._fail(futures, exc)
+            else:
+                for fut in futures:
+                    if not fut.done():
+                        fut.set_result(result)
+            if stopped:
+                return
+
+    def _drain_into(self, batch: List[_Submission]) -> bool:
+        """Pull queued submissions into ``batch`` up to the update bound.
+
+        Returns True if the shutdown sentinel was consumed while draining.
+        """
+        count = sum(len(subs) for subs, _fut in batch)
+        while count < self._max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return False
+            if item is _STOP:
+                return True
+            batch.append(item)
+            count += len(item[0])
+        return False
+
+    @staticmethod
+    def _fail(futures: List["asyncio.Future[Any]"], exc: BaseException) -> None:
+        for fut in futures:
+            if not fut.done():
+                fut.set_exception(exc)
+
+    async def shutdown(self) -> None:
+        """Refuse new work and post the run loop's stop sentinel."""
+        self._closed = True
+        await self._queue.put(_STOP)
+
+    def drain_rejected(self) -> int:
+        """Fail submissions stranded behind the sentinel; return the count.
+
+        Called by the server after the run loop exits: a submit racing the
+        shutdown may have enqueued behind the sentinel, and its future must
+        not dangle.
+        """
+        rejected = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return rejected
+            if item is _STOP:
+                continue
+            _subs, fut = item
+            if not fut.done():
+                fut.set_exception(
+                    ServerClosedError("the server stopped before this update was applied")
+                )
+            rejected += 1

@@ -1,0 +1,56 @@
+"""Liveness/throughput counters of a running server (:class:`ServerHealth`).
+
+The serving-layer analogue of the exec layer's
+:class:`~repro.mpc.exec.faults.ExecHealth`, and built on it: a server's
+full health report embeds the exec pool's supervision counters (retries,
+rebuilds, worker deaths) under ``"exec"`` when the deployment runs the
+process backend, so one JSON document answers both "is the server keeping
+up" and "is the pool under it healthy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["ServerHealth"]
+
+
+@dataclass
+class ServerHealth:
+    """Monotonic counters of one :class:`~repro.serving.TreeServer` lifetime."""
+
+    #: Update batches applied successfully (== the current snapshot version).
+    batches_applied: int = 0
+    #: Batches whose solver pass raised; their submitters got the exception
+    #: and the next successful batch healed the pending dirty chains.
+    batch_failures: int = 0
+    #: Point updates accepted into the queue (pre-coalescing).
+    updates_enqueued: int = 0
+    #: Point updates applied by successful batches.
+    updates_applied: int = 0
+    #: Point updates rejected at submission (bad descriptor; never queued).
+    updates_rejected: int = 0
+    #: Snapshot reads served (value/label queries and raw snapshots).
+    queries_served: int = 0
+    #: Snapshots published (problems x successful batches, + the initial set).
+    snapshots_published: int = 0
+    #: Most recent per-problem update reports, as dicts (diagnostic detail).
+    last_batch: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self, exec_health: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """JSON-ready report; ``exec_health`` embeds the pool's supervision
+        counters (``None`` under the inline backend)."""
+        return {
+            "server": {
+                "batches_applied": self.batches_applied,
+                "batch_failures": self.batch_failures,
+                "updates_enqueued": self.updates_enqueued,
+                "updates_applied": self.updates_applied,
+                "updates_rejected": self.updates_rejected,
+                "queries_served": self.queries_served,
+                "snapshots_published": self.snapshots_published,
+                "last_batch": dict(self.last_batch),
+            },
+            "exec": exec_health,
+        }

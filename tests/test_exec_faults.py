@@ -417,6 +417,39 @@ def test_exec_health_report_counts_and_json_artifact(tmp_path, monkeypatch):
     assert json.loads(reports[0].read_text()) == expected
 
 
+def test_exec_health_reports_never_collide(tmp_path, monkeypatch):
+    """Health dumps sharing one directory never overwrite each other.
+
+    Regression test: several pipelines in one process used to be the only
+    collision-safe case (a per-process sequence number); a *restarted*
+    server process whose pid the OS reused restarts the sequence at 0 and
+    silently clobbered the previous run's report.  Filenames now carry the
+    pool generation and are opened with exclusive create, advancing the
+    sequence past any survivor from a previous life.
+    """
+    import itertools
+
+    monkeypatch.setenv("REPRO_EXEC_HEALTH_DIR", str(tmp_path))
+
+    def dump(marker):
+        backend = ProcessBackend(1)
+        backend._ever_built = True  # dump without spawning real workers
+        backend.health.events.append({"event": "marker", "marker": marker})
+        backend._write_health_report()
+
+    dump("first")
+    dump("second")  # second pipeline, same process
+    # A restarted server: the OS reused the pid, and the fresh process's
+    # report sequence starts over at 0.
+    monkeypatch.setattr(ProcessBackend, "_report_seq", itertools.count())
+    dump("third")
+
+    reports = list(tmp_path.glob("exec-health-*.json"))
+    assert len(reports) == 3
+    markers = {json.loads(p.read_text())["events"][-1]["marker"] for p in reports}
+    assert markers == {"first", "second", "third"}
+
+
 def test_prepared_tree_exec_health_is_none_inline():
     tree = _tree(n=60, seed=13)
     prepared = prepare(tree, sim=MPCSimulator(MPCConfig(n=60, exec_backend="inline")))
