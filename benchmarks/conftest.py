@@ -15,8 +15,20 @@ Two harness-level facilities support the CI perf-tracking job:
 * **JSON artifacts** — :func:`emit_json` writes each experiment's measured
   rows to ``BENCH_<name>.json`` (in the working directory, or
   ``$BENCH_OUTPUT_DIR``); CI uploads them so the perf trajectory of every
-  PR is recorded.  Each file carries a ``smoke`` flag plus the experiment's
-  free-form payload.
+  PR is recorded.  Each file carries a ``smoke`` flag, a ``metrics`` block
+  (see below) and the experiment's free-form payload.
+* **Shared observability** — the harness installs one ``"metrics"``
+  :class:`~repro.obs.ObsContext` per experiment
+  (:func:`repro.obs.context.install_shared`), so every simulator an
+  experiment builds feeds a single registry and each BENCH artifact embeds
+  the per-phase breakdown (prepare phases, DP layers, exec/serving
+  latencies) for free.  :func:`emit_json` snapshots the registry into the
+  artifact's ``metrics`` block and starts a fresh context for the next
+  experiment.
+* **Declared artifacts** — modules listed in :data:`DECLARED_ARTIFACTS`
+  must emit their tracked ``BENCH_<name>.json``; an autouse module fixture
+  fails the run when one silently goes missing (the PR 9 regression class:
+  ``bench_serving`` defined the artifact but CI's glob matched nothing).
 """
 
 from __future__ import annotations
@@ -25,6 +37,10 @@ import json
 import os
 from pathlib import Path
 from typing import Callable
+
+import pytest
+
+from repro.obs.context import ObsContext, install_shared
 
 #: True when the harness runs in reduced-size CI mode.
 SMOKE = os.environ.get("BENCH_SMOKE", "").strip().lower() in {"1", "true", "yes", "on"}
@@ -61,18 +77,89 @@ def _json_default(x):
     return str(x)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _shared_obs_session():
+    """Install the harness-wide ``"metrics"`` context for the bench session.
+
+    Installed here — not at import time — because test modules import bench
+    helpers (e.g. ``tests/test_incremental_updates.py`` reuses
+    ``bench_kernels._sat_payload``) and an import-time ``install_shared``
+    would leak the override into every later tier-1 test.  The state itself
+    lives in :mod:`repro.obs.context`, the one module instance both
+    ``conftest`` copies share (see :func:`_declared_artifacts_present` for
+    the dual-module story).
+    """
+    prev = install_shared(ObsContext("metrics"))
+    try:
+        yield
+    finally:
+        install_shared(prev)
+
+
+#: Tracked artifacts each benchmark module is declared to emit.  The repo
+#: root carries the full-size records of these; CI re-emits them in smoke
+#: mode and fails when one is absent.
+DECLARED_ARTIFACTS = {
+    "bench_kernels": ("kernels",),
+    "bench_pipeline": ("pipeline", "parallel"),
+    "bench_updates": ("updates",),
+    "bench_serving": ("serving",),
+}
+
+
+def _artifact_dir() -> Path:
+    default_dir = "bench-artifacts" if SMOKE else "."
+    return Path(os.environ.get("BENCH_OUTPUT_DIR", default_dir))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _declared_artifacts_present(request):
+    """Fail the module whose declared BENCH artifact was never written.
+
+    Checked on the filesystem, not in-process state: pytest's ``conftest``
+    module and the ``benchmarks.conftest`` the experiments import are
+    distinct module objects, so the artifact file is the one shared truth.
+    """
+    yield
+    module = request.module.__name__.rsplit(".", 1)[-1]
+    declared = DECLARED_ARTIFACTS.get(module, ())
+    missing = [
+        name
+        for name in declared
+        if not (_artifact_dir() / f"BENCH_{name}.json").is_file()
+    ]
+    if missing:
+        pytest.fail(
+            f"{module} declares BENCH artifact(s) {missing} but did not "
+            "emit them — emit_json() was never called or the file vanished"
+        )
+
+
 def emit_json(name: str, payload: dict) -> Path:
     """Write ``BENCH_<name>.json`` for the CI artifact upload.
 
     Smoke runs default to ``bench-artifacts/`` (gitignored) so a local
     ``BENCH_SMOKE=1`` pass never clobbers the tracked full-size
     ``BENCH_kernels.json`` record in the repo root.
+
+    Every artifact embeds the experiment's metric exposition under
+    ``"metrics"`` (the shared context's
+    :meth:`~repro.obs.MetricsRegistry.to_json`), then rotates in a fresh
+    context so the next experiment's block starts clean.  The rotation goes
+    through :func:`repro.obs.context.install_shared` rather than a module
+    global here, because this function runs in whichever ``conftest`` module
+    copy imported it — ``repro.obs.context`` is the single shared instance.
     """
-    default_dir = "bench-artifacts" if SMOKE else "."
-    out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", default_dir))
+    out_dir = _artifact_dir()
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
-    body = {"smoke": SMOKE}
+    prev = install_shared(None)
+    if prev is not None:
+        install_shared(ObsContext("metrics"))
+    body = {
+        "smoke": SMOKE,
+        "metrics": prev.metrics.to_json() if prev is not None else {},
+    }
     body.update(payload)
     path.write_text(json.dumps(body, indent=2, sort_keys=True, default=_json_default) + "\n")
     return path

@@ -16,5 +16,6 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     stale_cache,
     unbounded_wait,
     uncharged_communication,
+    untraced_clock,
     worker_isolation,
 )

@@ -1,0 +1,119 @@
+"""Rule ``untraced-clock``.
+
+**History.**  PR 10 added the observability layer (:mod:`repro.obs`), whose
+span timing only composes when every duration in the stack is read from the
+same clock with the same semantics.  Before the migration, timing code was
+scattered across ad-hoc ``time.time()`` (wall, jumps on NTP steps),
+``time.perf_counter()`` and ``time.monotonic()`` readings — three clocks
+with different epochs and drift, silently mixed when one layer's start was
+subtracted from another layer's end.  PR 10 funnelled every reading through
+:mod:`repro.obs.clock` (``clock.now()`` for durations, ``clock.monotonic()``
+for deadlines, ``clock.wall()`` for timestamps); this rule pins that
+discipline so the next timing call site cannot quietly reintroduce a
+fourth clock.
+
+**Check.**  In modules under ``repro.`` — except :mod:`repro.obs` itself,
+which is the one sanctioned reader — flag
+
+* attribute calls ``time.time(...)`` / ``time.perf_counter(...)`` /
+  ``time.monotonic(...)`` (and their ``_ns`` variants) on any alias of the
+  ``time`` module, and
+* ``from time import perf_counter``-style imports of those readers (the
+  bare-name call sites they enable are invisible to an attribute check).
+
+``time.sleep`` and every other non-clock member of the module stay legal;
+the rule polices *readings*, not delays.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.core import Finding, Rule, RuleMeta, register
+from repro.analysis.project import ModuleContext
+
+__all__ = ["UntracedClockRule"]
+
+#: Module prefix the rule watches: the whole package...
+WATCHED_PREFIX = "repro."
+#: ...except the sanctioned clock readers themselves.
+EXEMPT_PREFIX = "repro.obs"
+
+#: The stdlib clock readers that must go through repro.obs.clock.
+CLOCK_READERS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+}
+
+
+def _time_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to the ``time`` module (``import time [as t]``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+@register
+class UntracedClockRule(Rule):
+    meta = RuleMeta(
+        name="untraced-clock",
+        summary=(
+            "repro.* modules outside repro.obs must not read "
+            "time.time()/time.perf_counter()/time.monotonic() directly; "
+            "go through repro.obs.clock (now/monotonic/wall)"
+        ),
+        rationale=(
+            "PR 10 observability class: span math only adds up when every "
+            "duration comes from one clock — an ad-hoc reading mixes "
+            "epochs/drift with the tracer's and breaks the timeline"
+        ),
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        name = module.module_name
+        if not name.startswith(WATCHED_PREFIX) or name.startswith(EXEMPT_PREFIX):
+            return []
+        aliases = _time_aliases(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in CLOCK_READERS:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"direct clock import `from time import "
+                                f"{alias.name}`: read the clock through "
+                                "repro.obs.clock (now/monotonic/wall) so "
+                                "durations compose with the tracer's",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in CLOCK_READERS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in aliases
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"direct clock reading time.{func.attr}(): read "
+                            "the clock through repro.obs.clock "
+                            "(now/monotonic/wall) so durations compose with "
+                            "the tracer's",
+                        )
+                    )
+        return findings

@@ -16,7 +16,6 @@ the benchmarks can regenerate the paper's round-complexity claims.
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple, Union
@@ -35,6 +34,7 @@ from repro.dp.local_solver import FiniteStateClusterSolver, backend_ineligibilit
 from repro.dp.problem import ClusterDP, FiniteStateDP
 from repro.mpc.config import MPCConfig
 from repro.mpc.simulator import MPCSimulator, RoundStats
+from repro.obs import clock
 from repro.representations.normalize import normalize_to_rooted_tree
 from repro.trees.properties import max_degree
 from repro.trees.tree import RootedTree
@@ -172,6 +172,27 @@ class PreparedTree:
         health = getattr(self.sim.executor, "health", None)
         return None if health is None else health.as_dict()
 
+    def trace(self) -> list:
+        """Spans recorded on this deployment so far (``obs="trace"`` only).
+
+        Span dicts in completion order (children before parents); the
+        companion round timeline is ``self.sim.obs.timeline``, and
+        ``self.sim.obs.trace_lines()`` renders both as a JSON-lines trace.
+        """
+        return self.sim.obs.recorder.to_list()
+
+    def metrics(self, format: str = "json") -> Any:
+        """Metric exposition of this deployment (``obs`` enabled modes).
+
+        ``format="json"`` returns the plain-data exposition,
+        ``format="prometheus"`` the text format; empty under ``obs="off"``.
+        """
+        if format == "prometheus":
+            return self.sim.obs.metrics.to_prometheus()
+        if format == "json":
+            return self.sim.obs.metrics.to_json()
+        raise ValueError(f"format must be 'json' or 'prometheus', got {format!r}")
+
 
 @dataclass
 class PipelineResult:
@@ -192,6 +213,14 @@ class PipelineResult:
     @property
     def total_rounds(self) -> int:
         return sum(self.rounds.values())
+
+    def trace(self) -> list:
+        """Spans of the deployment this result was solved on."""
+        return self.prepared.trace()
+
+    def metrics(self, format: str = "json") -> Any:
+        """Metric exposition of the deployment this result was solved on."""
+        return self.prepared.metrics(format=format)
 
 
 # --------------------------------------------------------------------------- #
@@ -266,25 +295,41 @@ def prepare(
         )
         sim = MPCSimulator(config)
 
-    snap0 = sim.snapshot()
-    t0 = time.perf_counter()
-    tree = normalize_to_rooted_tree(sim, tree_or_representation, root=root)
-    t1 = time.perf_counter()
-    norm_stats = sim.stats.diff(snap0)
+    obs = sim.obs
+    with obs.trace("prepare", n=sim.config.n):
+        snap0 = sim.snapshot()
+        t0 = clock.now()
+        with obs.trace("prepare.normalize"):
+            tree = normalize_to_rooted_tree(sim, tree_or_representation, root=root)
+        t1 = clock.now()
+        norm_stats = sim.stats.diff(snap0)
 
-    threshold = light_threshold or sim.config.light_threshold()
-    if degree_reduction and max_degree(tree) > threshold:
-        reduction = reduce_degrees(tree, threshold=threshold)
-    else:
-        reduction = reduce_degrees(tree, threshold=max(threshold, max_degree(tree) + 1))
-    t2 = time.perf_counter()
+        threshold = light_threshold or sim.config.light_threshold()
+        with obs.trace("prepare.degree_reduction", threshold=threshold):
+            if degree_reduction and max_degree(tree) > threshold:
+                reduction = reduce_degrees(tree, threshold=threshold)
+            else:
+                reduction = reduce_degrees(
+                    tree, threshold=max(threshold, max_degree(tree) + 1)
+                )
+        t2 = clock.now()
 
-    snap1 = sim.snapshot()
-    clustering = build_hierarchical_clustering(
-        sim, reduction.tree, light_threshold=threshold if degree_reduction else None
-    )
-    cluster_stats = sim.stats.diff(snap1)
-    t3 = time.perf_counter()
+        snap1 = sim.snapshot()
+        with obs.trace("prepare.clustering"):
+            clustering = build_hierarchical_clustering(
+                sim,
+                reduction.tree,
+                light_threshold=threshold if degree_reduction else None,
+            )
+        cluster_stats = sim.stats.diff(snap1)
+        t3 = clock.now()
+    if obs.enabled:
+        phases = obs.metrics
+        phases.gauge("repro_prepare_phase_seconds", phase="normalize").set(t1 - t0)
+        phases.gauge("repro_prepare_phase_seconds", phase="degree_reduction").set(
+            t2 - t1
+        )
+        phases.gauge("repro_prepare_phase_seconds", phase="clustering").set(t3 - t2)
 
     return PreparedTree(
         sim=sim,
@@ -310,10 +355,14 @@ def solve_on(
     (``prepared.sim.config.dp_backend``) for this solve only.
     """
     solver = as_cluster_dp(problem, backend=backend or prepared.sim.config.dp_backend)
+    obs = prepared.sim.obs
     snap = prepared.sim.snapshot()
     engine = prepared.engine()
-    res = engine.solve(solver)
+    with obs.trace("solve", problem=getattr(problem, "name", type(problem).__name__)):
+        res = engine.solve(solver)
     dp_stats = prepared.sim.stats.diff(snap)
+    if obs.enabled:
+        obs.dump(tag="solve")
 
     # Project edge labels of the degree-reduced tree back to original edges.
     edge_labels = res.edge_labels

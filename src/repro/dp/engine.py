@@ -26,6 +26,8 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.clustering.model import Cluster, HierarchicalClustering
 from repro.dp.problem import ClusterContext, ClusterDP
 from repro.mpc.simulator import MPCSimulator
+from repro.obs import DEFAULT_SIZE_BUCKETS
+from repro.obs.context import OBS_OFF
 
 __all__ = ["DPEngine", "SolveResult", "ROUNDS_PER_LAYER", "DP_PASS_LABEL", "DP_UPDATE_LABEL"]
 
@@ -92,6 +94,9 @@ class DPEngine:
     ):
         self.hc = clustering
         self.sim = sim
+        #: The deployment's observability context (inert singleton when the
+        #: engine runs simulator-less or obs is off).
+        self.obs = sim.obs if sim is not None else OBS_OFF
         self.edge_kinds = edge_kinds or {}
         self.aux_nodes = aux_nodes or set()
         self.original_parent = original_parent or {}
@@ -147,6 +152,7 @@ class DPEngine:
                 "original_parent": self.original_parent,
             },
             problem,
+            obs=self.obs,
         )
 
     def summarize_clusters(
@@ -178,25 +184,39 @@ class DPEngine:
         ``summaries`` either way, so the round/word charging below is shared
         verbatim between the placements.
         """
+        obs = self.obs
         charged = 0
         for layer in sorted(clusters_by_layer):
             clusters = clusters_by_layer[layer]
-            if clusters:
-                if session is not None:
-                    results = session.solve_layer(clusters, summaries)
-                else:
-                    ctxs = [self.context(cluster, summaries) for cluster in clusters]
-                    results = problem.summarize_layer(ctxs)
-                for cluster, summary in zip(clusters, results):
-                    summaries[cluster.cid] = summary
-            self._charge(ROUNDS_PER_LAYER, label)
-            self._charge_words([summaries[c.cid] for c in clusters], label)
+            with obs.trace(
+                "dp.layer",
+                dp_pass="bottom-up",
+                layer=layer,
+                clusters=len(clusters),
+                label=label,
+            ):
+                if clusters:
+                    if session is not None:
+                        results = session.solve_layer(clusters, summaries)
+                    else:
+                        ctxs = [self.context(cluster, summaries) for cluster in clusters]
+                        results = problem.summarize_layer(ctxs)
+                    for cluster, summary in zip(clusters, results):
+                        summaries[cluster.cid] = summary
+                self._charge(ROUNDS_PER_LAYER, label)
+                self._charge_words([summaries[c.cid] for c in clusters], label)
+            if obs.enabled:
+                obs.metrics.counter("repro_dp_layers_total", dp_pass="bottom-up").inc()
+                obs.metrics.histogram(
+                    "repro_dp_layer_batch_clusters",
+                    DEFAULT_SIZE_BUCKETS,
+                    dp_pass="bottom-up",
+                ).observe(len(clusters))
             charged += ROUNDS_PER_LAYER
         return charged
 
     def solve(self, problem: ClusterDP) -> SolveResult:
         """Run the bottom-up and top-down passes for ``problem``."""
-        hc = self.hc
         summaries: Dict[int, Any] = {}
         session = self._exec_session(problem)
         try:
@@ -204,6 +224,24 @@ class DPEngine:
         finally:
             if session is not None:
                 session.close()
+            if self.obs.enabled:
+                self.export_kernel_metrics(problem)
+
+    def export_kernel_metrics(self, problem: ClusterDP) -> None:
+        """Publish the dense kernel's cache counters as labeled gauges.
+
+        Pull-style: the kernel keeps its own plain-int counters (hits,
+        misses, evictions, enumerations, recomposes) with zero obs overhead;
+        this copies a consistent reading into the registry after a solve or
+        an update batch.  No-op for problems without a dense kernel.
+        """
+        dense = getattr(problem, "_dense", None)
+        if dense is None:
+            return
+        name = getattr(getattr(dense, "problem", None), "name", "problem")
+        gauge = self.obs.metrics.gauge
+        for stat, value in dense.cache_stats().items():
+            gauge("repro_kernel_cache", problem=name, stat=stat).set(value)
 
     def _solve(self, problem: ClusterDP, summaries: Dict[int, Any], session) -> SolveResult:
         hc = self.hc
@@ -233,6 +271,7 @@ class DPEngine:
             # one independent batch — inline it runs cluster by cluster; under
             # an exec session the batch is labelled on the workers that
             # summarised the clusters (their trace memos are local).
+            obs = self.obs
             for layer in range(hc.num_layers, 0, -1):
                 items: List[Tuple[Cluster, Any, Any]] = []
                 for cluster in hc.clusters_at_layer(layer):
@@ -244,23 +283,41 @@ class DPEngine:
                         edge_labels[cluster.in_edge] if cluster.in_edge is not None else None
                     )
                     items.append((cluster, out_label, in_label))
-                labels_by_cid = (
-                    session.label_layer(items, summaries)
-                    if session is not None and items
-                    else None
-                )
-                layer_labels: List[Any] = []
-                for cluster, out_label, in_label in items:
-                    if labels_by_cid is not None:
-                        labels = labels_by_cid[cluster.cid]
-                    else:
-                        ctx = self.context(cluster, summaries)
-                        labels = problem.assign_internal_labels(ctx, out_label, in_label)
-                    for child_e, _parent_e, edge in cluster.internal_edges:
-                        edge_labels[edge] = labels[child_e]
-                        layer_labels.append(labels[child_e])
-                self._charge(ROUNDS_PER_LAYER)
-                self._charge_words(layer_labels)
+                with obs.trace(
+                    "dp.layer",
+                    dp_pass="top-down",
+                    layer=layer,
+                    clusters=len(items),
+                    label=DP_PASS_LABEL,
+                ):
+                    labels_by_cid = (
+                        session.label_layer(items, summaries)
+                        if session is not None and items
+                        else None
+                    )
+                    layer_labels: List[Any] = []
+                    for cluster, out_label, in_label in items:
+                        if labels_by_cid is not None:
+                            labels = labels_by_cid[cluster.cid]
+                        else:
+                            ctx = self.context(cluster, summaries)
+                            labels = problem.assign_internal_labels(
+                                ctx, out_label, in_label
+                            )
+                        for child_e, _parent_e, edge in cluster.internal_edges:
+                            edge_labels[edge] = labels[child_e]
+                            layer_labels.append(labels[child_e])
+                    self._charge(ROUNDS_PER_LAYER)
+                    self._charge_words(layer_labels)
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "repro_dp_layers_total", dp_pass="top-down"
+                    ).inc()
+                    obs.metrics.histogram(
+                        "repro_dp_layer_batch_clusters",
+                        DEFAULT_SIZE_BUCKETS,
+                        dp_pass="top-down",
+                    ).observe(len(items))
                 charged += ROUNDS_PER_LAYER
 
             for (child, _parent), lab in edge_labels.items():

@@ -126,6 +126,10 @@ class DenseClusterKernel:
         self._trace_entries: Optional[int] = None
         #: Traces dropped by the LRU bound (soak-test observability).
         self.trace_evictions: int = 0
+        #: Top-down trace-memo lookups served from / missing in the memo
+        #: (a miss transparently re-runs the cluster's local solve).
+        self.trace_hits: int = 0
+        self.trace_misses: int = 0
 
     # ------------------------------------------------------------------ #
     # ClusterDP operations
@@ -175,6 +179,28 @@ class DenseClusterKernel:
             while len(self._traces) > trace_entries:
                 self._traces.popitem(last=False)
                 self.trace_evictions += 1
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Flat cache-behaviour counters for the observability gauges.
+
+        Covers the trace memo (hits/misses/evictions/entries), the
+        payload-value-keyed rule caches on :attr:`tensors`, and the tensor
+        enumeration/recompose counters — everything a capacity or serving
+        soak needs to see about this kernel's caching.
+        """
+        t = self.tensors
+        out: Dict[str, int] = {
+            "trace_entries": len(self._traces),
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "trace_evictions": self.trace_evictions,
+            "value_entries": sum(t.value_cache_sizes().values()),
+            "value_hits": t.value_cache_hits(),
+            "value_misses": t.value_cache_misses(),
+            "value_evictions": t.value_cache_evictions(),
+        }
+        out.update(t.stats)
+        return out
 
     def _store_traces(self, cid: int, traces: Dict[Element, Optional[_Trace]]) -> None:
         data = self._traces
@@ -233,8 +259,12 @@ class DenseClusterKernel:
         self, ctx: ClusterContext, out_label: Any, in_label: Any
     ) -> Dict[Element, Any]:
         traces = self._traces.get(ctx.cluster.cid)
-        if traces is not None and self._trace_entries is not None:
-            self._traces.move_to_end(ctx.cluster.cid)
+        if traces is not None:
+            self.trace_hits += 1
+            if self._trace_entries is not None:
+                self._traces.move_to_end(ctx.cluster.cid)
+        else:
+            self.trace_misses += 1
         if traces is None:
             # assign without a prior summarize (not reachable through the
             # engine, which always runs the bottom-up pass first).

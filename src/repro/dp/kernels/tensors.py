@@ -68,7 +68,7 @@ class LRUCache:
     not a legal cached value — :meth:`get` uses it as its miss sentinel.
     """
 
-    __slots__ = ("_data", "entries", "evictions")
+    __slots__ = ("_data", "entries", "evictions", "hits", "misses")
 
     def __init__(self, entries: Optional[int] = None) -> None:
         if entries is not None and entries < 1:
@@ -76,10 +76,16 @@ class LRUCache:
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.entries = entries
         self.evictions = 0
+        self.hits = 0
+        self.misses = 0
 
     def get(self, key: Hashable) -> Optional[Any]:
         val = self._data.get(key)
-        if val is not None and self.entries is not None:
+        if val is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if self.entries is not None:
             self._data.move_to_end(key)
         return val
 
@@ -208,6 +214,18 @@ class ProblemTensors:
             self._init_cache.evictions
             + self._trans_cache.evictions
             + self._fin_cache.evictions
+        )
+
+    def value_cache_hits(self) -> int:
+        """Total lookup hits across the value-keyed caches."""
+        return self._init_cache.hits + self._trans_cache.hits + self._fin_cache.hits
+
+    def value_cache_misses(self) -> int:
+        """Total lookup misses across the value-keyed caches."""
+        return (
+            self._init_cache.misses
+            + self._trans_cache.misses
+            + self._fin_cache.misses
         )
 
     def _fill(self, shape: Tuple[int, ...], cells: Dict[Any, Any]) -> np.ndarray:

@@ -53,7 +53,6 @@ backends.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
@@ -64,6 +63,7 @@ from repro.clustering.model import cluster_element
 from repro.core.pipeline import PipelineResult, PreparedTree, as_cluster_dp
 from repro.dp.engine import DP_UPDATE_LABEL, ROUNDS_PER_LAYER, SolveResult
 from repro.mpc.simulator import RoundStats
+from repro.obs import DEFAULT_SIZE_BUCKETS, clock
 
 __all__ = [
     "ConcurrentUpdateError",
@@ -280,6 +280,7 @@ class IncrementalSolver:
         # update path re-reads this solver's driver-side memos (traces,
         # rule-tensor caches), which a worker-side solve would not populate.
         self.engine.exec_enabled = False
+        self.obs = prepared.sim.obs
         self.hc = prepared.clustering
         self.full_resolve_threshold = full_resolve_threshold
         self._owner = self.hc.parent_cluster_of_element()
@@ -307,9 +308,13 @@ class IncrementalSolver:
     def _solve_initial(self) -> None:
         sim = self.prepared.sim
         snap = sim.snapshot()
-        t0 = time.perf_counter()
-        res = self.engine.solve(self.solver)
-        self.initial_solve_seconds = time.perf_counter() - t0
+        t0 = clock.now()
+        with self.obs.trace(
+            "incremental.initial_solve",
+            problem=str(getattr(self.problem, "name", type(self.problem).__name__)),
+        ):
+            res = self.engine.solve(self.solver)
+        self.initial_solve_seconds = clock.now() - t0
         #: ``"dp-pass"`` rounds/words of the initial full solve.
         self.initial_stats: RoundStats = sim.stats.diff(snap)
         self.summaries: Dict[int, Any] = res.summaries
@@ -500,7 +505,7 @@ class IncrementalSolver:
     def _apply(self, updates: List[PointUpdate], force_full: bool) -> UpdateReport:
         self._begin_apply()
         try:
-            t0 = time.perf_counter()
+            t0 = clock.now()
             for up in updates:
                 self._validate(up)
             want_children = self._wants_child_seeds()
@@ -532,8 +537,9 @@ class IncrementalSolver:
         """
         sim = self.prepared.sim
         hc = self.hc
+        obs = self.obs
         if t0 is None:
-            t0 = time.perf_counter()
+            t0 = clock.now()
         # Payloads a failed earlier batch already wrote still need their
         # chains re-solved; fold them in so repair-and-reapply heals.  The
         # failed pass may have written some of its chain summaries before
@@ -558,20 +564,63 @@ class IncrementalSolver:
             seeds = {cid for layer in hc.layers for cid in layer}
         if not seeds:
             report.value = self.value
-            report.seconds = time.perf_counter() - t0
+            report.seconds = clock.now() - t0
+            self._observe_report(report)
             return report
 
         snap = sim.snapshot()
         self._pending_dirty = set(seeds)
-        resolved = self._partial_bottom_up(seeds, skip_pruning=full or healing, report=report)
-        self._partial_top_down(resolved, report)
+        with obs.trace(
+            "incremental.resolve",
+            seeds=len(seeds),
+            updates=num_updates,
+            full=full,
+            healing=healing,
+        ) as span:
+            resolved = self._partial_bottom_up(
+                seeds, skip_pruning=full or healing, report=report
+            )
+            self._partial_top_down(resolved, report)
+            span.set(
+                resolved=report.clusters_resolved,
+                relabeled=report.clusters_relabeled,
+            )
         self._pending_dirty = set()
         diff = sim.stats.diff(snap)
         report.rounds_charged = diff.charged_by_label.get(DP_UPDATE_LABEL, 0)
         report.words_charged = diff.charged_words_by_label.get(DP_UPDATE_LABEL, 0)
         report.value = self.value
-        report.seconds = time.perf_counter() - t0
+        report.seconds = clock.now() - t0
+        self._observe_report(report)
         return report
+
+    def _observe_report(self, report: UpdateReport) -> None:
+        """Fold one batch's dirty-chain stats into the run's metrics.
+
+        ``pruned`` counts re-solved clusters whose summary came out
+        bit-identical — the chains the equality test stopped.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return
+        m = obs.metrics
+        m.counter(
+            "repro_update_batches_total",
+            mode="full" if report.full_resolve else "partial",
+        ).inc()
+        m.histogram("repro_update_seconds").observe(report.seconds)
+        m.histogram("repro_update_batch_updates", DEFAULT_SIZE_BUCKETS).observe(
+            report.updates
+        )
+        pruned = max(0, report.clusters_resolved - report.summaries_changed)
+        m.counter("repro_update_clusters_total", stat="resolved").inc(
+            report.clusters_resolved
+        )
+        m.counter("repro_update_clusters_total", stat="pruned").inc(pruned)
+        m.counter("repro_update_clusters_total", stat="relabeled").inc(
+            report.clusters_relabeled
+        )
+        self.engine.export_kernel_metrics(self.solver)
 
     def _partial_bottom_up(
         self, seeds: Set[int], skip_pruning: bool, report: UpdateReport

@@ -131,6 +131,15 @@ class MPCConfig:
         ``"kill@w0:2;poison@*:1:dp_solve"``.  Left ``None``, read from
         ``REPRO_EXEC_FAULTS`` (default: no faults).  Parsed and validated
         here so a typo fails fast.
+    obs:
+        Observability mode (see :mod:`repro.obs`): ``"off"`` (the default)
+        reduces every tracing/metrics hook in the tree to a single no-op
+        attribute check; ``"metrics"`` collects counters, gauges and
+        latency histograms; ``"trace"`` additionally records nested spans
+        (including exec-worker spans shipped back over the pool protocol)
+        and the per-superstep round timeline.  Observability never changes
+        a value, a label or a ``RoundStats`` field — it only watches.
+        Left ``None``, read from ``REPRO_OBS`` (default ``"off"``).
     """
 
     n: int
@@ -151,6 +160,7 @@ class MPCConfig:
     exec_heartbeat: Optional[float] = None
     exec_call_timeout: Optional[float] = None
     exec_faults: Optional[str] = None
+    obs: Optional[str] = None
 
     machine_capacity: int = field(init=False)
     num_machines: int = field(init=False)
@@ -221,6 +231,12 @@ class MPCConfig:
             from repro.mpc.exec.faults import FaultPlan
 
             FaultPlan.parse(self.exec_faults)  # validates; raises ValueError on typos
+        if self.obs is None:
+            self.obs = os.environ.get("REPRO_OBS") or "off"
+        if self.obs not in ("off", "metrics", "trace"):
+            raise ValueError(
+                f"obs must be 'off', 'metrics' or 'trace', got {self.obs!r}"
+            )
         cap = int(math.ceil(self.capacity_factor * self.n ** self.delta))
         self.machine_capacity = max(self.min_capacity, cap)
         machines = int(math.ceil(self.n / max(1, self.machine_capacity))) + 1

@@ -137,17 +137,26 @@ class ExecBackend:
         rows: int,
         num_machines: int,
         scratch: Optional[Dict[str, Tuple[Tuple[int, ...], Any]]] = None,
+        obs: Optional[Any] = None,
     ) -> ArraySession:
         """Open a session over ``arrays`` partitioned into machine groups.
 
         ``scratch`` maps extra array names to ``(shape, dtype)``; each is
         allocated with a leading per-slot axis (``(slots, *shape)``) for
-        reduce-style partial results.
+        reduce-style partial results.  ``obs`` is the deployment's
+        :class:`~repro.obs.ObsContext` (or ``None``); see :meth:`dp_session`.
         """
         raise NotImplementedError
 
-    def dp_session(self, engine_state: Dict[str, Any], solver: Any) -> Optional[Any]:
-        """Open a DP session for one engine solve, or ``None`` to decline."""
+    def dp_session(
+        self, engine_state: Dict[str, Any], solver: Any, obs: Optional[Any] = None
+    ) -> Optional[Any]:
+        """Open a DP session for one engine solve, or ``None`` to decline.
+
+        ``obs`` is the deployment's :class:`~repro.obs.ObsContext` (or
+        ``None``): backends that distribute work attribute per-call latency
+        to it and, when tracing, adopt the spans their workers ship back.
+        """
         return None
 
     def close(self) -> None:
@@ -165,6 +174,7 @@ class InlineBackend(ExecBackend):
         rows: int,
         num_machines: int,
         scratch: Optional[Dict[str, Tuple[Tuple[int, ...], Any]]] = None,
+        obs: Optional[Any] = None,
     ) -> InlineArraySession:
         return InlineArraySession(arrays, rows, scratch)
 

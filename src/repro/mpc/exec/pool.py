@@ -75,6 +75,10 @@ from repro.mpc.exec.base import (
 from repro.mpc.exec.faults import ExecHealth, FaultPlan, InjectedFault
 from repro.mpc.exec.ops import OPS
 from repro.mpc.exec.shm import SharedArrayRegistry, attach_view, detach_view
+from repro.obs import clock
+from repro.obs.context import OBS_OFF
+from repro.obs.dump import dump_file
+from repro.obs.spans import worker_span
 
 __all__ = ["ProcessBackend", "ProcessArraySession", "ProcessDPSession"]
 
@@ -185,6 +189,7 @@ def _worker_main(
             break
         cmd, payload = msg[0], msg[1]
         fault = msg[2] if len(msg) > 2 else None
+        want_spans = bool(msg[3]) if len(msg) > 3 else False
         kind = fault.get("kind") if fault else None
         drop_reply = False
         if kind == "kill":
@@ -210,6 +215,7 @@ def _worker_main(
             except Exception:
                 break
         busy.set()
+        t_cmd = clock.now() if want_spans else 0.0
         try:
             if kind == "delay":
                 # Slow-but-alive: heartbeats keep flowing, then the command
@@ -292,9 +298,24 @@ def _worker_main(
                 raise ValueError(f"unknown pool command {cmd!r}")
             busy.clear()
             if not drop_reply:
+                reply: Tuple[Any, ...] = ("ok", result)
+                if want_spans:
+                    # One span per command, shipped back on the reply; the
+                    # driver re-bases it onto its own clock (rel=0 pins the
+                    # span at the driver's send time) and re-parents it.
+                    attrs: Dict[str, Any] = {"slot": slot}
+                    if cmd == "op":
+                        attrs["op"] = payload[0]
+                        attrs["rows"] = payload[2] - payload[1]
+                    elif cmd in ("dp_solve", "dp_labels"):
+                        attrs["n"] = len(payload[1])
+                    span = worker_span(
+                        f"worker.{cmd}", 0.0, clock.now() - t_cmd, **attrs
+                    )
+                    reply = ("ok", result, [span])
                 try:
                     with send_lock:
-                        conn.send(("ok", result))
+                        conn.send(reply)
                 except Exception:
                     break
         except BaseException:
@@ -346,8 +367,18 @@ class _Worker:
         self.proc.start()
         child_conn.close()
 
-    def send(self, cmd: str, payload: Any, fault: Optional[Dict[str, Any]] = None) -> None:
-        message = (cmd, payload) if fault is None else (cmd, payload, fault)
+    def send(
+        self,
+        cmd: str,
+        payload: Any,
+        fault: Optional[Dict[str, Any]] = None,
+        want_spans: bool = False,
+    ) -> None:
+        message: Tuple[Any, ...] = (
+            (cmd, payload)
+            if fault is None and not want_spans
+            else (cmd, payload, fault, want_spans)
+        )
         try:
             self.conn.send(message)
         except (BrokenPipeError, ConnectionResetError, OSError) as exc:
@@ -357,16 +388,17 @@ class _Worker:
                 kind="died",
             ) from exc
 
-    def recv_reply(self) -> Tuple[str, Any]:
-        """The next ``("ok" | "error", result)`` reply, heartbeat-aware.
+    def recv_reply(self) -> Tuple[str, Any, Any]:
+        """The next ``("ok" | "error", result, spans)`` reply, heartbeat-aware.
 
-        Heartbeats — the pickup ack and the periodic progress acks a busy
-        worker sends — reset the silence clock without satisfying the call;
-        a worker silent for longer than the hang window counts as hung even
-        though it is alive, and the hard ``call_timeout`` bounds the call
-        even while heartbeats keep arriving.
+        ``spans`` is the worker's piggybacked span-dict list when the command
+        requested tracing, else ``None``.  Heartbeats — the pickup ack and
+        the periodic progress acks a busy worker sends — reset the silence
+        clock without satisfying the call; a worker silent for longer than
+        the hang window counts as hung even though it is alive, and the hard
+        ``call_timeout`` bounds the call even while heartbeats keep arriving.
         """
-        start = time.monotonic()
+        start = clock.monotonic()
         deadline = start + self.call_timeout
         last_signal = start
         while True:
@@ -380,10 +412,10 @@ class _Worker:
                         kind="died",
                     ) from exc
                 if msg[0] == "hb":
-                    last_signal = time.monotonic()
+                    last_signal = clock.monotonic()
                     continue
-                return msg[0], msg[1]
-            now = time.monotonic()
+                return msg[0], msg[1], (msg[2] if len(msg) > 2 else None)
+            now = clock.monotonic()
             if not self.proc.is_alive():
                 raise ExecWorkerFailure(
                     f"exec worker {self.slot} (pid {self.proc.pid}) died "
@@ -462,7 +494,6 @@ class ProcessBackend(ExecBackend):
     name = "process"
 
     _shared: Dict[_PoolKey, "ProcessBackend"] = {}
-    _report_seq = itertools.count()
 
     def __init__(
         self,
@@ -619,31 +650,24 @@ class ProcessBackend(ExecBackend):
         One file per backend close; the CI chaos job uploads the directory
         as its artifact, so a surviving-but-degraded run is inspectable.
 
-        Filenames carry the pid, the pool generation and a per-process
-        sequence number — and are opened with exclusive create — so several
-        pipelines in one process, or a restarted server whose pid the OS
-        reused, can never silently overwrite an earlier report in a shared
-        directory.  On a (pid, generation, seq) collision the sequence is
-        advanced until a free name is found.
+        Delegates naming to :func:`repro.obs.dump.dump_file` (shared with
+        the ``REPRO_OBS_DIR`` trace/metric dumps): filenames carry the pid,
+        the pool generation and a sequence number, writes are
+        exclusive-create with collision retry — so several pipelines in one
+        process, or a restarted server whose pid the OS reused, can never
+        silently overwrite an earlier report — and the oldest reports beyond
+        the GC cap are pruned.
         """
         out_dir = os.environ.get("REPRO_EXEC_HEALTH_DIR")
         if not out_dir or not self._ever_built:
             return
-        try:
-            os.makedirs(out_dir, exist_ok=True)
-            pid = os.getpid()
-            for _ in range(1000):
-                path = os.path.join(
-                    out_dir,
-                    f"exec-health-{pid}-g{self._generation}-{next(self._report_seq)}.json",
-                )
-                try:
-                    self.health.write_json(path, exclusive=True)
-                except FileExistsError:
-                    continue  # pid reuse across restarts: advance the sequence
-                return
-        except OSError:  # pragma: no cover - report is best-effort
-            pass
+        dump_file(
+            out_dir,
+            f"exec-health-{os.getpid()}-g{self._generation}",
+            ".json",
+            "exec-health-",
+            lambda path: self.health.write_json(path, exclusive=True),
+        )
 
     # -- calls ----------------------------------------------------------- #
 
@@ -655,7 +679,11 @@ class ProcessBackend(ExecBackend):
             return None
         return self.fault_plan.take(slot, n, cmd)
 
-    def _call_each(self, messages: Sequence[Optional[Tuple[str, Any]]]) -> List[Any]:
+    def _call_each(
+        self,
+        messages: Sequence[Optional[Tuple[str, Any]]],
+        obs: Optional[Any] = None,
+    ) -> List[Any]:
         """Send one message per worker (None = skip), then collect replies.
 
         Sends complete before any receive, so workers genuinely overlap.  A
@@ -664,25 +692,58 @@ class ProcessBackend(ExecBackend):
         other reply first (the pipes stay protocol-clean), keeps the pool
         intact and raises :class:`ExecWorkerRaised`.  Callers that want the
         supervision ladder wrap this in :meth:`supervised`.
+
+        ``obs`` (an enabled :class:`~repro.obs.ObsContext`) asks workers to
+        time their command handling: durations land in the run's metrics,
+        and in ``trace`` mode the worker spans are ingested re-based on this
+        driver's send time and re-parented under the caller's current span.
         """
         workers = self._ensure_pool()
+        want_spans = obs is not None and obs.enabled
+        base = clock.now() if want_spans else 0.0
         try:
             active: List[_Worker] = []
             for worker, message in zip(workers, messages):
                 if message is None:
                     continue
-                worker.send(message[0], message[1], self._next_fault(worker.slot, message[0]))
+                worker.send(
+                    message[0],
+                    message[1],
+                    self._next_fault(worker.slot, message[0]),
+                    want_spans=want_spans,
+                )
                 active.append(worker)
             replies = [worker.recv_reply() for worker in active]
         except ExecWorkerFailure:
             self._teardown()
             raise
-        for worker, (status, result) in zip(active, replies):
+        for worker, (status, result, _spans) in zip(active, replies):
             if status == "error":
                 raise ExecWorkerRaised(
                     f"exec worker {worker.slot} raised:\n{result}", slot=worker.slot
                 )
-        return [result for _status, result in replies]
+        if want_spans:
+            self._observe_workers(obs, active, replies, base)
+        return [reply[1] for reply in replies]
+
+    def _observe_workers(
+        self,
+        obs: Any,
+        active: Sequence[_Worker],
+        replies: Sequence[Tuple[str, Any, Any]],
+        base: float,
+    ) -> None:
+        """Attribute the workers' piggybacked timings to the run's obs."""
+        for worker, (_status, _result, spans) in zip(active, replies):
+            if not spans:
+                continue
+            for sd in spans:
+                cmd = str(sd.get("name", "worker")).rsplit(".", 1)[-1]
+                obs.metrics.histogram(
+                    "repro_exec_worker_seconds", cmd=cmd, slot=worker.slot
+                ).observe(float(sd.get("duration", 0.0)))
+            if obs.tracing:
+                obs.recorder.ingest(spans, base=base)
 
     def _call_all(self, cmd: str, payload: Any) -> List[Any]:
         return self._call_each([(cmd, payload)] * len(self._ensure_pool()))
@@ -734,6 +795,20 @@ class ProcessBackend(ExecBackend):
             str(exc),
         )
 
+    def register_health_gauges(self, obs: Any) -> None:
+        """Pull-style gauges over the supervision-ladder counters.
+
+        Evaluated at metrics-snapshot time, so a scrape always sees the
+        current retry/rebuild/fallback totals without any hot-path hook.
+        """
+        health = self.health
+        for stat in ("retries", "rebuilds", "inline_fallbacks"):
+            obs.metrics.gauge_fn(
+                "repro_exec_health",
+                lambda s=stat: float(getattr(health, s)),
+                stat=stat,
+            )
+
     # -- array sessions --------------------------------------------------- #
 
     def array_session(
@@ -742,10 +817,11 @@ class ProcessBackend(ExecBackend):
         rows: int,
         num_machines: int,
         scratch: Optional[Dict[str, Tuple[Tuple[int, ...], Any]]] = None,
+        obs: Optional[Any] = None,
     ) -> ArraySession:
         if rows <= 0:
             return InlineArraySession(arrays, rows, scratch)
-        return ProcessArraySession(self, arrays, rows, num_machines, scratch)
+        return ProcessArraySession(self, arrays, rows, num_machines, scratch, obs)
 
     # -- DP sessions ------------------------------------------------------ #
 
@@ -795,7 +871,7 @@ class ProcessBackend(ExecBackend):
         return key
 
     def dp_session(
-        self, engine_state: Dict[str, Any], solver: Any
+        self, engine_state: Dict[str, Any], solver: Any, obs: Optional[Any] = None
     ) -> Optional["ProcessDPSession"]:
         """Open a :class:`ProcessDPSession`, or ``None`` for inline layers.
 
@@ -834,7 +910,9 @@ class ProcessBackend(ExecBackend):
             _warn_inline_fallback(f"DP session open ({skey})", exc)
             return None
         self._live_tree_keys.add(tree_key)
-        return ProcessDPSession(self, skey, tree_key, engine_state, solver, solver_blob)
+        return ProcessDPSession(
+            self, skey, tree_key, engine_state, solver, solver_blob, obs
+        )
 
 
 class ProcessArraySession(ArraySession):
@@ -855,9 +933,13 @@ class ProcessArraySession(ArraySession):
         rows: int,
         num_machines: int,
         scratch: Optional[Dict[str, Tuple[Tuple[int, ...], Any]]] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         self.backend = backend
         self.rows = rows
+        self.obs = obs if obs is not None else OBS_OFF
+        if self.obs.enabled:
+            backend.register_health_gauges(self.obs)
         self.registry = SharedArrayRegistry()
         self.arrays: Dict[str, np.ndarray] = {}
         self._attached = False
@@ -889,21 +971,29 @@ class ProcessArraySession(ArraySession):
         if self._degraded:
             self._run_inline(op, extra)
             return
+        obs = self.obs
 
         def _attempt() -> None:
-            self.backend._call_each(
-                [("op", (op, lo, hi, extra)) for lo, hi in self.bounds]
-            )
+            with obs.trace("exec.op", op=op, fanout=len(self.bounds)):
+                self.backend._call_each(
+                    [("op", (op, lo, hi, extra)) for lo, hi in self.bounds], obs=obs
+                )
 
         def _reestablish() -> None:
             self._attach()
             self._attached = True
 
+        t0 = clock.now() if obs.enabled else 0.0
         try:
             self.backend.supervised(f"op:{op}", _attempt, _reestablish)
         except ExecBackendError as exc:
             self._degrade(f"op:{op}", exc)
             self._run_inline(op, extra)
+            return
+        if obs.enabled:
+            obs.metrics.histogram("repro_exec_call_seconds", cmd="op").observe(
+                clock.now() - t0
+            )
 
     def _run_inline(self, op: str, extra: Dict[str, Any]) -> None:
         # Same partition as the pool would use — ops only see (lo, hi, slot),
@@ -955,6 +1045,7 @@ class ProcessDPSession:
         engine_state: Dict[str, Any],
         solver: Any,
         solver_blob: bytes,
+        obs: Optional[Any] = None,
     ) -> None:
         self.backend = backend
         self.skey = skey
@@ -962,6 +1053,9 @@ class ProcessDPSession:
         self.engine_state = engine_state
         self.solver = solver
         self._solver_blob = solver_blob
+        self.obs = obs if obs is not None else OBS_OFF
+        if self.obs.enabled:
+            backend.register_health_gauges(self.obs)
         self._known: List[set] = [set() for _ in range(backend.num_slots)]
         self._degraded = False
         self._closed = False
@@ -1005,6 +1099,7 @@ class ProcessDPSession:
             return self._inline_solve(clusters, summaries)
         slots = self.backend.num_slots
         by_cid = {c.cid: c for c in clusters}
+        obs = self.obs
 
         def _attempt() -> List[Any]:
             batches: List[List[int]] = [[] for _ in range(slots)]
@@ -1019,20 +1114,27 @@ class ProcessDPSession:
                 extra = self._summary_extras(slot, cids, by_cid, summaries)
                 self._known[slot].update(cids)
                 messages.append(("dp_solve", (self.skey, cids, extra)))
-            replies = self.backend._call_each(messages)
+            with obs.trace("exec.dp_solve", clusters=len(clusters)):
+                replies = self.backend._call_each(messages, obs=obs)
             out: Dict[int, Any] = {}
             for reply in replies:
                 for cid, summary in reply:
                     out[cid] = summary
             return [out[c.cid] for c in clusters]
 
+        t0 = clock.now() if obs.enabled else 0.0
         try:
-            return self.backend.supervised(
+            result = self.backend.supervised(
                 f"dp_solve:{self.skey}", _attempt, self._reestablish
             )
         except ExecBackendError as exc:
             self._degrade(f"dp_solve:{self.skey}", exc)
             return self._inline_solve(clusters, summaries)
+        if obs.enabled:
+            obs.metrics.histogram("repro_exec_call_seconds", cmd="dp_solve").observe(
+                clock.now() - t0
+            )
+        return result
 
     def label_layer(
         self, items: Sequence[Tuple[Any, Any, Any]], summaries: Dict[int, Any]
@@ -1048,6 +1150,7 @@ class ProcessDPSession:
             return self._inline_labels(items, summaries)
         slots = self.backend.num_slots
         by_cid = {cluster.cid: cluster for cluster, _o, _i in items}
+        obs = self.obs
 
         def _attempt() -> Dict[int, Dict]:
             batches: List[List[Tuple[int, Any, Any]]] = [[] for _ in range(slots)]
@@ -1065,20 +1168,27 @@ class ProcessDPSession:
                     slot, [cid for cid, _o, _i in batch], by_cid, summaries
                 )
                 messages.append(("dp_labels", (self.skey, batch, extra)))
-            replies = self.backend._call_each(messages)
+            with obs.trace("exec.dp_labels", clusters=len(items)):
+                replies = self.backend._call_each(messages, obs=obs)
             labels: Dict[int, Dict] = {}
             for reply in replies:
                 for cid, cluster_labels in reply:
                     labels[cid] = cluster_labels
             return labels
 
+        t0 = clock.now() if obs.enabled else 0.0
         try:
-            return self.backend.supervised(
+            result = self.backend.supervised(
                 f"dp_labels:{self.skey}", _attempt, self._reestablish
             )
         except ExecBackendError as exc:
             self._degrade(f"dp_labels:{self.skey}", exc)
             return self._inline_labels(items, summaries)
+        if obs.enabled:
+            obs.metrics.histogram("repro_exec_call_seconds", cmd="dp_labels").observe(
+                clock.now() - t0
+            )
+        return result
 
     # -- inline fallback -------------------------------------------------- #
 

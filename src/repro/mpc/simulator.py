@@ -28,6 +28,8 @@ from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 from repro.mpc.config import MPCConfig
 from repro.mpc.machine import Machine
 from repro.mpc.words import record_sizer, scalar_sizer
+from repro.obs import clock
+from repro.obs.context import ObsContext
 
 __all__ = ["MPCSimulator", "RoundStats", "CapacityViolation"]
 
@@ -122,6 +124,13 @@ class MPCSimulator:
             for i in range(config.num_machines)
         ]
         self.stats = RoundStats()
+        #: Per-run observability context (see :mod:`repro.obs`): the shared
+        #: inert singleton when ``config.obs == "off"``, so every hook below
+        #: reduces to one attribute check.  The timeline hooks sit at the
+        #: four accrual points (superstep / tick_rounds / charge_rounds /
+        #: charge_words) — the *only* places RoundStats moves — so the
+        #: recorded events sum back to RoundStats bit-identically.
+        self.obs = ObsContext.for_config(config)
         #: Words received per machine in the most recent superstep; consumers
         #: that take ownership of the delivered messages (darray routing) use
         #: it to carry the already-priced totals forward without a re-walk.
@@ -206,6 +215,10 @@ class MPCSimulator:
         delivered into the destination machines' inboxes, which become
         visible at the start of the *next* superstep.
         """
+        obs = self.obs
+        if obs.tracing:
+            t_round = clock.now()
+            words_before = self.stats.total_words_sent
         outgoing: Dict[int, List[Any]] = defaultdict(list)
         send_words: Dict[int, int] = defaultdict(int)
         recv_words: Dict[int, int] = defaultdict(int)
@@ -252,6 +265,14 @@ class MPCSimulator:
         self.stats.rounds += 1
         self.stats.rounds_by_label[label] = self.stats.rounds_by_label.get(label, 0) + 1
         self._record_memory()
+        if obs.tracing:
+            obs.round_event(
+                "superstep",
+                label,
+                rounds=1,
+                words=self.stats.total_words_sent - words_before,
+                wall=clock.now() - t_round,
+            )
 
     def _record_memory(self) -> None:
         peak = max((m.load_words() for m in self.machines), default=0)
@@ -306,6 +327,8 @@ class MPCSimulator:
         self.stats.rounds += k
         if k:
             self.stats.rounds_by_label[label] = self.stats.rounds_by_label.get(label, 0) + k
+            if self.obs.tracing:
+                self.obs.round_event("tick", label, rounds=k)
 
     # ------------------------------------------------------------------ #
     # Charged rounds
@@ -322,6 +345,8 @@ class MPCSimulator:
             raise ValueError("cannot charge a negative number of rounds")
         self.stats.charged_rounds += k
         self.stats.charged_by_label[label] = self.stats.charged_by_label.get(label, 0) + k
+        if self.obs.tracing:
+            self.obs.round_event("charge", label, rounds=k)
 
     def charge_words(self, words: int, label: str = "charged") -> None:
         """Charge ``words`` machine words of driver-evaluated communication.
@@ -343,6 +368,8 @@ class MPCSimulator:
             self.stats.charged_words_by_label[label] = (
                 self.stats.charged_words_by_label.get(label, 0) + words
             )
+            if self.obs.tracing:
+                self.obs.round_event("charge-words", label, words=words)
 
     # ------------------------------------------------------------------ #
     # Convenience

@@ -99,6 +99,7 @@ def compute_depths_array(
         },
         rows=n,
         num_machines=sim.num_machines,
+        obs=sim.obs,
     )
     try:
         jump = session.arrays["jump"]
@@ -159,6 +160,7 @@ def capped_subtree_gather_array(
         rows=n,
         num_machines=sim.num_machines,
         scratch={"contrib": ((n,), np.int64)},
+        obs=sim.obs,
     )
     try:
         anc = session.arrays["anc"]
@@ -269,7 +271,9 @@ def degree2_path_positions_array(
     arrays.update({"new_" + k: np.empty_like(a) for k, a in list(arrays.items())})
 
     limit = max(1, 2 + int(math.ceil(math.log2(max(2, n)))))
-    session = sim.executor.array_session(arrays, rows=n, num_machines=sim.num_machines)
+    session = sim.executor.array_session(
+        arrays, rows=n, num_machines=sim.num_machines, obs=sim.obs
+    )
     try:
         A = session.arrays
         for _ in range(limit):

@@ -1,0 +1,65 @@
+"""``repro.obs`` — zero-dependency tracing, metrics and round-timeline.
+
+Public surface:
+
+* :mod:`repro.obs.clock` — the sanctioned ``time`` readers (``now`` /
+  ``monotonic`` / ``wall``); everything else is flagged by the
+  ``untraced-clock`` mpclint rule.
+* :class:`ObsContext` / :data:`OBS_OFF` — per-run context created from
+  ``MPCConfig.obs`` and owned by the simulator (``sim.obs``).
+* :class:`Recorder` / :class:`Span` / :func:`worker_span` — nested span
+  tracing with process-safe worker piggybacking.
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms with
+  snapshot-consistent reads and Prometheus/JSON exposition.
+* :func:`dump_file` — the shared env-driven dump helper
+  (``REPRO_OBS_DIR`` / ``REPRO_EXEC_HEALTH_DIR``).
+
+See ``docs/OBSERVABILITY.md`` for the span model, metric catalog and
+exporter formats.  The whole package is stdlib-only and import-safe from
+exec worker processes.
+"""
+
+from repro.obs import clock
+from repro.obs.context import OBS_MODES, OBS_OFF, ObsContext
+from repro.obs.dump import DEFAULT_KEEP, dump_file, write_json, write_text
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.spans import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    Span,
+    worker_span,
+)
+
+__all__ = [
+    "clock",
+    "ObsContext",
+    "OBS_OFF",
+    "OBS_MODES",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Span",
+    "worker_span",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "dump_file",
+    "write_json",
+    "write_text",
+    "DEFAULT_KEEP",
+]

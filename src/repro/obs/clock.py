@@ -1,0 +1,42 @@
+"""Clock helpers — the sanctioned readers of :mod:`time`.
+
+Every timing in the tree flows through these three functions so that traces
+stay complete: the ``untraced-clock`` mpclint rule flags any direct
+``time.time()`` / ``time.perf_counter()`` / ``time.monotonic()`` call outside
+``repro.obs`` (benchmarks, which live outside ``src/``, keep their own
+stopwatches).  Centralizing the reads also gives one place to swap the clock
+source (e.g. a deterministic fake in tests).
+
+The module is stdlib-only and import-safe from exec workers.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["now", "monotonic", "wall"]
+
+
+def now() -> float:
+    """High-resolution timestamp for span starts and phase durations.
+
+    ``time.perf_counter()``: system-wide on Linux (CLOCK_MONOTONIC), but its
+    epoch is unspecified — only differences are meaningful, and cross-process
+    values must be re-based (see ``Recorder.ingest``).
+    """
+    return time.perf_counter()
+
+
+def monotonic() -> float:
+    """Deadline / heartbeat-silence clock (never jumps backwards).
+
+    Named ``monotonic`` on purpose: the ``unbounded-wait`` rule recognizes a
+    ``.monotonic()`` reading as the bound marker of a wait loop, so pool
+    deadlines keep their discipline after migrating onto this helper.
+    """
+    return time.monotonic()
+
+
+def wall() -> float:
+    """Wall-clock epoch seconds, for human-facing dump timestamps only."""
+    return time.time()

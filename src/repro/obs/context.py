@@ -1,0 +1,266 @@
+"""Per-run observability context: mode knob, recorder, metrics, timeline.
+
+One :class:`ObsContext` is owned by each :class:`~repro.mpc.simulator.
+MPCSimulator` (``sim.obs``) and shared by everything downstream of it — the
+pipeline phases, the DP engine, the exec sessions, the incremental solver
+and the serving layer all reach the same per-run recorder and registry
+through the simulator they already hold.
+
+The mode ladder (``MPCConfig.obs`` / ``REPRO_OBS``):
+
+* ``"off"`` — the default.  ``sim.obs`` is the shared :data:`OBS_OFF`
+  singleton whose ``enabled``/``tracing`` are ``False``; every hook in the
+  tree guards on those attributes, so the entire subsystem reduces to one
+  attribute check per hook (asserted by the overhead test).
+* ``"metrics"`` — counters/gauges/histograms collect; spans and the round
+  timeline stay off.
+* ``"trace"`` — everything: metrics, nested spans and the per-superstep
+  round timeline.
+
+The **round timeline** mirrors the simulator's four accrual points
+(``superstep``/``tick_rounds``/``charge_rounds``/``charge_words``) one event
+per call, so summing the events reproduces ``RoundStats`` bit-identically
+(see :meth:`ObsContext.timeline_totals`) while adding what ``RoundStats``
+cannot carry: wall time, backend and worker fan-out per charged superstep.
+
+Stdlib-only, import-safe from exec workers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.obs import dump as dump_mod
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.spans import NULL_RECORDER, Recorder
+
+__all__ = ["ObsContext", "OBS_OFF", "OBS_MODES", "install_shared"]
+
+OBS_MODES = ("off", "metrics", "trace")
+
+#: Timeline kinds and the RoundStats channel each one feeds.
+_MEASURED_KINDS = ("superstep", "tick")
+_CHARGED_KINDS = ("charge",)
+
+
+class ObsContext:
+    """Everything one run records: spans, metrics, round timeline."""
+
+    __slots__ = (
+        "mode",
+        "enabled",
+        "tracing",
+        "recorder",
+        "metrics",
+        "timeline",
+        "backend",
+        "workers",
+    )
+
+    def __init__(
+        self,
+        mode: str,
+        *,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        if mode not in OBS_MODES:
+            raise ValueError(f"obs mode must be one of {OBS_MODES}, got {mode!r}")
+        self.mode = mode
+        self.enabled = mode != "off"
+        self.tracing = mode == "trace"
+        self.recorder: Any = Recorder() if self.tracing else NULL_RECORDER
+        self.metrics: Any = MetricsRegistry() if self.enabled else NULL_METRICS
+        self.timeline: List[Dict[str, Any]] = []
+        self.backend = backend
+        self.workers = workers
+
+    @classmethod
+    def for_config(cls, config: Any) -> "ObsContext":
+        """The context selected by ``config.obs`` (:data:`OBS_OFF` shared
+        singleton when off, a fresh per-run context otherwise).
+
+        An :func:`install_shared` context, when present, wins over the
+        config: the benchmark harness uses it to point every experiment's
+        simulators at one registry, so BENCH artifacts embed per-phase
+        metric breakdowns without each experiment threading a context.
+        """
+        if _SHARED is not None:
+            return _SHARED
+        mode = getattr(config, "obs", None) or "off"
+        if mode == "off":
+            return OBS_OFF
+        return cls(
+            mode,
+            backend=getattr(config, "exec_backend", None),
+            workers=getattr(config, "exec_workers", None),
+        )
+
+    # -- spans -------------------------------------------------------------
+    def trace(self, name: str, **attrs: Any) -> Any:
+        """Open a span (context manager / decorator); no-op unless tracing."""
+        return self.recorder.trace(name, **attrs)
+
+    # -- round timeline ----------------------------------------------------
+    def round_event(
+        self,
+        kind: str,
+        label: str,
+        *,
+        rounds: int = 0,
+        words: int = 0,
+        wall: float = 0.0,
+    ) -> None:
+        """One event per accrual call on the simulator (tracing mode only).
+
+        ``kind``: ``"superstep"`` | ``"tick"`` (measured rounds) |
+        ``"charge"`` (charged rounds) | ``"charge-words"`` (charged words).
+        ``words`` on a ``"superstep"`` event is the measured traffic of that
+        round; on ``"charge-words"`` it is the charged volume.
+        """
+        self.timeline.append(
+            {
+                "type": "round",
+                "kind": kind,
+                "label": label,
+                "rounds": rounds,
+                "words": words,
+                "wall": wall,
+                "backend": self.backend,
+                "workers": self.workers,
+                "span": self.recorder.current_id(),
+            }
+        )
+
+    def timeline_totals(self) -> Dict[str, Any]:
+        """Sum the timeline back into ``RoundStats``-shaped totals.
+
+        When tracing covered the whole run, every field here equals the
+        corresponding ``RoundStats`` field bit-identically (asserted by the
+        round-timeline test).
+        """
+        totals: Dict[str, Any] = {
+            "rounds": 0,
+            "charged_rounds": 0,
+            "total_words_sent": 0,
+            "charged_words": 0,
+            "rounds_by_label": {},
+            "charged_by_label": {},
+            "charged_words_by_label": {},
+        }
+        for ev in self.timeline:
+            kind = ev["kind"]
+            label = ev["label"]
+            if kind in _MEASURED_KINDS:
+                totals["rounds"] += ev["rounds"]
+                if ev["rounds"]:
+                    by = totals["rounds_by_label"]
+                    by[label] = by.get(label, 0) + ev["rounds"]
+                totals["total_words_sent"] += ev["words"]
+            elif kind in _CHARGED_KINDS:
+                totals["charged_rounds"] += ev["rounds"]
+                by = totals["charged_by_label"]
+                by[label] = by.get(label, 0) + ev["rounds"]
+            elif kind == "charge-words":
+                totals["charged_words"] += ev["words"]
+                by = totals["charged_words_by_label"]
+                by[label] = by.get(label, 0) + ev["words"]
+        return totals
+
+    # -- export ------------------------------------------------------------
+    def trace_lines(self) -> List[str]:
+        """JSON-lines trace: every span, then every timeline event."""
+        import json
+
+        lines = [
+            json.dumps(d, sort_keys=True) + "\n" for d in self.recorder.to_list()
+        ]
+        lines.extend(
+            json.dumps(ev, sort_keys=True) + "\n" for ev in self.timeline
+        )
+        return lines
+
+    def export(self) -> Dict[str, Any]:
+        """Everything as plain data (embedded in BENCH artifacts)."""
+        return {
+            "mode": self.mode,
+            "backend": self.backend,
+            "workers": self.workers,
+            "spans": self.recorder.to_list(),
+            "timeline": list(self.timeline),
+            "metrics": self.metrics.to_json(),
+        }
+
+    def dump(self, tag: str = "run", out_dir: Optional[str] = None) -> List[str]:
+        """Best-effort file dump into ``out_dir`` / ``$REPRO_OBS_DIR``.
+
+        Writes a ``obs-metrics-*.json`` exposition always (when enabled) and
+        a ``obs-trace-*.jsonl`` span/timeline dump when tracing.  Shares the
+        exclusive-create + GC-capped helper with the exec health reports.
+        """
+        out_dir = out_dir or os.environ.get("REPRO_OBS_DIR") or ""
+        if not out_dir or not self.enabled:
+            return []
+        pid = os.getpid()
+        written: List[str] = []
+        path = dump_mod.dump_file(
+            out_dir,
+            f"obs-metrics-{tag}-{pid}",
+            ".json",
+            "obs-metrics-",
+            lambda p: dump_mod.write_json(p, self.metrics.to_json()),
+        )
+        if path:
+            written.append(path)
+        if self.tracing:
+            text = "".join(self.trace_lines())
+            path = dump_mod.dump_file(
+                out_dir,
+                f"obs-trace-{tag}-{pid}",
+                ".jsonl",
+                "obs-trace-",
+                lambda p: dump_mod.write_text(p, text),
+            )
+            if path:
+                written.append(path)
+        return written
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ObsContext(mode={self.mode!r}, spans={len(self.recorder)}, "
+            f"events={len(self.timeline)})"
+        )
+
+
+class _OffContext(ObsContext):
+    """The shared off-mode singleton; inert and reusable across runs."""
+
+    __slots__ = ()
+
+    def round_event(self, kind: str, label: str, **kwargs: Any) -> None:
+        # Defensive: an unguarded caller must not grow the shared singleton.
+        pass
+
+
+#: Process-wide singleton for ``obs="off"`` — hooks see ``enabled is False``
+#: and skip; nothing is ever recorded on it.
+OBS_OFF = _OffContext("off")
+
+#: Harness-installed override (see :func:`install_shared`); ``None`` in
+#: normal operation, where every run gets its own per-config context.
+_SHARED: Optional[ObsContext] = None
+
+
+def install_shared(ctx: Optional[ObsContext]) -> Optional[ObsContext]:
+    """Adopt ``ctx`` for every simulator built from now on; return the
+    previous override (``None`` uninstalls).
+
+    A harness-level escape hatch, not a user knob: the benchmark conftest
+    installs one ``"metrics"`` context per experiment so all simulators an
+    experiment builds feed a single registry the BENCH artifact embeds.
+    """
+    global _SHARED
+    prev = _SHARED
+    _SHARED = ctx
+    return prev

@@ -1,0 +1,106 @@
+"""Shared dump-directory helper for env-driven diagnostic artifacts.
+
+``REPRO_EXEC_HEALTH_DIR`` (pool health reports) and ``REPRO_OBS_DIR``
+(trace/metric dumps) share this one code path: the directory is
+auto-created, names are made collision-free by an exclusive-create retry
+loop (several pools/runs in one process, several processes in one CI job),
+and a stale-file GC cap prunes the oldest artifacts of the same family so
+long chaos soaks don't grow the directory unbounded.
+
+Dumps are best-effort diagnostics: any :class:`OSError` is swallowed and
+reported as ``None`` — a full disk must never fail a solve.  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Optional
+
+__all__ = ["dump_file", "write_json", "write_text", "DEFAULT_KEEP"]
+
+#: Per-family cap on retained files (oldest beyond this are pruned).
+DEFAULT_KEEP = 256
+
+#: Attempts at a collision-free sequence number before giving up.
+_MAX_SEQ = 1000
+
+
+def write_json(path: str, payload: Any) -> None:
+    """Exclusively create ``path`` with ``payload`` as indented JSON."""
+    with open(path, "x", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_text(path: str, text: str) -> None:
+    """Exclusively create ``path`` with ``text`` (e.g. a JSONL trace)."""
+    with open(path, "x", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def dump_file(
+    out_dir: str,
+    stem: str,
+    suffix: str,
+    family: str,
+    writer: Callable[[str], None],
+    *,
+    keep: int = DEFAULT_KEEP,
+) -> Optional[str]:
+    """Write one artifact ``<out_dir>/<stem>-<seq><suffix>`` and GC its family.
+
+    ``writer(path)`` must create ``path`` exclusively (``open(..., "x")``,
+    e.g. :func:`write_json` or ``ExecHealth.write_json(..., exclusive=True)``)
+    and raise :class:`FileExistsError` on a name collision — the sequence
+    number is then advanced and the write retried.  ``family`` is the
+    filename prefix shared by all artifacts of this kind (across pids and
+    pool generations); after a successful write, the oldest files beyond
+    ``keep`` whose names start with ``family`` are deleted.
+
+    Returns the written path, or ``None`` when the dump could not be
+    completed (unwritable directory, disk full, sequence space exhausted).
+    """
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+    except OSError:
+        return None
+    written: Optional[str] = None
+    for seq in range(_MAX_SEQ):
+        path = os.path.join(out_dir, f"{stem}-{seq}{suffix}")
+        try:
+            writer(path)
+        except FileExistsError:
+            continue
+        except OSError:
+            return None
+        written = path
+        break
+    if written is not None:
+        _prune_family(out_dir, family, keep)
+    return written
+
+
+def _prune_family(out_dir: str, family: str, keep: int) -> None:
+    """Delete the oldest ``family``-prefixed files beyond the ``keep`` cap."""
+    if keep <= 0:
+        return
+    try:
+        names = [n for n in os.listdir(out_dir) if n.startswith(family)]
+    except OSError:
+        return
+    if len(names) <= keep:
+        return
+    paths = [os.path.join(out_dir, n) for n in names]
+    stamped = []
+    for p in paths:
+        try:
+            stamped.append((os.path.getmtime(p), p))
+        except OSError:
+            continue
+    stamped.sort()
+    for _mtime, p in stamped[: max(0, len(stamped) - keep)]:
+        try:
+            os.remove(p)
+        except OSError:
+            continue

@@ -1,0 +1,342 @@
+"""Counters, gauges and fixed-bucket histograms with consistent snapshots.
+
+One :class:`MetricsRegistry` per run (owned by the run's ``ObsContext``).
+Instruments are keyed by ``(name, sorted(labels))`` and created on first
+request, so call sites can re-request the same instrument cheaply or bind it
+once at construction.  All instruments share the registry's single lock:
+updates are serialized, and :meth:`MetricsRegistry.snapshot` reads every
+value under that same lock, so a snapshot is a consistent cut — no
+half-updated histogram (count bumped, sum not yet) can be observed.
+
+Pull-style collection is supported through :meth:`MetricsRegistry.gauge_fn`:
+a callable evaluated at snapshot time (kernel cache sizes, queue depth,
+exec-health counters).  Gauge callables must not call back into the
+registry — they run under its lock.
+
+Exposition: :meth:`to_json` (plain dict) and :meth:`to_prometheus`
+(text format 0.0.4 — ``_bucket``/``_sum``/``_count`` series with cumulative
+``le`` buckets).  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: Latency buckets (seconds): 100µs .. 10s, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Size/count buckets (batch sizes, fan-outs): powers of two.
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1,
+    2,
+    4,
+    8,
+    16,
+    32,
+    64,
+    128,
+    256,
+    512,
+    1024,
+    4096,
+)
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> _Key:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative exposition, Prometheus-style)."""
+
+    __slots__ = ("_lock", "buckets", "counts", "sum", "count")
+
+    def __init__(self, lock: threading.Lock, buckets: Sequence[float]) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("histogram buckets must be sorted and distinct")
+        self._lock = lock
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        # counts[i] = observations <= buckets[i] exclusive of lower buckets;
+        # counts[-1] = observations above the last bound (the +Inf bucket).
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative per-bucket counts, ending with the +Inf total."""
+        out: List[int] = []
+        acc = 0
+        for c in self.counts:
+            acc += c
+            out.append(acc)
+        return out
+
+
+class _NullInstrument:
+    """No-op counter/gauge/histogram for the off registry."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+    buckets: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative(self) -> List[int]:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _fmt_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class MetricsRegistry:
+    """Registry of named instruments with snapshot-consistent reads."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[_Key, Counter] = {}
+        self._gauges: Dict[_Key, Gauge] = {}
+        self._histograms: Dict[_Key, Histogram] = {}
+        self._gauge_fns: Dict[_Key, Callable[[], float]] = {}
+
+    # -- instrument accessors (get-or-create) ------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _key(name, labels)
+        with self._lock:
+            inst = self._counters.get(key)
+            if inst is None:
+                inst = self._counters[key] = Counter(self._lock)
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _key(name, labels)
+        with self._lock:
+            inst = self._gauges.get(key)
+            if inst is None:
+                inst = self._gauges[key] = Gauge(self._lock)
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = _key(name, labels)
+        with self._lock:
+            inst = self._histograms.get(key)
+            if inst is None:
+                inst = self._histograms[key] = Histogram(
+                    self._lock, buckets or DEFAULT_LATENCY_BUCKETS
+                )
+        return inst
+
+    def gauge_fn(self, name: str, fn: Callable[[], float], **labels: Any) -> None:
+        """Register a pull-style gauge evaluated at snapshot time."""
+        with self._lock:
+            self._gauge_fns[_key(name, labels)] = fn
+
+    # -- reading -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A consistent cut of every instrument, as plain data."""
+        with self._lock:
+            counters = {k: c.value for k, c in self._counters.items()}
+            gauges = {k: g.value for k, g in self._gauges.items()}
+            for k, fn in self._gauge_fns.items():
+                try:
+                    gauges[k] = float(fn())
+                except Exception:
+                    gauges[k] = float("nan")
+            histograms = {
+                k: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for k, h in self._histograms.items()
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON exposition: ``{kind: [{name, labels, ...value}]}``."""
+        snap = self.snapshot()
+        out: Dict[str, List[Dict[str, Any]]] = {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+        }
+        for (name, labels), value in sorted(snap["counters"].items()):
+            out["counters"].append(
+                {"name": name, "labels": dict(labels), "value": value}
+            )
+        for (name, labels), value in sorted(snap["gauges"].items()):
+            out["gauges"].append(
+                {"name": name, "labels": dict(labels), "value": value}
+            )
+        for (name, labels), h in sorted(snap["histograms"].items()):
+            out["histograms"].append(
+                {"name": name, "labels": dict(labels), **h}
+            )
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format 0.0.4)."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        seen_type: set = set()
+
+        def type_line(name: str, kind: str) -> None:
+            if name not in seen_type:
+                seen_type.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for (name, labels), value in sorted(snap["counters"].items()):
+            type_line(name, "counter")
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+        for (name, labels), value in sorted(snap["gauges"].items()):
+            type_line(name, "gauge")
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+        for (name, labels), h in sorted(snap["histograms"].items()):
+            type_line(name, "histogram")
+            acc = 0
+            for bound, count in zip(h["buckets"], h["counts"]):
+                acc += count
+                le = _fmt_labels(labels, f'le="{_fmt_value(float(bound))}"')
+                lines.append(f"{name}_bucket{le} {acc}")
+            acc += h["counts"][-1] if h["counts"] else 0
+            inf = _fmt_labels(labels, 'le="+Inf"')
+            lines.append(f"{name}_bucket{inf} {acc}")
+            lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(h['sum'])}")
+            lines.append(f"{name}_count{_fmt_labels(labels)} {h['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class NullMetricsRegistry:
+    """Registry stand-in when metrics are off: every instrument is a no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge_fn(self, name: str, fn: Callable[[], float], **labels: Any) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+    def to_prometheus(self) -> str:
+        return ""
+
+
+#: Shared no-op registry (``ObsContext`` in ``off`` mode).
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,266 @@
+"""Nested span tracing collected by a per-run :class:`Recorder`.
+
+A span is one timed region — name, monotonic start (``clock.now()`` base),
+duration, free-form attributes and a parent id — and nesting is tracked per
+thread, so spans opened from ``asyncio.to_thread`` workers land in the same
+recorder without corrupting the driver thread's stack.
+
+Process safety: exec workers cannot share the driver's recorder, so they
+record *span dicts* locally (see :func:`worker_span`) and ship them back
+piggybacked on their existing command replies.  The driver then calls
+:meth:`Recorder.ingest`, which re-bases the worker-relative offsets onto the
+driver clock and re-parents the spans under the current (superstep/exec)
+span.
+
+Everything here is stdlib-only and import-safe from worker processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.obs import clock
+
+__all__ = ["Span", "Recorder", "NullRecorder", "NULL_RECORDER", "worker_span"]
+
+
+class Span:
+    """One completed timed region (immutable once recorded)."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "duration", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        duration: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.attrs = attrs
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"dur={self.duration:.6f})"
+        )
+
+
+class _SpanHandle:
+    """Context manager *and* decorator returned by :meth:`Recorder.trace`."""
+
+    __slots__ = ("_recorder", "_name", "_attrs", "_start", "_span_id", "_parent_id")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: Dict[str, Any]) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+        self._span_id = 0
+        self._parent_id: Optional[int] = None
+
+    def __enter__(self) -> "_SpanHandle":
+        rec = self._recorder
+        stack = rec._stack()
+        self._parent_id = stack[-1] if stack else None
+        self._span_id = next(rec._ids)
+        stack.append(self._span_id)
+        self._start = clock.now()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        duration = clock.now() - self._start
+        rec = self._recorder
+        stack = rec._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        if exc_type is not None:
+            self._attrs["error"] = exc_type.__name__
+        rec._record(
+            Span(
+                self._span_id,
+                self._parent_id,
+                self._name,
+                self._start,
+                duration,
+                self._attrs,
+            )
+        )
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the open span (e.g. results known at exit)."""
+        self._attrs.update(attrs)
+
+    def __call__(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with _SpanHandle(self._recorder, self._name, dict(self._attrs)):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+
+class _NullHandle:
+    """Shared no-op stand-in for :class:`_SpanHandle` when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __call__(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        return fn
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class Recorder:
+    """Per-run span collector: thread-safe, append-only, snapshot-readable."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- recording ---------------------------------------------------------
+    def trace(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a span: ``with rec.trace("dp.layer", layer=3): ...`` or as a
+        decorator ``@rec.trace("solve")``."""
+        return _SpanHandle(self, name, attrs)
+
+    def current_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def ingest(
+        self,
+        span_dicts: Iterable[Dict[str, Any]],
+        *,
+        base: float,
+        parent_id: Optional[int] = None,
+        extra_attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Adopt worker-recorded span dicts (see :func:`worker_span`).
+
+        Worker clocks have their own epoch, so worker spans carry a ``rel``
+        offset from command receipt; ``base`` (driver clock, taken just
+        before the command was sent) re-bases them, and ``parent_id``
+        (default: the caller's current span) re-parents them.
+        """
+        if parent_id is None:
+            parent_id = self.current_id()
+        adopted: List[Span] = []
+        for sd in span_dicts:
+            attrs = dict(sd.get("attrs") or {})
+            if extra_attrs:
+                attrs.update(extra_attrs)
+            adopted.append(
+                Span(
+                    next(self._ids),
+                    parent_id,
+                    str(sd.get("name", "worker")),
+                    base + float(sd.get("rel", 0.0)),
+                    float(sd.get("duration", 0.0)),
+                    attrs,
+                )
+            )
+        with self._lock:
+            self._spans.extend(adopted)
+
+    # -- reading -----------------------------------------------------------
+    def to_list(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [s.as_dict() for s in self._spans]
+
+    def to_jsonl(self) -> str:
+        """JSON-lines export: one span object per line."""
+        return "".join(
+            json.dumps(d, sort_keys=True) + "\n" for d in self.to_list()
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # -- internals ---------------------------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+
+class NullRecorder:
+    """Recorder stand-in when tracing is off: every hook is a no-op."""
+
+    enabled = False
+
+    def trace(self, name: str, **attrs: Any) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def current_id(self) -> Optional[int]:
+        return None
+
+    def ingest(self, span_dicts: Iterable[Dict[str, Any]], **kwargs: Any) -> None:
+        pass
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op recorder (``ObsContext`` in ``off``/``metrics`` modes).
+NULL_RECORDER = NullRecorder()
+
+
+def worker_span(
+    name: str, rel: float, duration: float, **attrs: Any
+) -> Dict[str, Any]:
+    """A span dict an exec worker records locally and ships to the driver.
+
+    ``rel`` is the offset (seconds) from command receipt — the driver
+    re-bases it onto its own clock at ingest time.
+    """
+    return {"name": name, "rel": rel, "duration": duration, "attrs": attrs}

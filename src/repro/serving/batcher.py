@@ -27,6 +27,8 @@ import asyncio
 from typing import Any, Awaitable, Callable, List, Optional, Sequence, Tuple
 
 from repro.dynamic import PointUpdate
+from repro.obs import DEFAULT_SIZE_BUCKETS, clock
+from repro.obs.context import OBS_OFF
 
 __all__ = ["ServerClosedError", "UpdateBatcher"]
 
@@ -49,12 +51,19 @@ class UpdateBatcher:
         max_batch: int,
         max_delay: float,
         queue_limit: int,
+        obs: Optional[Any] = None,
     ) -> None:
         self._apply_batch = apply_batch
         self._max_batch = max_batch
         self._max_delay = max_delay
         self._queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=queue_limit)
         self._closed = False
+        self.obs = obs if obs is not None else OBS_OFF
+        if self.obs.enabled:
+            # Pull-style: a metrics scrape reads the live queue depth.
+            self.obs.metrics.gauge_fn(
+                "repro_serving_queue_depth", lambda: float(self._queue.qsize())
+            )
 
     @property
     def pending(self) -> int:
@@ -69,8 +78,17 @@ class UpdateBatcher:
         if self._closed:
             raise ServerClosedError("the server is stopped; updates are not accepted")
         fut: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        obs = self.obs
+        t0 = clock.now() if obs.enabled else 0.0
         await self._queue.put((list(updates), fut))
-        return await fut
+        result = await fut
+        if obs.enabled:
+            # Per-request latency: enqueue to batch-result resolution
+            # (coalescing linger + queue wait + the solver pass).
+            obs.metrics.histogram("repro_serving_request_seconds").observe(
+                clock.now() - t0
+            )
+        return result
 
     async def run(self) -> None:
         """The single-writer loop; returns after :meth:`shutdown`'s sentinel."""
@@ -84,6 +102,11 @@ class UpdateBatcher:
             stopped = self._drain_into(batch)
             updates = [up for subs, _fut in batch for up in subs]
             futures = [fut for _subs, fut in batch]
+            if self.obs.enabled:
+                self.obs.metrics.counter("repro_serving_ticks_total").inc()
+                self.obs.metrics.histogram(
+                    "repro_serving_batch_submissions", DEFAULT_SIZE_BUCKETS
+                ).observe(len(batch))
             try:
                 result = await self._apply_batch(updates)
             except asyncio.CancelledError:

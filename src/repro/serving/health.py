@@ -38,9 +38,15 @@ class ServerHealth:
     #: Most recent per-problem update reports, as dicts (diagnostic detail).
     last_batch: Dict[str, Any] = field(default_factory=dict)
 
-    def as_dict(self, exec_health: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    def as_dict(
+        self,
+        exec_health: Optional[Dict[str, Any]] = None,
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
         """JSON-ready report; ``exec_health`` embeds the pool's supervision
-        counters (``None`` under the inline backend)."""
+        counters (``None`` under the inline backend) and ``metrics`` the
+        run's :meth:`~repro.obs.MetricsRegistry.to_json` exposition
+        (``None`` under ``obs="off"``)."""
         return {
             "server": {
                 "batches_applied": self.batches_applied,
@@ -53,4 +59,5 @@ class ServerHealth:
                 "last_batch": dict(self.last_batch),
             },
             "exec": exec_health,
+            "metrics": metrics,
         }

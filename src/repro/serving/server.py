@@ -36,6 +36,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.pipeline import PreparedTree
 from repro.dynamic import IncrementalSolverGroup, PointUpdate, UpdateReport
+from repro.obs import DEFAULT_SIZE_BUCKETS, clock
 from repro.serving.batcher import ServerClosedError, UpdateBatcher
 from repro.serving.config import ServerConfig
 from repro.serving.health import ServerHealth
@@ -105,6 +106,7 @@ class TreeServer:
         )
         self.health = ServerHealth()
         self.store = SnapshotStore()
+        self.obs = prepared.sim.obs
         self._version = 0
         self._publish_views()
         self._batcher = UpdateBatcher(
@@ -112,6 +114,7 @@ class TreeServer:
             max_batch=self.config.max_batch,  # type: ignore[arg-type]
             max_delay=self.config.max_delay,  # type: ignore[arg-type]
             queue_limit=self.config.queue_limit,  # type: ignore[arg-type]
+            obs=self.obs,
         )
         self._writer: Optional["asyncio.Task[None]"] = None
         self._closed = False
@@ -145,6 +148,8 @@ class TreeServer:
             await self._writer
             self._writer = None
         self._batcher.drain_rejected()
+        if self.obs.enabled:
+            self.obs.dump(tag="server")
 
     async def __aenter__(self) -> "TreeServer":
         return await self.start()
@@ -208,6 +213,8 @@ class TreeServer:
         the single writer task means that can only trip for out-of-band
         callers touching the group directly.
         """
+        obs = self.obs
+        t0 = clock.now() if obs.enabled else 0.0
         try:
             reports = await asyncio.to_thread(self.group.apply_updates, updates)
         except BaseException:
@@ -215,6 +222,13 @@ class TreeServer:
             raise
         self._version += 1
         self._publish_views()
+        if obs.enabled:
+            obs.metrics.histogram("repro_serving_update_seconds").observe(
+                clock.now() - t0
+            )
+            obs.metrics.histogram(
+                "repro_serving_batch_updates", DEFAULT_SIZE_BUCKETS
+            ).observe(len(updates))
         self.health.batches_applied += 1
         self.health.updates_applied += len(updates)
         self.health.last_batch = {
@@ -250,7 +264,15 @@ class TreeServer:
 
     def snapshot(self, problem: Optional[str] = None) -> Snapshot:
         """The latest published snapshot (synchronous: one dict read)."""
-        snap = self.store.current(self._name(problem))
+        obs = self.obs
+        if obs.enabled:
+            t0 = clock.now()
+            snap = self.store.current(self._name(problem))
+            obs.metrics.histogram("repro_serving_read_seconds").observe(
+                clock.now() - t0
+            )
+        else:
+            snap = self.store.current(self._name(problem))
         self.health.queries_served += 1
         return snap
 
@@ -285,5 +307,24 @@ class TreeServer:
         return self._version
 
     def health_report(self) -> Dict[str, Any]:
-        """Server counters plus the exec pool's supervision report."""
-        return self.health.as_dict(exec_health=self.prepared.exec_health())
+        """Server counters plus the exec pool's supervision report.
+
+        When observability is on (``MPCConfig.obs != "off"``) the report
+        also embeds the run's metric exposition under ``"metrics"``.
+        """
+        metrics = self.obs.metrics.to_json() if self.obs.enabled else None
+        return self.health.as_dict(
+            exec_health=self.prepared.exec_health(), metrics=metrics
+        )
+
+    def metrics(self, format: str = "prometheus") -> Any:
+        """The run's metric exposition (``"prometheus"`` text or ``"json"``).
+
+        Empty under ``obs="off"`` — the server never pays for metrics the
+        deployment did not ask for.
+        """
+        if format == "prometheus":
+            return self.obs.metrics.to_prometheus()
+        if format == "json":
+            return self.obs.metrics.to_json()
+        raise ValueError(f"unknown metrics format {format!r}; use 'prometheus' or 'json'")

@@ -1,15 +1,15 @@
 # mpclint: module=repro.mpc.exec.fixture_wait_ok
 """Clean: every wait loop carries a poll timeout or a monotonic deadline."""
 
-import time
+from repro.obs import clock
 
 
 def supervised_recv(conn, deadline):
-    start = time.monotonic()
+    start = clock.monotonic()
     while True:
         if conn.poll(0.02):
             return conn.recv()
-        if time.monotonic() - start > deadline:
+        if clock.monotonic() - start > deadline:
             raise TimeoutError("peer went silent")
 
 

@@ -1,0 +1,19 @@
+# mpclint: module=repro.serving.fixture_clock
+"""True positives: ad-hoc stdlib clock readings outside repro.obs."""
+
+import time as stdclock
+from time import perf_counter
+
+
+def wall_stamp(event):
+    return (stdclock.time(), event)
+
+
+def measure(fn):
+    t0 = stdclock.perf_counter()
+    fn()
+    return perf_counter() - t0
+
+
+def deadline_passed(start, budget):
+    return stdclock.monotonic() - start > budget

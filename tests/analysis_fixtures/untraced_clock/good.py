@@ -1,0 +1,21 @@
+# mpclint: module=repro.serving.fixture_clock_ok
+"""Clean: durations via repro.obs.clock; time.sleep is not a reading."""
+
+import time
+
+from repro.obs import clock
+
+
+def measure(fn):
+    t0 = clock.now()
+    fn()
+    return clock.now() - t0
+
+
+def deadline_passed(start, budget):
+    return clock.monotonic() - start > budget
+
+
+def backoff(attempt):
+    time.sleep(min(1.0, 0.05 * 2**attempt))
+    return clock.wall()

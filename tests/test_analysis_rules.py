@@ -84,6 +84,15 @@ TRUE_POSITIVES = {
             ("unbounded-wait", "unbounded_wait/bad.py", 20),
         ],
     ),
+    "untraced-clock": (
+        [FIXTURES / "untraced_clock" / "bad.py"],
+        [
+            ("untraced-clock", "untraced_clock/bad.py", 5),
+            ("untraced-clock", "untraced_clock/bad.py", 9),
+            ("untraced-clock", "untraced_clock/bad.py", 13),
+            ("untraced-clock", "untraced_clock/bad.py", 19),
+        ],
+    ),
 }
 
 CLEAN = {
@@ -94,6 +103,7 @@ CLEAN = {
     "worker-driver-isolation": [FIXTURES / "worker_isolation" / "good"],
     "backend-literal-parity": [FIXTURES / "backend_parity" / "good"],
     "unbounded-wait": [FIXTURES / "unbounded_wait" / "good.py"],
+    "untraced-clock": [FIXTURES / "untraced_clock" / "good.py"],
 }
 
 

@@ -423,12 +423,11 @@ def test_exec_health_reports_never_collide(tmp_path, monkeypatch):
     Regression test: several pipelines in one process used to be the only
     collision-safe case (a per-process sequence number); a *restarted*
     server process whose pid the OS reused restarts the sequence at 0 and
-    silently clobbered the previous run's report.  Filenames now carry the
-    pool generation and are opened with exclusive create, advancing the
-    sequence past any survivor from a previous life.
+    silently clobbered the previous run's report.  The shared dump helper
+    (``repro.obs.dump.dump_file``) always starts the sequence at 0 and
+    advances past any existing file via exclusive create, so every dump —
+    same process or a reincarnated pid — lands on a fresh name.
     """
-    import itertools
-
     monkeypatch.setenv("REPRO_EXEC_HEALTH_DIR", str(tmp_path))
 
     def dump(marker):
@@ -439,9 +438,8 @@ def test_exec_health_reports_never_collide(tmp_path, monkeypatch):
 
     dump("first")
     dump("second")  # second pipeline, same process
-    # A restarted server: the OS reused the pid, and the fresh process's
-    # report sequence starts over at 0.
-    monkeypatch.setattr(ProcessBackend, "_report_seq", itertools.count())
+    # A restarted server whose pid the OS reused behaves identically: the
+    # sequence restarts at 0 and exclusive create walks it past survivors.
     dump("third")
 
     reports = list(tmp_path.glob("exec-health-*.json"))
